@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks behind Figure 4: per-operation lookup and
+//! insert latency for ALEX vs. the B+Tree vs. the Learned Index on the
+//! longitudes and YCSB datasets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use alex_btree::BPlusTree;
+use alex_core::{AlexConfig, AlexIndex};
+use alex_datasets::{longitudes_keys, sorted, ycsb_keys, ScrambledZipf};
+use alex_learned_index::LearnedIndex;
+
+const N: usize = 200_000;
+
+fn lookup_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(20);
+
+    // longitudes (f64 keys).
+    let lon = sorted(longitudes_keys(N, 42));
+    let lon_data: Vec<(f64, u64)> = lon.iter().map(|&k| (k, 0)).collect();
+    let alex = AlexIndex::bulk_load(&lon_data, AlexConfig::ga_srmi(N / 8192));
+    let btree = BPlusTree::bulk_load(&lon_data, 128, 128, 0.7);
+    let li = LearnedIndex::bulk_load(&lon_data, N / 1000);
+    let mut zipf = ScrambledZipf::new(N, 7);
+    let probes: Vec<f64> = (0..4096).map(|_| lon[zipf.next_rank()]).collect();
+
+    let mut i = 0;
+    group.bench_function("longitudes/ALEX-GA-SRMI", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4095;
+            black_box(alex.get(&probes[i]))
+        })
+    });
+    group.bench_function("longitudes/B+Tree", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4095;
+            black_box(btree.get(&probes[i]))
+        })
+    });
+    group.bench_function("longitudes/LearnedIndex", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4095;
+            black_box(li.get(&probes[i]))
+        })
+    });
+
+    // YCSB (u64 keys).
+    let ycsb = sorted(ycsb_keys(N, 42));
+    let ycsb_data: Vec<(u64, u64)> = ycsb.iter().map(|&k| (k, 0)).collect();
+    let alex_y = AlexIndex::bulk_load(&ycsb_data, AlexConfig::ga_srmi(N / 8192));
+    let btree_y = BPlusTree::bulk_load(&ycsb_data, 128, 128, 0.7);
+    let mut zipf_y = ScrambledZipf::new(N, 7);
+    let probes_y: Vec<u64> = (0..4096).map(|_| ycsb[zipf_y.next_rank()]).collect();
+    group.bench_function("ycsb/ALEX-GA-SRMI", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4095;
+            black_box(alex_y.get(&probes_y[i]))
+        })
+    });
+    group.bench_function("ycsb/B+Tree", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4095;
+            black_box(btree_y.get(&probes_y[i]))
+        })
+    });
+    group.finish();
+}
+
+fn insert_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(10);
+
+    let all = longitudes_keys(N * 2, 42);
+    let (init, inserts) = all.split_at(N);
+    let init_sorted = sorted(init.to_vec());
+    let data: Vec<(f64, u64)> = init_sorted.iter().map(|&k| (k, 0)).collect();
+
+    group.bench_function("longitudes/ALEX-GA-ARMI", |b| {
+        b.iter_batched(
+            || (AlexIndex::bulk_load(&data, AlexConfig::ga_armi()), inserts.iter()),
+            |(mut idx, keys)| {
+                for &k in keys.take(10_000) {
+                    let _ = idx.insert(k, 0);
+                }
+                idx
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("longitudes/B+Tree", |b| {
+        b.iter_batched(
+            || (BPlusTree::bulk_load(&data, 128, 128, 0.7), inserts.iter()),
+            |(mut idx, keys)| {
+                for &k in keys.take(10_000) {
+                    idx.insert(k, 0);
+                }
+                idx
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lookup_benches, insert_benches);
+criterion_main!(benches);

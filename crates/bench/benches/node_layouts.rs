@@ -1,0 +1,55 @@
+//! Criterion microbenchmark behind Figure 8's drilldown: insert cost at
+//! the single-node level for the Gapped Array vs. the PMA layout, on
+//! uniform-random and sequential (adversarial) key streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use alex_core::{GappedNode, NodeParams, PmaNode};
+
+fn node_insert_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node-insert");
+    group.sample_size(10);
+
+    let params = NodeParams::default();
+    let random_keys: Vec<u64> = {
+        let mut x = 0x243F6A8885A308D3u64;
+        (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> 16
+            })
+            .collect()
+    };
+    let sequential_keys: Vec<u64> = (0..20_000).collect();
+
+    for (stream, keys) in [("random", &random_keys), ("sequential", &sequential_keys)] {
+        group.bench_function(format!("gapped/{stream}"), |b| {
+            b.iter_batched(
+                || GappedNode::<u64, u64>::empty(params),
+                |mut node| {
+                    for &k in keys {
+                        let _ = node.insert(k, k);
+                    }
+                    node
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("pma/{stream}"), |b| {
+            b.iter_batched(
+                || PmaNode::<u64, u64>::empty(params),
+                |mut node| {
+                    for &k in keys {
+                        let _ = node.insert(k, k);
+                    }
+                    node
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, node_insert_benches);
+criterion_main!(benches);

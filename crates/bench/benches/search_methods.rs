@@ -1,0 +1,42 @@
+//! Criterion microbenchmark behind Figure 11: exponential search vs.
+//! bounded binary search at controlled prediction-error sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alex_core::search::{bounded_binary_lower_bound, exponential_search_lower_bound};
+use alex_datasets::uniform_dense_keys;
+
+const N: usize = 1_000_000;
+
+fn search_benches(c: &mut Criterion) {
+    let keys = uniform_dense_keys(N);
+    let mut group = c.benchmark_group("search");
+    group.sample_size(30);
+
+    for err in [1usize, 16, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("exponential", err), &err, |b, &err| {
+            let mut pos = 12345usize;
+            b.iter(|| {
+                pos = (pos * 2654435761) % N;
+                let hint = (pos + err).min(N - 1);
+                black_box(exponential_search_lower_bound(&keys, &keys[pos], hint).pos)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bounded-binary-8k", err), &err, |b, &err| {
+            let mut pos = 12345usize;
+            b.iter(|| {
+                pos = (pos * 2654435761) % N;
+                let hint = (pos + err.min(8192)).min(N - 1);
+                black_box(
+                    bounded_binary_lower_bound(&keys, &keys[pos], hint.saturating_sub(8192), hint + 8192)
+                        .pos,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, search_benches);
+criterion_main!(benches);

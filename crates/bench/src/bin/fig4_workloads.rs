@@ -1,0 +1,103 @@
+//! Figure 4 (a–h): throughput and index size for the four YCSB-style
+//! workloads on all four datasets, comparing ALEX, the B+Tree, and (on
+//! read-only) the Learned Index.
+//!
+//! ```sh
+//! cargo run -p alex-bench --release --bin fig4_workloads -- \
+//!     --workload read-heavy --keys 1000000 --ops 500000
+//! ```
+//! `--workload all` runs all four mixes.
+
+use alex_bench::cli::Args;
+use alex_bench::harness::{
+    paper_alex_grid, print_rows, run_alex_grid, run_btree_grid, run_learned_index_grid, split_init,
+};
+use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_OPS, DEFAULT_SEED};
+use alex_core::AlexKey;
+use alex_datasets::{lognormal_keys, longitudes_keys, longlat_keys, ycsb_keys, Dataset, Payload};
+use alex_workloads::WorkloadKind;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("keys", DEFAULT_INIT_KEYS);
+    let ops = args.usize("ops", DEFAULT_OPS);
+    let seed = args.u64("seed", DEFAULT_SEED);
+    let workload = args.string("workload", "all");
+
+    let kinds: Vec<WorkloadKind> = match workload.as_str() {
+        "read-only" => vec![WorkloadKind::ReadOnly],
+        "read-heavy" => vec![WorkloadKind::ReadHeavy],
+        "write-heavy" => vec![WorkloadKind::WriteHeavy],
+        "range-scan" => vec![WorkloadKind::RangeScan],
+        "all" => WorkloadKind::ALL.to_vec(),
+        other => panic!("unknown --workload {other:?}"),
+    };
+
+    for kind in kinds {
+        println!("\n#### Figure 4: {} workload ####", kind.name());
+        for ds in Dataset::ALL {
+            match ds {
+                Dataset::Longitudes => {
+                    bench::<f64, u64>(ds, longitudes_keys(n, seed), kind, ops, |k| k.to_bits())
+                }
+                Dataset::Longlat => {
+                    bench::<f64, u64>(ds, longlat_keys(n, seed), kind, ops, |k| k.to_bits())
+                }
+                Dataset::Lognormal => bench::<u64, u64>(ds, lognormal_keys(n, seed), kind, ops, |&k| k),
+                Dataset::Ycsb => bench::<u64, Payload<80>>(ds, ycsb_keys(n, seed), kind, ops, |&k| {
+                    Payload::from_seed(k)
+                }),
+            }
+        }
+    }
+}
+
+fn bench<K, V>(ds: Dataset, keys: Vec<K>, kind: WorkloadKind, ops: usize, mv: impl Fn(&K) -> V + Copy)
+where
+    K: AlexKey + alex_learned_index::Key,
+    V: Clone + Default,
+{
+    // Read-only initializes with the full dataset; read-write with a
+    // quarter, leaving the rest as the insert stream (Table 1).
+    let total = keys.len();
+    let init = if kind == WorkloadKind::ReadOnly {
+        total
+    } else {
+        total / 4
+    };
+    let (init_keys, inserts) = split_init(keys, init);
+    let data: Vec<(K, V)> = init_keys.iter().map(|k| (*k, mv(k))).collect();
+
+    let mut rows = Vec::new();
+    rows.push(run_alex_grid(
+        &data,
+        &init_keys,
+        &inserts,
+        &paper_alex_grid(kind, init),
+        kind,
+        ops,
+        mv,
+    ));
+    rows.push(run_btree_grid(
+        &data,
+        &init_keys,
+        &inserts,
+        &[64, 128, 256],
+        kind,
+        ops,
+        mv,
+    ));
+    if kind == WorkloadKind::ReadOnly {
+        // Model-count grid, bounded by the paper's reported model sizes.
+        let grid = [init / 10_000, init / 1000, init / 100]
+            .into_iter()
+            .map(|m| m.max(4))
+            .collect::<Vec<_>>();
+        rows.push(run_learned_index_grid::<K, V>(&data, &init_keys, &grid, ops));
+    }
+    print_rows(
+        &format!("{} / {} ({} init keys, {} ops)", ds.name(), kind.name(), init, ops),
+        &rows,
+        "B+Tree",
+    );
+}

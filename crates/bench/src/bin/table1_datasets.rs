@@ -1,0 +1,52 @@
+//! Table 1: dataset characteristics (scaled; see DESIGN.md).
+//!
+//! ```sh
+//! cargo run -p alex-bench --release --bin table1_datasets -- --keys 1000000
+//! ```
+
+use alex_bench::cli::Args;
+use alex_bench::DEFAULT_SEED;
+use alex_datasets::{lognormal_keys, longitudes_keys, longlat_keys, ycsb_keys, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("keys", 200_000);
+    let seed = args.u64("seed", DEFAULT_SEED);
+
+    println!("Table 1: Dataset Characteristics (scaled to {n} keys; paper used 190M-1B)\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>14}",
+        "dataset", "num keys", "key type", "payload", "total MiB", "key range"
+    );
+    for ds in Dataset::ALL {
+        let (min, max, count) = match ds {
+            Dataset::Longitudes => min_max_f64(&longitudes_keys(n, seed)),
+            Dataset::Longlat => min_max_f64(&longlat_keys(n, seed)),
+            Dataset::Lognormal => min_max_u64(&lognormal_keys(n, seed)),
+            Dataset::Ycsb => min_max_u64(&ycsb_keys(n, seed)),
+        };
+        let total_bytes = count * (8 + ds.payload_size());
+        println!(
+            "{:<14} {:>10} {:>12} {:>9}B {:>12.1} {:>14}",
+            ds.name(),
+            count,
+            ds.key_type(),
+            ds.payload_size(),
+            total_bytes as f64 / (1 << 20) as f64,
+            format!("[{min:.3e}, {max:.3e}]"),
+        );
+    }
+    println!("\nread-only init size = full dataset; read-write init size = 1/4 (paper: 50M of 200M)");
+}
+
+fn min_max_f64(keys: &[f64]) -> (f64, f64, usize) {
+    let min = keys.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = keys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min, max, keys.len())
+}
+
+fn min_max_u64(keys: &[u64]) -> (f64, f64, usize) {
+    let min = *keys.iter().min().expect("non-empty") as f64;
+    let max = *keys.iter().max().expect("non-empty") as f64;
+    (min, max, keys.len())
+}

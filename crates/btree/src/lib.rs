@@ -1,0 +1,29 @@
+//! An in-memory B+Tree baseline, standing in for the STX B+Tree that the
+//! ALEX paper benchmarks against (§5.1, reference [3]).
+//!
+//! The tree keeps all values in sorted leaves linked into a chain for
+//! range scans; inner nodes store separator keys and child pointers.
+//! Nodes live in index-based arenas (no unsafe, no pointer chasing across
+//! allocations). Leaf and inner capacities are tunable, mirroring the
+//! paper's grid search over STX page sizes.
+//!
+//! Size accounting follows §5.1 of the paper: *index size* is the sum of
+//! the sizes of all inner nodes, *data size* the sum of all leaf nodes.
+//!
+//! # Examples
+//! ```
+//! use alex_btree::BPlusTree;
+//!
+//! let mut tree = BPlusTree::new(64, 64);
+//! for k in 0..1000u64 {
+//!     tree.insert(k, k * 2);
+//! }
+//! assert_eq!(tree.get(&500), Some(&1000));
+//! let scan: Vec<(u64, u64)> = tree.range_from(&995, 10).map(|(k, v)| (*k, *v)).collect();
+//! assert_eq!(scan.len(), 5);
+//! ```
+
+mod node;
+mod tree;
+
+pub use tree::{BPlusTree, RangeFrom};

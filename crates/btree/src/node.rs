@@ -1,0 +1,43 @@
+//! Arena node types for the B+Tree.
+
+/// Reference to a node in one of the two arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeRef {
+    Inner(u32),
+    Leaf(u32),
+}
+
+/// An inner node: `children.len() == keys.len() + 1`, and `keys[i]` is
+/// the smallest key reachable under `children[i + 1]`.
+#[derive(Debug, Clone)]
+pub(crate) struct InnerNode<K> {
+    pub keys: Vec<K>,
+    pub children: Vec<NodeRef>,
+}
+
+impl<K: PartialOrd> InnerNode<K> {
+    /// Index of the child to descend into for `key`.
+    #[inline]
+    pub fn child_for(&self, key: &K) -> usize {
+        self.keys.partition_point(|k| k <= key)
+    }
+}
+
+/// A leaf node: parallel sorted key/value arrays plus a link to the next
+/// leaf in key order.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafNode<K, V> {
+    pub keys: Vec<K>,
+    pub values: Vec<V>,
+    pub next: Option<u32>,
+}
+
+impl<K, V> LeafNode<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            keys: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+            next: None,
+        }
+    }
+}

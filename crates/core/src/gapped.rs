@@ -1,0 +1,455 @@
+//! The Gapped Array (GA) data node (§3.3.1, Algorithm 1).
+//!
+//! Model-based inserts place each key at the slot its linear model
+//! predicts, leaving the gaps "naturally" distributed where the model
+//! expects future keys. When density crosses the upper limit `d` the
+//! node expands by `1/d` (bringing density back to `d²`), retrains its
+//! model, and re-inserts every key model-based (Algorithm 3).
+
+use crate::config::{NodeParams, Placement};
+use crate::key::AlexKey;
+use crate::model::LinearModel;
+use crate::slots::{InsertPlan, SlotArray};
+use crate::stats::{ReadStats, WriteStats};
+
+/// Outcome of a data-node insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Inserted; `shifts` elements were moved to make room.
+    Inserted { shifts: u64 },
+    /// The key was already present; nothing changed.
+    Duplicate,
+}
+
+/// A gapped-array leaf node.
+#[derive(Debug, Clone)]
+pub struct GappedNode<K, V> {
+    pub(crate) slots: SlotArray<K, V>,
+    pub(crate) model: LinearModel,
+    params: NodeParams,
+    pub(crate) writes: WriteStats,
+    pub(crate) reads: ReadStats,
+}
+
+impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
+    /// Minimum slot capacity of any node.
+    const MIN_CAPACITY: usize = 8;
+
+    /// An empty node ("cold start", §3.3.3).
+    pub fn empty(params: NodeParams) -> Self {
+        Self {
+            slots: SlotArray::empty(Self::MIN_CAPACITY),
+            model: LinearModel::default(),
+            params,
+            writes: WriteStats::default(),
+            reads: ReadStats::default(),
+        }
+    }
+
+    /// Bulk-load from sorted pairs: allocate `n / d²` slots (§3.3.1:
+    /// expansion factor `c = 1/d²`), train the model, and model-based
+    /// insert every key.
+    pub fn bulk_load(pairs: &[(K, V)], params: NodeParams) -> Self {
+        let n = pairs.len();
+        let capacity = Self::capacity_for(n, &params);
+        let (model, slots) = Self::train_and_place(pairs, capacity, params.placement);
+        Self {
+            slots,
+            model,
+            params,
+            writes: WriteStats::default(),
+            reads: ReadStats::default(),
+        }
+    }
+
+    fn capacity_for(n: usize, params: &NodeParams) -> usize {
+        ((n as f64 / params.init_density).ceil() as usize).max(Self::MIN_CAPACITY)
+    }
+
+    fn train_and_place(
+        pairs: &[(K, V)],
+        capacity: usize,
+        placement: Placement,
+    ) -> (LinearModel, SlotArray<K, V>) {
+        let n = pairs.len();
+        let base = LinearModel::fit(pairs.iter().enumerate().map(|(i, p)| (p.0.as_f64(), i as f64)));
+        let model = if n == 0 {
+            base
+        } else {
+            base.scaled(capacity as f64 / n as f64)
+        };
+        let slots = match placement {
+            Placement::ModelBased => SlotArray::rebuild_model_based(pairs, capacity, &model),
+            Placement::Uniform => SlotArray::rebuild_uniform(pairs, capacity),
+        };
+        (model, slots)
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.slots.num_keys
+    }
+
+    /// Slot capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Current density (`num_keys / capacity`).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.slots.density()
+    }
+
+    /// Whether the node models lookups (below the threshold it binary
+    /// searches, §3.3.3).
+    #[inline]
+    fn uses_model(&self) -> bool {
+        self.slots.num_keys >= self.params.min_model_keys
+    }
+
+    /// Model-predicted slot for `key`.
+    #[inline]
+    pub fn predict(&self, key: &K) -> usize {
+        if self.uses_model() {
+            self.model.predict_clamped(key.as_f64(), self.capacity())
+        } else {
+            // Cold start: binary search (hint = middle is equivalent).
+            self.capacity() / 2
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let hint = self.predict(key);
+        let (slot, comparisons) = self.slots.find_key(key, hint);
+        self.reads.record(comparisons, slot == Some(hint));
+        slot.map(|s| &self.slots.values[s])
+    }
+
+    /// Look up `key` mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let hint = self.predict(key);
+        let (slot, comparisons) = self.slots.find_key(key, hint);
+        self.reads.record(comparisons, slot == Some(hint));
+        slot.map(|s| &mut self.slots.values[s])
+    }
+
+    /// First occupied slot with key `>= key` (for range scans). Returns
+    /// the slot index, or `capacity()` if none.
+    pub fn lower_bound_slot(&self, key: &K) -> usize {
+        let r = self.slots.lower_bound(key, self.predict(key));
+        self.slots
+            .bitmap
+            .next_occupied(r.pos)
+            .unwrap_or(self.capacity())
+    }
+
+    /// Visit up to `limit` occupied entries starting at `slot` in key
+    /// order; returns the number visited.
+    pub fn scan_from_slot(&self, slot: usize, limit: usize, f: &mut impl FnMut(&K, &V)) -> usize {
+        self.slots.scan_from(slot, limit, f)
+    }
+
+    /// Entry at an occupied slot.
+    #[inline]
+    pub(crate) fn entry_at(&self, slot: usize) -> (&K, &V) {
+        debug_assert!(self.slots.is_occupied(slot));
+        (&self.slots.keys[slot], &self.slots.values[slot])
+    }
+
+    /// Next occupied slot strictly after `slot`.
+    #[inline]
+    pub(crate) fn next_occupied_after(&self, slot: usize) -> Option<usize> {
+        self.slots.bitmap.next_occupied(slot + 1)
+    }
+
+    /// First occupied slot.
+    #[inline]
+    pub(crate) fn first_occupied(&self) -> Option<usize> {
+        self.slots.bitmap.next_occupied(0)
+    }
+
+    /// Insert, expanding first if the insert would cross the upper
+    /// density limit `d` (Algorithm 1).
+    pub fn insert(&mut self, key: K, value: V) -> InsertOutcome {
+        if (self.slots.num_keys + 1) as f64 / self.capacity() as f64 > self.params.upper_density {
+            self.expand();
+        }
+        let (plan, _) = self.slots.plan_insert(&key, self.predict(&key));
+        let outcome = match plan {
+            InsertPlan::Duplicate(_) => return InsertOutcome::Duplicate,
+            InsertPlan::IntoGap { preferred } => {
+                self.slots.insert_into_gap(preferred, key, value);
+                InsertOutcome::Inserted { shifts: 0 }
+            }
+            InsertPlan::NeedsShift { at } => {
+                let cap = self.capacity();
+                let shifts = self
+                    .slots
+                    .shift_insert(at, key, value, 0..cap)
+                    .expect("density limit guarantees a free slot");
+                self.writes.shifts += shifts;
+                InsertOutcome::Inserted { shifts }
+            }
+        };
+        self.writes.inserts += 1;
+        outcome
+    }
+
+    /// Remove `key`, returning its value. The slot becomes a gap; the
+    /// node contracts when density falls below the lower limit.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (slot, _) = self.slots.find_key(key, self.predict(key));
+        let v = self.slots.remove_at(slot?);
+        self.writes.deletes += 1;
+        if self.capacity() > Self::MIN_CAPACITY && self.density() < self.params.lower_density {
+            self.contract();
+        }
+        Some(v)
+    }
+
+    /// Expand by `1/d` and re-insert model-based (Algorithm 3).
+    pub fn expand(&mut self) {
+        let new_capacity = ((self.capacity() as f64 / self.params.upper_density).ceil() as usize)
+            .max(self.slots.num_keys + 1)
+            .max(Self::MIN_CAPACITY);
+        self.rebuild(new_capacity);
+        self.writes.expansions += 1;
+    }
+
+    /// Shrink back to the bulk-load density.
+    fn contract(&mut self) {
+        let new_capacity = Self::capacity_for(self.slots.num_keys, &self.params);
+        if new_capacity < self.capacity() {
+            self.rebuild(new_capacity);
+            self.writes.contractions += 1;
+        }
+    }
+
+    fn rebuild(&mut self, capacity: usize) {
+        let pairs = self.slots.to_pairs();
+        let (model, slots) = Self::train_and_place(&pairs, capacity, self.params.placement);
+        self.model = model;
+        self.slots = slots;
+        self.writes.retrains += 1;
+    }
+
+    /// All pairs in key order.
+    pub fn to_pairs(&self) -> Vec<(K, V)> {
+        self.slots.to_pairs()
+    }
+
+    /// |predicted − actual| for every stored key (Figure 7).
+    pub fn prediction_errors(&self) -> Vec<usize> {
+        let mut errs = Vec::with_capacity(self.slots.num_keys);
+        let mut slot = self.slots.bitmap.next_occupied(0);
+        while let Some(s) = slot {
+            let predicted = self.model.predict_clamped(self.slots.keys[s].as_f64(), self.capacity());
+            errs.push(predicted.abs_diff(s));
+            slot = self.slots.bitmap.next_occupied(s + 1);
+        }
+        errs
+    }
+
+    /// Data bytes (arrays incl. gaps + bitmap).
+    pub fn data_size_bytes(&self) -> usize {
+        self.slots.size_bytes()
+    }
+
+    /// Write-side counters.
+    pub fn write_stats(&self) -> &WriteStats {
+        &self.writes
+    }
+
+    /// Read-side counters.
+    pub fn read_stats(&self) -> &ReadStats {
+        &self.reads
+    }
+
+    #[cfg(any(test, debug_assertions))]
+    #[allow(dead_code)] // exercised by unit, integration, and property tests
+    pub(crate) fn debug_assert_invariants(&self) {
+        self.slots.debug_assert_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> NodeParams {
+        NodeParams::default()
+    }
+
+    fn sorted_pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|k| (k * stride, k)).collect()
+    }
+
+    #[test]
+    fn bulk_load_and_get() {
+        let node = GappedNode::bulk_load(&sorted_pairs(1000, 3), params());
+        assert_eq!(node.num_keys(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(node.get(&(k * 3)), Some(&k));
+        }
+        assert_eq!(node.get(&1), None);
+        node.debug_assert_invariants();
+    }
+
+    #[test]
+    fn bulk_load_density_matches_config() {
+        let node = GappedNode::bulk_load(&sorted_pairs(1000, 1), params());
+        let d = node.density();
+        assert!(
+            (d - params().init_density).abs() < 0.05,
+            "density {d} should be near {}",
+            params().init_density
+        );
+    }
+
+    #[test]
+    fn model_based_load_gives_direct_hits_on_linear_data() {
+        let node = GappedNode::bulk_load(&sorted_pairs(1000, 7), params());
+        let errs = node.prediction_errors();
+        let zero = errs.iter().filter(|&&e| e == 0).count();
+        assert!(
+            zero as f64 > 0.9 * errs.len() as f64,
+            "expected mostly direct hits on linear data, got {zero}/{}",
+            errs.len()
+        );
+    }
+
+    #[test]
+    fn empty_node_cold_start() {
+        let mut node: GappedNode<u64, u64> = GappedNode::empty(params());
+        assert_eq!(node.num_keys(), 0);
+        assert_eq!(node.get(&5), None);
+        for k in [5u64, 3, 9, 1, 7] {
+            assert!(matches!(node.insert(k, k), InsertOutcome::Inserted { .. }));
+        }
+        // Below min_model_keys the node still answers correctly.
+        for k in [1u64, 3, 5, 7, 9] {
+            assert_eq!(node.get(&k), Some(&k));
+        }
+        node.debug_assert_invariants();
+    }
+
+    #[test]
+    fn inserts_trigger_expansion() {
+        let mut node: GappedNode<u64, u64> = GappedNode::empty(params());
+        for k in 0..5000u64 {
+            node.insert(k.wrapping_mul(2654435761) % 100_000, k);
+        }
+        assert!(node.write_stats().expansions > 0);
+        assert!(node.density() <= node.params.upper_density + 1e-9);
+        node.debug_assert_invariants();
+    }
+
+    #[test]
+    fn insert_then_get_random_order() {
+        let mut node: GappedNode<u64, u64> = GappedNode::empty(params());
+        let mut x: u64 = 12345;
+        let mut keys = Vec::new();
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x >> 20;
+            if let InsertOutcome::Inserted { .. } = node.insert(k, k) {
+                keys.push(k);
+            }
+        }
+        assert_eq!(node.num_keys(), keys.len());
+        for &k in &keys {
+            assert_eq!(node.get(&k), Some(&k), "missing {k}");
+        }
+        node.debug_assert_invariants();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut node = GappedNode::bulk_load(&sorted_pairs(100, 1), params());
+        assert_eq!(node.insert(50, 999), InsertOutcome::Duplicate);
+        assert_eq!(node.get(&50), Some(&50));
+        assert_eq!(node.num_keys(), 100);
+    }
+
+    #[test]
+    fn remove_and_contract() {
+        let mut node = GappedNode::bulk_load(&sorted_pairs(1000, 1), params());
+        let cap_before = node.capacity();
+        for k in 0..900u64 {
+            assert_eq!(node.remove(&k), Some(k));
+        }
+        assert_eq!(node.num_keys(), 100);
+        assert!(node.capacity() < cap_before, "node should contract");
+        for k in 900..1000u64 {
+            assert_eq!(node.get(&k), Some(&k));
+        }
+        assert_eq!(node.remove(&5), None);
+        node.debug_assert_invariants();
+    }
+
+    #[test]
+    fn mixed_insert_delete_cycle() {
+        let mut node: GappedNode<u64, u64> = GappedNode::empty(params());
+        for round in 0..5u64 {
+            for k in 0..500u64 {
+                node.insert(k * 10 + round, k);
+            }
+            for k in 0..250u64 {
+                assert!(node.remove(&(k * 10 + round)).is_some());
+            }
+            node.debug_assert_invariants();
+        }
+        // 5 rounds x 250 survivors.
+        assert_eq!(node.num_keys(), 1250);
+    }
+
+    #[test]
+    fn get_mut_writes_payload() {
+        let mut node = GappedNode::bulk_load(&sorted_pairs(100, 2), params());
+        *node.get_mut(&10).unwrap() = 777;
+        assert_eq!(node.get(&10), Some(&777));
+    }
+
+    #[test]
+    fn lower_bound_slot_for_scans() {
+        let node = GappedNode::bulk_load(&sorted_pairs(100, 10), params());
+        let slot = node.lower_bound_slot(&55);
+        let (k, _) = node.entry_at(slot);
+        assert_eq!(*k, 60, "first key >= 55 is 60");
+        // Past the end.
+        assert_eq!(node.lower_bound_slot(&100_000), node.capacity());
+    }
+
+    #[test]
+    fn read_stats_count_direct_hits() {
+        let node = GappedNode::bulk_load(&sorted_pairs(1000, 5), params());
+        for k in 0..1000u64 {
+            node.get(&(k * 5));
+        }
+        let stats = node.read_stats();
+        assert_eq!(stats.lookups(), 1000);
+        assert!(
+            stats.direct_hits() > 800,
+            "linear data should be mostly direct hits, got {}",
+            stats.direct_hits()
+        );
+    }
+
+    #[test]
+    fn sequential_inserts_worst_case_still_correct() {
+        // The adversarial pattern of Fig 5c: always inserting a new max.
+        let mut node: GappedNode<u64, u64> = GappedNode::empty(params());
+        for k in 0..2000u64 {
+            node.insert(k, k);
+        }
+        assert_eq!(node.num_keys(), 2000);
+        for k in (0..2000u64).step_by(113) {
+            assert_eq!(node.get(&k), Some(&k));
+        }
+        node.debug_assert_invariants();
+    }
+}

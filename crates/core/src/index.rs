@@ -1,0 +1,978 @@
+//! The ALEX index: an RMI of linear models over flexible data nodes.
+//!
+//! Inner nodes route purely by model prediction (no comparisons until
+//! the leaf, §3.2); leaves are [`DataNode`]s. The RMI is built either
+//! statically (two levels, fixed leaf count) or adaptively
+//! (Algorithm 4), and can optionally split leaves on inserts (§3.4.2).
+
+use core::mem::size_of;
+
+use crate::config::{AlexConfig, RmiMode};
+use crate::data_node::DataNode;
+use crate::gapped::InsertOutcome;
+use crate::iter::RangeIter;
+use crate::key::AlexKey;
+use crate::model::LinearModel;
+use crate::stats::{SizeReport, WriteStats};
+
+/// Node id in the arena.
+pub(crate) type NodeId = u32;
+
+/// An RMI node: inner model node or leaf data node.
+///
+/// Leaves are much larger than inner nodes, but nodes live in one arena
+/// `Vec` and are never moved after creation, so the size difference
+/// costs only a little slack on inner-node slots.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Node<K, V> {
+    Inner(InnerNode),
+    Leaf(LeafNode<K, V>),
+}
+
+/// An inner node routes a key to `children[model.predict(key)]`.
+/// Adjacent child slots may point to the same node (merged partitions,
+/// Algorithm 4).
+#[derive(Debug, Clone)]
+pub(crate) struct InnerNode {
+    pub model: LinearModel,
+    pub children: Vec<NodeId>,
+}
+
+/// A leaf: a data node plus its position in the doubly-linked leaf
+/// chain used by range scans.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafNode<K, V> {
+    pub data: DataNode<K, V>,
+    pub prev: Option<NodeId>,
+    pub next: Option<NodeId>,
+}
+
+/// An updatable adaptive learned index (the paper's contribution).
+///
+/// # Examples
+/// ```
+/// use alex_core::{AlexConfig, AlexIndex};
+///
+/// let data: Vec<(u64, u64)> = (0..10_000).map(|k| (k * 2, k)).collect();
+/// let mut index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+/// assert_eq!(index.get(&4000), Some(&2000));
+/// index.insert(4001, 99).unwrap();
+/// assert_eq!(index.get(&4001), Some(&99));
+/// let scan: Vec<u64> = index.range_from(&3999, 3).map(|(k, _)| *k).collect();
+/// assert_eq!(scan, vec![4000, 4001, 4002]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlexIndex<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: NodeId,
+    head_leaf: NodeId,
+    config: AlexConfig,
+    len: usize,
+    /// Index-level write counters (splits; node counters are summed on
+    /// demand).
+    splits: u64,
+}
+
+/// Error returned by [`AlexIndex::insert`] on a duplicate key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateKey;
+
+impl core::fmt::Display for DuplicateKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "key already present (ALEX does not support duplicate keys)")
+    }
+}
+
+impl std::error::Error for DuplicateKey {}
+
+impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
+    /// An empty index ("cold start": a single empty data node that
+    /// grows by splitting, §3.4.2).
+    pub fn new(config: AlexConfig) -> Self {
+        let leaf = Node::Leaf(LeafNode {
+            data: DataNode::empty(config.layout, config.node),
+            prev: None,
+            next: None,
+        });
+        Self {
+            nodes: vec![leaf],
+            root: 0,
+            head_leaf: 0,
+            config,
+            len: 0,
+            splits: 0,
+        }
+    }
+
+    /// Bulk-load from sorted, strictly-increasing pairs.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not strictly increasing by
+    /// key.
+    pub fn bulk_load(pairs: &[(K, V)], config: AlexConfig) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load input must be strictly increasing"
+        );
+        let mut index = Self {
+            nodes: Vec::new(),
+            root: 0,
+            head_leaf: 0,
+            config,
+            len: pairs.len(),
+            splits: 0,
+        };
+        index.root = match config.rmi {
+            RmiMode::Static { num_leaf_nodes } => index.build_static(pairs, num_leaf_nodes.max(1)),
+            RmiMode::Adaptive {
+                max_node_keys,
+                inner_fanout,
+                ..
+            } => index.build_adaptive(pairs, max_node_keys.max(64), inner_fanout.max(2), true),
+        };
+        index.link_leaves();
+        index
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configuration this index was built with.
+    #[inline]
+    pub fn config(&self) -> &AlexConfig {
+        &self.config
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        self.leaf(leaf).data.get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Look up `key` and return a mutable reference to its payload
+    /// (payload updates, §3.2).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        match &mut self.nodes[leaf as usize] {
+            Node::Leaf(l) => l.data.get_mut(key),
+            Node::Inner(_) => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Insert a pair. Errors on duplicates (ALEX does not support
+    /// duplicate keys, §7).
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), DuplicateKey> {
+        let leaf = self.find_leaf(&key);
+        if let RmiMode::Adaptive {
+            max_node_keys,
+            split_on_insert: true,
+            split_fanout,
+            ..
+        } = self.config.rmi
+        {
+            if self.leaf(leaf).data.num_keys() + 1 > max_node_keys
+                && self.split_leaf(leaf, split_fanout.max(2))
+            {
+                return self.insert(key, value);
+            }
+        }
+        match self.leaf_mut(leaf).data.insert(key, value) {
+            InsertOutcome::Inserted { .. } => {
+                self.len += 1;
+                Ok(())
+            }
+            InsertOutcome::Duplicate => Err(DuplicateKey),
+        }
+    }
+
+    /// Remove `key`, returning its payload.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        let v = self.leaf_mut(leaf).data.remove(key)?;
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Update the payload of an existing key, returning the old value.
+    pub fn update(&mut self, key: &K, value: V) -> Option<V> {
+        self.get_mut(key).map(|slot| core::mem::replace(slot, value))
+    }
+
+    /// Iterate entries with key `>= key` in order, across leaves, at
+    /// most `limit` of them.
+    pub fn range_from<'a>(&'a self, key: &K, limit: usize) -> RangeIter<'a, K, V> {
+        let leaf = self.find_leaf(key);
+        let slot = self.leaf(leaf).data.lower_bound_slot(key);
+        RangeIter::new(self, leaf, slot, limit)
+    }
+
+    /// Visit up to `limit` entries with key `>= key` in order via a
+    /// callback — the fast path for range scans (avoids per-item
+    /// iterator dispatch; used by the Figure 4d/4h benchmarks). Returns
+    /// the number of entries visited.
+    pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
+        let mut leaf_id = self.find_leaf(key);
+        let mut slot = self.leaf(leaf_id).data.lower_bound_slot(key);
+        let mut visited = 0usize;
+        loop {
+            let leaf = self.leaf(leaf_id);
+            visited += leaf.data.scan_from_slot(slot, limit - visited, &mut f);
+            if visited >= limit {
+                return visited;
+            }
+            match leaf.next {
+                Some(next) => {
+                    leaf_id = next;
+                    slot = 0;
+                }
+                None => return visited,
+            }
+        }
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        let slot = self.leaf(self.head_leaf).data.first_occupied();
+        RangeIter::new(
+            self,
+            self.head_leaf,
+            slot.unwrap_or_else(|| self.leaf(self.head_leaf).data.capacity()),
+            usize::MAX,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Two-level static RMI: a linear root over `num_leaf_nodes` data
+    /// nodes.
+    fn build_static(&mut self, pairs: &[(K, V)], num_leaf_nodes: usize) -> NodeId {
+        let model = root_partition_model(pairs, num_leaf_nodes);
+        let parts = partition_by_model(pairs, &model, num_leaf_nodes);
+        let mut children = Vec::with_capacity(num_leaf_nodes);
+        for range in parts {
+            let id = self.push(Node::Leaf(LeafNode {
+                data: DataNode::bulk_load(&pairs[range], self.config.layout, self.config.node),
+                prev: None,
+                next: None,
+            }));
+            children.push(id);
+        }
+        self.push(Node::Inner(InnerNode { model, children }))
+    }
+
+    /// Adaptive RMI initialization (Algorithm 4).
+    ///
+    /// The root gets `ceil(n / max_node_keys)` partitions (so each holds
+    /// `max_node_keys` in expectation); non-root inner nodes get
+    /// `inner_fanout`. Oversized partitions recurse; undersized adjacent
+    /// partitions merge into shared leaf children.
+    fn build_adaptive(
+        &mut self,
+        pairs: &[(K, V)],
+        max_node_keys: usize,
+        inner_fanout: usize,
+        is_root: bool,
+    ) -> NodeId {
+        let n = pairs.len();
+        if n <= max_node_keys {
+            return self.push(Node::Leaf(LeafNode {
+                data: DataNode::bulk_load(pairs, self.config.layout, self.config.node),
+                prev: None,
+                next: None,
+            }));
+        }
+        let num_partitions = if is_root {
+            n.div_ceil(max_node_keys).max(2)
+        } else {
+            inner_fanout
+        };
+        let model = root_partition_model(pairs, num_partitions);
+        let parts = partition_by_model(pairs, &model, num_partitions);
+        let mut children = Vec::with_capacity(num_partitions);
+        let mut i = 0usize;
+        while i < parts.len() {
+            let part = parts[i].clone();
+            if part.len() > max_node_keys && part.len() < n {
+                let child = self.build_adaptive(&pairs[part], max_node_keys, inner_fanout, false);
+                children.push(child);
+                i += 1;
+            } else if part.len() > max_node_keys {
+                // Degenerate: the linear model routed every key to one
+                // partition, so no linear refinement can make progress.
+                // Accept an oversized leaf rather than recursing forever.
+                let child = self.push(Node::Leaf(LeafNode {
+                    data: DataNode::bulk_load(&pairs[part], self.config.layout, self.config.node),
+                    prev: None,
+                    next: None,
+                }));
+                children.push(child);
+                i += 1;
+            } else {
+                // Merge this partition with subsequent small partitions
+                // until the accumulated size would exceed the bound.
+                let begin = parts[i].start;
+                let mut end = parts[i].end;
+                let mut acc = part.len();
+                let mut j = i + 1;
+                while j < parts.len() && acc + parts[j].len() <= max_node_keys {
+                    acc += parts[j].len();
+                    end = parts[j].end;
+                    j += 1;
+                }
+                let child = self.push(Node::Leaf(LeafNode {
+                    data: DataNode::bulk_load(&pairs[begin..end], self.config.layout, self.config.node),
+                    prev: None,
+                    next: None,
+                }));
+                for _ in i..j {
+                    children.push(child);
+                }
+                i = j;
+            }
+        }
+        self.push(Node::Inner(InnerNode { model, children }))
+    }
+
+    /// Node splitting on inserts (§3.4.2): the leaf's model becomes an
+    /// inner model routing to `fanout` fresh leaves; data is
+    /// redistributed by the original model; no rebalancing. Returns
+    /// `false` when no linear model can separate the keys (the split
+    /// would make no progress).
+    fn split_leaf(&mut self, id: NodeId, fanout: usize) -> bool {
+        let (pairs, old_model, capacity, prev, next) = {
+            let l = self.leaf(id);
+            (
+                l.data.to_pairs(),
+                l.data.model(),
+                l.data.capacity(),
+                l.prev,
+                l.next,
+            )
+        };
+        // Rescale the leaf's slot-space model to child-index space.
+        let scale = fanout as f64 / capacity.max(1) as f64;
+        let mut route = old_model.scaled(scale);
+        let mut parts = partition_by_model(&pairs, &route, fanout);
+        if parts.iter().any(|r| r.len() == pairs.len()) {
+            // The inherited model routes everything to one child; retry
+            // with a freshly fitted partition model before giving up.
+            route = root_partition_model(&pairs, fanout);
+            parts = partition_by_model(&pairs, &route, fanout);
+            if parts.iter().any(|r| r.len() == pairs.len()) {
+                return false;
+            }
+        }
+        let mut children = Vec::with_capacity(fanout);
+        for range in parts {
+            let child = self.push(Node::Leaf(LeafNode {
+                data: DataNode::bulk_load(&pairs[range], self.config.layout, self.config.node),
+                prev: None,
+                next: None,
+            }));
+            children.push(child);
+        }
+        // Splice the new leaves into the chain where the old leaf was.
+        for w in 0..children.len() {
+            let p = if w == 0 { prev } else { Some(children[w - 1]) };
+            let nx = if w == children.len() - 1 {
+                next
+            } else {
+                Some(children[w + 1])
+            };
+            let leaf = self.leaf_mut(children[w]);
+            leaf.prev = p;
+            leaf.next = nx;
+        }
+        if let Some(p) = prev {
+            self.leaf_mut(p).next = Some(children[0]);
+        } else {
+            self.head_leaf = *children.first().expect("fanout >= 2");
+        }
+        if let Some(nx) = next {
+            self.leaf_mut(nx).prev = Some(*children.last().expect("fanout >= 2"));
+        }
+        // The old leaf becomes the routing inner node in place, so all
+        // parent child-pointers stay valid.
+        self.nodes[id as usize] = Node::Inner(InnerNode {
+            model: route,
+            children,
+        });
+        self.splits += 1;
+        true
+    }
+
+    /// Wire the doubly-linked leaf chain in key order after a bulk
+    /// build.
+    fn link_leaves(&mut self) {
+        let mut order = Vec::new();
+        self.collect_leaves(self.root, &mut order);
+        for (i, &id) in order.iter().enumerate() {
+            let prev = (i > 0).then(|| order[i - 1]);
+            let next = order.get(i + 1).copied();
+            let leaf = self.leaf_mut(id);
+            leaf.prev = prev;
+            leaf.next = next;
+        }
+        self.head_leaf = *order.first().expect("at least one leaf");
+    }
+
+    /// In-order leaf ids (children slots may repeat a merged child).
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        match &self.nodes[id as usize] {
+            Node::Leaf(_) => out.push(id),
+            Node::Inner(inner) => {
+                let mut last: Option<NodeId> = None;
+                for &c in &inner.children {
+                    if last != Some(c) {
+                        self.collect_leaves(c, out);
+                        last = Some(c);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal & plumbing
+    // ------------------------------------------------------------------
+
+    /// Descend by model prediction to the leaf owning `key` (§3.2:
+    /// multiplications and additions only, no comparisons).
+    #[inline]
+    pub(crate) fn find_leaf(&self, key: &K) -> NodeId {
+        let x = key.as_f64();
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Inner(inner) => {
+                    let idx = inner.model.predict_clamped(x, inner.children.len());
+                    id = inner.children[idx];
+                }
+                Node::Leaf(_) => return id,
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn leaf(&self, id: NodeId) -> &LeafNode<K, V> {
+        match &self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("expected leaf node"),
+        }
+    }
+
+    #[inline]
+    fn leaf_mut(&mut self, id: NodeId) -> &mut LeafNode<K, V> {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("expected leaf node"),
+        }
+    }
+
+    fn push(&mut self, node: Node<K, V>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Depth of the RMI (0 = root is a leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 0;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Inner(inner) => {
+                    id = inner.children[0];
+                    d += 1;
+                }
+                Node::Leaf(_) => return d,
+            }
+        }
+    }
+
+    /// Number of data (leaf) nodes.
+    pub fn num_data_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf(_))).count()
+    }
+
+    /// Key counts per data node in key order (Figure 12 / Appendix B).
+    pub fn leaf_sizes(&self) -> Vec<usize> {
+        let mut order = Vec::new();
+        self.collect_leaves(self.root, &mut order);
+        order.iter().map(|&id| self.leaf(id).data.num_keys()).collect()
+    }
+
+    /// Aggregated write counters across all data nodes plus index-level
+    /// splits.
+    pub fn write_stats(&self) -> WriteStats {
+        let mut total = WriteStats::default();
+        for node in &self.nodes {
+            if let Node::Leaf(l) = node {
+                total.absorb(l.data.write_stats());
+            }
+        }
+        total.splits += self.splits;
+        total
+    }
+
+    /// Aggregated read counters: `(lookups, comparisons, direct_hits)`.
+    pub fn read_stats(&self) -> (u64, u64, u64) {
+        let mut lookups = 0;
+        let mut comparisons = 0;
+        let mut hits = 0;
+        for node in &self.nodes {
+            if let Node::Leaf(l) = node {
+                let r = l.data.read_stats();
+                lookups += r.lookups();
+                comparisons += r.comparisons();
+                hits += r.direct_hits();
+            }
+        }
+        (lookups, comparisons, hits)
+    }
+
+    /// |predicted − actual| for every stored key (Figure 7).
+    pub fn prediction_errors(&self) -> Vec<usize> {
+        let mut errs = Vec::with_capacity(self.len);
+        for node in &self.nodes {
+            if let Node::Leaf(l) = node {
+                errs.extend(l.data.prediction_errors());
+            }
+        }
+        errs
+    }
+
+    /// Memory accounting per §5.1: index = models + pointers +
+    /// metadata; data = key/payload arrays incl. gaps + bitmaps.
+    pub fn size_report(&self) -> SizeReport {
+        let mut report = SizeReport::default();
+        for node in &self.nodes {
+            match node {
+                Node::Inner(inner) => {
+                    report.num_inner_nodes += 1;
+                    report.index_bytes += 2 * size_of::<f64>()
+                        + inner.children.capacity() * size_of::<NodeId>()
+                        + size_of::<InnerNode>();
+                }
+                Node::Leaf(l) => {
+                    report.num_data_nodes += 1;
+                    // Leaf model + chain pointers.
+                    report.index_bytes += 2 * size_of::<f64>() + 2 * size_of::<Option<NodeId>>();
+                    report.data_bytes += l.data.data_size_bytes();
+                }
+            }
+        }
+        report
+    }
+
+    #[cfg(any(test, debug_assertions))]
+    #[allow(dead_code)] // exercised by unit, integration, and property tests
+    pub(crate) fn debug_assert_invariants(&self) {
+        let mut total = 0;
+        for node in &self.nodes {
+            if let Node::Leaf(l) = node {
+                l.data.debug_assert_invariants();
+                total += l.data.num_keys();
+            }
+        }
+        assert_eq!(total, self.len, "len must equal sum of leaf key counts");
+        // The chain must visit every key in order.
+        let visited: Vec<K> = self.iter().map(|(k, _)| *k).collect();
+        assert_eq!(visited.len(), self.len, "chain must cover all keys");
+        for w in visited.windows(2) {
+            assert!(w[0] < w[1], "chain out of order");
+        }
+    }
+}
+
+/// Fit a root model mapping keys to partition indices `[0, parts)`.
+fn root_partition_model<K: AlexKey, V>(pairs: &[(K, V)], parts: usize) -> LinearModel {
+    let n = pairs.len();
+    if n == 0 {
+        return LinearModel::default();
+    }
+    LinearModel::fit(
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.0.as_f64(), i as f64 * parts as f64 / n as f64)),
+    )
+}
+
+/// Contiguous partition ranges of `pairs` under `model` routing
+/// (`predict_clamped` into `[0, parts)`). Sorted input + clamping make
+/// the ranges contiguous even if the fitted slope is degenerate.
+fn partition_by_model<K: AlexKey, V>(
+    pairs: &[(K, V)],
+    model: &LinearModel,
+    parts: usize,
+) -> Vec<core::ops::Range<usize>> {
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        // End of partition p: first pair routed past p.
+        let end = if p + 1 == parts {
+            pairs.len()
+        } else {
+            start
+                + pairs[start..].partition_point(|(k, _)| model.predict_clamped(k.as_f64(), parts) <= p)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|k| (k * stride, k)).collect()
+    }
+
+    fn all_variants() -> Vec<AlexConfig> {
+        vec![
+            AlexConfig::ga_srmi(32),
+            AlexConfig::ga_armi().with_max_node_keys(512),
+            AlexConfig::pma_srmi(32),
+            AlexConfig::pma_armi().with_max_node_keys(512),
+        ]
+    }
+
+    #[test]
+    fn bulk_load_and_get_all_variants() {
+        let data = pairs(10_000, 3);
+        for cfg in all_variants() {
+            let index = AlexIndex::bulk_load(&data, cfg);
+            assert_eq!(index.len(), 10_000, "{}", cfg.variant_name());
+            for k in (0..10_000u64).step_by(17) {
+                assert_eq!(index.get(&(k * 3)), Some(&k), "{} key {}", cfg.variant_name(), k * 3);
+            }
+            assert_eq!(index.get(&1), None);
+            assert_eq!(index.get(&(3 * 10_000)), None);
+            index.debug_assert_invariants();
+        }
+    }
+
+    #[test]
+    fn armi_respects_max_node_keys_at_init() {
+        let data = pairs(20_000, 1);
+        let cfg = AlexConfig::ga_armi().with_max_node_keys(1000);
+        let index = AlexIndex::bulk_load(&data, cfg);
+        for (i, size) in index.leaf_sizes().iter().enumerate() {
+            assert!(*size <= 1000, "leaf {i} has {size} keys > 1000");
+        }
+        assert!(index.num_data_nodes() >= 20, "uniform data should need >= 20 leaves");
+        index.debug_assert_invariants();
+    }
+
+    #[test]
+    fn srmi_has_exact_leaf_count() {
+        let data = pairs(5000, 7);
+        let index = AlexIndex::bulk_load(&data, AlexConfig::ga_srmi(64));
+        assert_eq!(index.num_data_nodes(), 64);
+        assert_eq!(index.depth(), 1);
+    }
+
+    #[test]
+    fn inserts_all_variants() {
+        let data = pairs(2000, 4);
+        for cfg in all_variants() {
+            let mut index = AlexIndex::bulk_load(&data, cfg);
+            for k in 0..2000u64 {
+                index.insert(k * 4 + 1, k).unwrap_or_else(|_| panic!("{} insert {}", cfg.variant_name(), k * 4 + 1));
+            }
+            assert_eq!(index.len(), 4000);
+            for k in (0..2000u64).step_by(13) {
+                assert_eq!(index.get(&(k * 4 + 1)), Some(&k), "{}", cfg.variant_name());
+                assert_eq!(index.get(&(k * 4)), Some(&k));
+            }
+            index.debug_assert_invariants();
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_errors() {
+        let mut index = AlexIndex::bulk_load(&pairs(100, 2), AlexConfig::ga_armi());
+        assert_eq!(index.insert(10, 999), Err(DuplicateKey));
+        assert_eq!(index.get(&10), Some(&5));
+        assert_eq!(index.len(), 100);
+    }
+
+    #[test]
+    fn cold_start_grows_by_splitting() {
+        let cfg = AlexConfig::ga_armi().with_max_node_keys(256).with_splitting();
+        let mut index: AlexIndex<u64, u64> = AlexIndex::new(cfg);
+        assert!(index.is_empty());
+        for k in 0..5000u64 {
+            index.insert(k.wrapping_mul(2654435761) % 1_000_000, k).ok();
+        }
+        assert!(index.write_stats().splits > 0, "cold start must split");
+        assert!(index.depth() >= 1);
+        for size in index.leaf_sizes() {
+            assert!(size <= 256, "leaf exceeded max after splitting: {size}");
+        }
+        index.debug_assert_invariants();
+    }
+
+    #[test]
+    fn splitting_handles_distribution_shift() {
+        // Initialize on the low half, insert the (disjoint) high half:
+        // the Fig 5b scenario.
+        let low = pairs(2000, 1);
+        let cfg = AlexConfig::ga_armi().with_max_node_keys(512).with_splitting();
+        let mut index = AlexIndex::bulk_load(&low, cfg);
+        for k in 0..4000u64 {
+            index.insert(1_000_000 + k, k).unwrap();
+        }
+        assert_eq!(index.len(), 6000);
+        assert!(index.write_stats().splits > 0);
+        for k in (0..4000u64).step_by(37) {
+            assert_eq!(index.get(&(1_000_000 + k)), Some(&k));
+        }
+        index.debug_assert_invariants();
+    }
+
+    #[test]
+    fn range_scan_within_and_across_leaves() {
+        let data = pairs(10_000, 2);
+        for cfg in all_variants() {
+            let index = AlexIndex::bulk_load(&data, cfg);
+            let got: Vec<u64> = index.range_from(&5000, 100).map(|(k, _)| *k).collect();
+            let expect: Vec<u64> = (2500..2600).map(|k| k * 2).collect();
+            assert_eq!(got, expect, "{}", cfg.variant_name());
+        }
+    }
+
+    #[test]
+    fn range_scan_from_missing_key_and_tail() {
+        let index = AlexIndex::bulk_load(&pairs(1000, 10), AlexConfig::ga_armi());
+        let got: Vec<u64> = index.range_from(&15, 3).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![20, 30, 40]);
+        let tail: Vec<u64> = index.range_from(&9985, 100).map(|(k, _)| *k).collect();
+        assert_eq!(tail, vec![9990]);
+        assert_eq!(index.range_from(&1_000_000, 5).count(), 0);
+    }
+
+    #[test]
+    fn iter_covers_everything_in_order() {
+        let data = pairs(5000, 3);
+        for cfg in all_variants() {
+            let index = AlexIndex::bulk_load(&data, cfg);
+            let keys: Vec<u64> = index.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys.len(), 5000, "{}", cfg.variant_name());
+            assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn remove_and_update() {
+        let mut index = AlexIndex::bulk_load(&pairs(1000, 2), AlexConfig::ga_armi());
+        assert_eq!(index.remove(&500), Some(250));
+        assert_eq!(index.remove(&500), None);
+        assert_eq!(index.len(), 999);
+        assert_eq!(index.get(&500), None);
+        assert_eq!(index.update(&600, 9999), Some(300));
+        assert_eq!(index.get(&600), Some(&9999));
+        assert_eq!(index.update(&601, 1), None);
+        index.debug_assert_invariants();
+    }
+
+    #[test]
+    fn mass_delete_then_reinsert() {
+        let mut index = AlexIndex::bulk_load(&pairs(4000, 1), AlexConfig::pma_armi().with_max_node_keys(512));
+        for k in 0..3000u64 {
+            assert_eq!(index.remove(&k), Some(k));
+        }
+        assert_eq!(index.len(), 1000);
+        for k in 0..3000u64 {
+            index.insert(k, k + 1).unwrap();
+        }
+        assert_eq!(index.len(), 4000);
+        assert_eq!(index.get(&100), Some(&101));
+        assert_eq!(index.get(&3500), Some(&3500));
+        index.debug_assert_invariants();
+    }
+
+    #[test]
+    fn empty_index_operations() {
+        let cfg = AlexConfig::ga_armi();
+        let index: AlexIndex<u64, u64> = AlexIndex::new(cfg);
+        assert_eq!(index.get(&5), None);
+        assert_eq!(index.range_from(&0, 10).count(), 0);
+        assert_eq!(index.iter().count(), 0);
+        let empty_bulk: AlexIndex<u64, u64> = AlexIndex::bulk_load(&[], cfg);
+        assert_eq!(empty_bulk.get(&5), None);
+        assert_eq!(empty_bulk.iter().count(), 0);
+    }
+
+    #[test]
+    fn float_keys_roundtrip() {
+        let data: Vec<(f64, u64)> = (0..5000u64).map(|k| (k as f64 * 0.25 - 300.0, k)).collect();
+        let mut index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi().with_max_node_keys(512));
+        for k in (0..5000u64).step_by(43) {
+            assert_eq!(index.get(&(k as f64 * 0.25 - 300.0)), Some(&k));
+        }
+        index.insert(-1000.5, 7).unwrap();
+        assert_eq!(index.get(&(-1000.5)), Some(&7));
+        let first: Vec<u64> = index.range_from(&f64::NEG_INFINITY, 2).map(|(_, v)| *v).collect();
+        assert_eq!(first, vec![7, 0]);
+    }
+
+    #[test]
+    fn size_report_sane() {
+        let data = pairs(50_000, 1);
+        let index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi().with_max_node_keys(4096));
+        let r = index.size_report();
+        assert!(r.index_bytes > 0);
+        assert!(r.data_bytes > 50_000 * 16, "data must hold all keys+values");
+        assert!(
+            r.index_bytes < r.data_bytes / 10,
+            "index ({}) should be far smaller than data ({})",
+            r.index_bytes,
+            r.data_bytes
+        );
+        assert_eq!(r.num_data_nodes, index.num_data_nodes());
+    }
+
+    #[test]
+    fn prediction_errors_small_on_linear_data() {
+        let index = AlexIndex::bulk_load(&pairs(20_000, 5), AlexConfig::ga_armi().with_max_node_keys(2048));
+        let errs = index.prediction_errors();
+        assert_eq!(errs.len(), 20_000);
+        let zero = errs.iter().filter(|&&e| e == 0).count();
+        assert!(zero as f64 > 0.9 * errs.len() as f64, "{zero}/20000 direct placements");
+    }
+
+    #[test]
+    fn read_stats_aggregate() {
+        let index = AlexIndex::bulk_load(&pairs(1000, 3), AlexConfig::ga_srmi(8));
+        for k in 0..1000u64 {
+            index.get(&(k * 3));
+        }
+        let (lookups, comparisons, hits) = index.read_stats();
+        assert_eq!(lookups, 1000);
+        assert!(comparisons > 0);
+        assert!(hits > 500, "linear data should yield many direct hits, got {hits}");
+    }
+
+    #[test]
+    fn sequential_inserts_pma_armi_survives() {
+        // Fig 5c's adversarial pattern, small scale.
+        let cfg = AlexConfig::pma_armi().with_max_node_keys(512).with_splitting();
+        let mut index: AlexIndex<u64, u64> = AlexIndex::new(cfg);
+        for k in 0..10_000u64 {
+            index.insert(k, k).unwrap();
+        }
+        assert_eq!(index.len(), 10_000);
+        for k in (0..10_000u64).step_by(997) {
+            assert_eq!(index.get(&k), Some(&k));
+        }
+        index.debug_assert_invariants();
+    }
+
+    #[test]
+    fn skewed_lognormal_like_data() {
+        // Heavy skew: many small keys, few huge ones.
+        let mut keys: Vec<u64> = (0..5000u64).map(|i| i * i * i).collect();
+        keys.dedup();
+        let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        for cfg in [AlexConfig::ga_armi().with_max_node_keys(512), AlexConfig::ga_srmi(64)] {
+            let index = AlexIndex::bulk_load(&data, cfg);
+            for (k, v) in data.iter().step_by(31) {
+                assert_eq!(index.get(k), Some(v), "{}", cfg.variant_name());
+            }
+            index.debug_assert_invariants();
+        }
+    }
+
+    #[test]
+    fn uniform_placement_ablation_still_correct_but_less_direct() {
+        // Non-linear key spacing: with uniform spreading the linear
+        // model mispredicts, while model-based placement puts each key
+        // where its (imperfect) model says.
+        let data: Vec<(u64, u64)> = (0..20_000u64).map(|k| (k * k / 16 + k, k)).collect();
+        let model_based = AlexIndex::bulk_load(&data, AlexConfig::ga_armi().with_max_node_keys(2048));
+        let uniform = AlexIndex::bulk_load(
+            &data,
+            AlexConfig::ga_armi().with_max_node_keys(2048).without_model_based_inserts(),
+        );
+        // Both answer correctly…
+        for (k, v) in data.iter().step_by(97) {
+            assert_eq!(uniform.get(k), Some(v));
+            assert_eq!(model_based.get(k), Some(v));
+        }
+        // …but model-based placement has far lower prediction error
+        // (the §3.2 claim this ablation isolates).
+        let mb_zero = model_based.prediction_errors().iter().filter(|&&e| e == 0).count();
+        let un_zero = uniform.prediction_errors().iter().filter(|&&e| e == 0).count();
+        assert!(
+            mb_zero > un_zero * 2,
+            "model-based zero-error keys {mb_zero} should dwarf uniform's {un_zero}"
+        );
+    }
+
+    #[test]
+    fn scan_from_agrees_with_range_from() {
+        let data = pairs(5000, 3);
+        for cfg in all_variants() {
+            let mut index = AlexIndex::bulk_load(&data, cfg);
+            // Punch some holes so the scan must skip gaps.
+            for k in (0..5000u64).step_by(5) {
+                index.remove(&(k * 3));
+            }
+            for start in [0u64, 1, 299, 7500, 14999, 20000] {
+                for limit in [0usize, 1, 10, 100] {
+                    let via_iter: Vec<u64> = index.range_from(&start, limit).map(|(k, _)| *k).collect();
+                    let mut via_scan = Vec::new();
+                    let visited = index.scan_from(&start, limit, |k, _| via_scan.push(*k));
+                    assert_eq!(via_scan, via_iter, "{} start={start} limit={limit}", cfg.variant_name());
+                    assert_eq!(visited, via_iter.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_key() {
+        let index = AlexIndex::bulk_load(&pairs(100, 2), AlexConfig::ga_armi());
+        assert!(index.contains_key(&0));
+        assert!(index.contains_key(&198));
+        assert!(!index.contains_key(&199));
+    }
+
+    #[test]
+    fn pma_layout_with_static_rmi_inserts() {
+        let mut index = AlexIndex::bulk_load(&pairs(2000, 2), AlexConfig::pma_srmi(16));
+        for k in 0..2000u64 {
+            index.insert(k * 2 + 1, k).unwrap();
+        }
+        assert_eq!(index.len(), 4000);
+        let keys: Vec<u64> = index.iter().map(|(k, _)| *k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        index.debug_assert_invariants();
+    }
+}

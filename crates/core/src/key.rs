@@ -1,0 +1,80 @@
+//! The key trait for ALEX indexes.
+
+/// Keys storable in an ALEX index.
+///
+/// Requirements mirror the paper's evaluation (8-byte doubles and 64-bit
+/// integers): totally ordered `Copy` values convertible to `f64` for
+/// linear-model training, with a maximum sentinel used to fill trailing
+/// gap slots.
+///
+/// # Contract
+/// - `as_f64` must be monotone non-decreasing in the key order.
+/// - `MAX_KEY` must compare `>=` every key ever inserted; inserting
+///   `MAX_KEY` itself is not supported.
+/// - Keys must not be NaN.
+pub trait AlexKey: Copy + PartialOrd + PartialEq + Default + core::fmt::Debug {
+    /// Sentinel used for trailing gap slots; must be `>=` all real keys.
+    const MAX_KEY: Self;
+
+    /// The key as an `f64` model input. For 64-bit integers this loses
+    /// precision beyond 2⁵³, which only perturbs *predictions* — search
+    /// correctness never depends on the conversion.
+    fn as_f64(self) -> f64;
+}
+
+impl AlexKey for f64 {
+    const MAX_KEY: Self = f64::INFINITY;
+
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self
+    }
+}
+
+impl AlexKey for u64 {
+    const MAX_KEY: Self = u64::MAX;
+
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl AlexKey for i64 {
+    const MAX_KEY: Self = i64::MAX;
+
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl AlexKey for u32 {
+    const MAX_KEY: Self = u32::MAX;
+
+    #[inline]
+    fn as_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_key_dominates() {
+        assert_eq!(f64::MAX_KEY, f64::INFINITY);
+        assert_eq!(u64::MAX_KEY, u64::MAX);
+        assert_eq!(i64::MAX_KEY, i64::MAX);
+        assert_eq!(u32::MAX_KEY, u32::MAX);
+    }
+
+    #[test]
+    fn as_f64_monotone() {
+        let keys = [-100i64, -1, 0, 1, 1000];
+        for w in keys.windows(2) {
+            assert!(w[0].as_f64() < w[1].as_f64());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # ALEX: An Updatable Adaptive Learned Index
+//!
+//! A from-scratch Rust implementation of Ding et al., *ALEX: An
+//! Updatable Adaptive Learned Index* (SIGMOD 2020). ALEX is an
+//! in-memory, updatable learned range index: a recursive model index
+//! (RMI) of linear regression models routes each key — by arithmetic
+//! alone, no comparisons — to a leaf *data node* that stores keys in a
+//! gapped array, places them where the model predicts (*model-based
+//! inserts*), and finds them again with exponential search from the
+//! predicted slot.
+//!
+//! The two design dimensions of §3 are both implemented:
+//!
+//! - **Flexible node layout** (§3.3): [`config::NodeLayout::Gapped`]
+//!   (Gapped Array — fastest lookups) or [`config::NodeLayout::Pma`]
+//!   (Packed Memory Array — bounded worst-case inserts).
+//! - **Static vs. adaptive RMI** (§3.4): [`config::RmiMode::Static`]
+//!   (two levels, fixed leaf count) or [`config::RmiMode::Adaptive`]
+//!   (Algorithm 4 initialization, optional node splitting on inserts).
+//!
+//! yielding the paper's four variants: ALEX-GA-SRMI, ALEX-GA-ARMI,
+//! ALEX-PMA-SRMI, ALEX-PMA-ARMI ([`AlexConfig`] has a constructor for
+//! each).
+//!
+//! ## Quickstart
+//! ```
+//! use alex_core::{AlexConfig, AlexIndex};
+//!
+//! // Bulk-load sorted (key, payload) pairs.
+//! let data: Vec<(f64, u64)> = (0..1000).map(|i| (i as f64 * 0.5, i)).collect();
+//! let mut index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+//!
+//! assert_eq!(index.get(&250.0), Some(&500));
+//! index.insert(250.25, 9999).unwrap();
+//! assert_eq!(index.remove(&250.25), Some(9999));
+//!
+//! // Range scans skip gaps via the per-node bitmap.
+//! let first_five: Vec<u64> = index.range_from(&0.0, 5).map(|(_, v)| *v).collect();
+//! assert_eq!(first_five, vec![0, 1, 2, 3, 4]);
+//! ```
+//!
+//! ## Crate layout
+//! - [`index`] / [`AlexIndex`] — the public index.
+//! - [`gapped`] / [`pma_node`] — the two data-node layouts.
+//! - [`model`], [`search`], [`bitmap`] — the primitives (linear models,
+//!   exponential search, occupancy bitmaps).
+//! - [`analysis`] — the direct-hit bounds of §4 (Theorems 1–3).
+//! - [`stats`] — the instrumentation behind the paper's drilldown
+//!   figures (prediction error, shifts per insert, sizes).
+
+pub mod analysis;
+pub mod bitmap;
+pub mod config;
+pub mod data_node;
+pub mod gapped;
+pub mod index;
+pub mod iter;
+pub mod key;
+pub mod model;
+pub mod pma_node;
+pub mod search;
+pub mod stats;
+
+mod slots;
+
+pub use config::{AlexConfig, NodeLayout, NodeParams, Placement, RmiMode};
+pub use gapped::{GappedNode, InsertOutcome};
+pub use index::{AlexIndex, DuplicateKey};
+pub use iter::RangeIter;
+pub use key::AlexKey;
+pub use model::LinearModel;
+pub use pma_node::PmaNode;
+pub use stats::{ReadStats, SizeReport, WriteStats};

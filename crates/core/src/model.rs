@@ -1,0 +1,137 @@
+//! Linear regression models — the only model class ALEX uses (§7: "We
+//! found linear regression models to strike the right balance between
+//! computation overhead vs. prediction accuracy").
+
+use crate::key::AlexKey;
+
+/// `y = slope · x + intercept`, fit by ordinary least squares.
+///
+/// Training is `O(n)` with a single pass, which is what makes ALEX's
+/// per-node retraining on expansion cheap (§3.3.1: "Retraining
+/// efficiency is one reason why we propose to use linear models").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinearModel {
+    /// Slope `a`.
+    pub slope: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Fit by OLS over `(x, y)` samples. Degenerate inputs (no samples,
+    /// or all-equal x) produce a constant model predicting the mean y.
+    pub fn fit(samples: impl Iterator<Item = (f64, f64)>) -> Self {
+        let mut n = 0f64;
+        let mut sx = 0f64;
+        let mut sy = 0f64;
+        let mut sxx = 0f64;
+        let mut sxy = 0f64;
+        for (x, y) in samples {
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        if n == 0.0 {
+            return Self::default();
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON * n * sxx.abs().max(1.0) {
+            return Self {
+                slope: 0.0,
+                intercept: sy / n,
+            };
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Self { slope, intercept }
+    }
+
+    /// Fit `key -> rank` over a sorted key slice.
+    pub fn fit_keys<K: AlexKey>(keys: &[K]) -> Self {
+        Self::fit(keys.iter().enumerate().map(|(i, k)| (k.as_f64(), i as f64)))
+    }
+
+    /// Raw (unclamped, unrounded) prediction.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Prediction rounded down and clamped to `[0, len)` (`0` when
+    /// `len == 0`).
+    #[inline]
+    pub fn predict_clamped(&self, x: f64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let p = self.predict(x);
+        if p.is_nan() || p < 0.0 {
+            0
+        } else {
+            (p as usize).min(len - 1)
+        }
+    }
+
+    /// Scale predictions by `factor` — Algorithm 3's
+    /// `model *= expansion_factor`, mapping rank space onto a stretched
+    /// array.
+    #[inline]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            slope: self.slope * factor,
+            intercept: self.intercept * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let m = LinearModel::fit((0..100).map(|i| (i as f64, 2.0 * i as f64 - 5.0)));
+        assert!((m.slope - 2.0).abs() < 1e-9);
+        assert!((m.intercept + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_keys_predicts_ranks() {
+        let keys: Vec<u64> = (0..256).map(|i| i * 4 + 100).collect();
+        let m = LinearModel::fit_keys(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.predict_clamped(k.as_f64(), keys.len()), i);
+        }
+    }
+
+    #[test]
+    fn degenerate_fits() {
+        assert_eq!(LinearModel::fit(core::iter::empty()), LinearModel::default());
+        let m = LinearModel::fit([(1.0, 4.0), (1.0, 6.0)].into_iter());
+        assert_eq!(m.slope, 0.0);
+        assert!((m.intercept - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping() {
+        let m = LinearModel {
+            slope: 10.0,
+            intercept: -50.0,
+        };
+        assert_eq!(m.predict_clamped(0.0, 10), 0);
+        assert_eq!(m.predict_clamped(100.0, 10), 9);
+        assert_eq!(m.predict_clamped(5.3, 0), 0);
+    }
+
+    #[test]
+    fn scaling_composes() {
+        let m = LinearModel {
+            slope: 1.0,
+            intercept: 2.0,
+        };
+        let s = m.scaled(3.0);
+        assert!((s.predict(7.0) - 3.0 * m.predict(7.0)).abs() < 1e-12);
+    }
+}

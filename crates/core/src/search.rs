@@ -1,0 +1,288 @@
+//! Search-within-node primitives: exponential search from a predicted
+//! position (ALEX's choice, §3.2) and bounded binary search (the
+//! Learned Index's choice), both over the gap-filled sorted key array.
+//!
+//! Both return a *lower bound*: the first slot whose key is `>=` the
+//! target. Because data nodes keep their key arrays non-decreasing even
+//! across gaps (gap slots duplicate the nearest key to the right), these
+//! primitives need no occupancy information.
+
+/// Result of a search: the lower-bound slot plus the number of key
+/// comparisons performed (used by the Figure 11 microbenchmark and the
+/// node cost statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchResult {
+    /// First slot with `keys[slot] >= target` (== `keys.len()` if none).
+    pub pos: usize,
+    /// Number of key comparisons performed.
+    pub comparisons: u32,
+}
+
+/// Exponential search outward from `hint`.
+///
+/// Doubles the probe distance until the target is bracketed, then
+/// binary-searches the bracket: `O(log d)` comparisons where `d` is the
+/// distance between `hint` and the true position — the property that
+/// makes it beat bounded binary search when model predictions are good
+/// (Figure 11).
+pub fn exponential_search_lower_bound<K: PartialOrd>(keys: &[K], target: &K, hint: usize) -> SearchResult {
+    let n = keys.len();
+    if n == 0 {
+        return SearchResult { pos: 0, comparisons: 0 };
+    }
+    let hint = hint.min(n - 1);
+    let mut comparisons = 1u32;
+    if keys[hint] >= *target {
+        // True position is at or left of hint: grow bound leftward.
+        // Invariant after the loop: keys[hint - bound/2] >= target
+        // (last success; `hint` itself for bound == 1).
+        let mut bound = 1usize;
+        while bound <= hint && keys[hint - bound] >= *target {
+            comparisons += 1;
+            bound *= 2;
+        }
+        let success = hint - bound / 2;
+        let lo = if bound <= hint {
+            comparisons += 1; // the probe that failed: keys[hint-bound] < target
+            hint - bound + 1
+        } else {
+            0
+        };
+        // Lower bound is in [lo, success]; keys[success] >= target, so
+        // searching [lo, success) suffices (empty on a direct hit).
+        let (pos, cmp) = binary_lower_bound(&keys[lo..success], target);
+        SearchResult {
+            pos: lo + pos,
+            comparisons: comparisons + cmp,
+        }
+    } else {
+        // True position is right of hint: grow bound rightward.
+        // Invariant: keys[hint + bound/2] < target (last failure).
+        let mut bound = 1usize;
+        while hint + bound < n && keys[hint + bound] < *target {
+            comparisons += 1;
+            bound *= 2;
+        }
+        let fail = hint + bound / 2;
+        let hi = if hint + bound < n {
+            comparisons += 1; // the probe that succeeded: keys[hint+bound] >= target
+            hint + bound
+        } else {
+            n
+        };
+        // Lower bound is in (fail, hi]; searching [fail+1, hi) suffices
+        // (a result of `hi` is correct either way).
+        let (pos, cmp) = binary_lower_bound(&keys[fail + 1..hi], target);
+        SearchResult {
+            pos: fail + 1 + pos,
+            comparisons: comparisons + cmp,
+        }
+    }
+}
+
+/// Binary search for the lower bound within `[lo, hi)` error bounds
+/// around a prediction — the Learned Index's bounded search. `lo`/`hi`
+/// are clamped to the array.
+pub fn bounded_binary_lower_bound<K: PartialOrd>(keys: &[K], target: &K, lo: usize, hi: usize) -> SearchResult {
+    let n = keys.len();
+    let lo = lo.min(n);
+    let hi = hi.clamp(lo, n);
+    let (pos, comparisons) = binary_lower_bound(&keys[lo..hi], target);
+    SearchResult {
+        pos: lo + pos,
+        comparisons,
+    }
+}
+
+/// Interpolation search for the lower bound, assuming roughly uniform
+/// key spacing — the alternative §7 mentions ("we have also found
+/// these to work better than the even simpler, pure interpolation
+/// search"). Included for the ablation benchmarks; ALEX itself uses
+/// exponential search.
+pub fn interpolation_search_lower_bound(keys: &[f64], target: f64) -> SearchResult {
+    let n = keys.len();
+    if n == 0 {
+        return SearchResult { pos: 0, comparisons: 0 };
+    }
+    let mut lo = 0usize;
+    let mut hi = n - 1;
+    let mut comparisons = 0u32;
+    // Interpolate while the bracket is wide; fall back to binary for
+    // the tail to bound the worst case.
+    while lo < hi {
+        comparisons += 1;
+        if keys[lo] >= target {
+            // Everything before lo is already known < target.
+            return SearchResult { pos: lo, comparisons };
+        }
+        comparisons += 1;
+        if keys[hi] < target {
+            return SearchResult {
+                pos: hi + 1,
+                comparisons,
+            };
+        }
+        let span = keys[hi] - keys[lo];
+        if span <= 0.0 {
+            break;
+        }
+        let frac = (target - keys[lo]) / span;
+        let mid = (lo + ((hi - lo) as f64 * frac) as usize).clamp(lo, hi - 1);
+        comparisons += 1;
+        if keys[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo >= hi {
+        // Single candidate left; everything before lo is < target.
+        comparisons += 1;
+        let pos = if lo < n && keys[lo] >= target { lo } else { lo + 1 };
+        return SearchResult {
+            pos: pos.min(n),
+            comparisons,
+        };
+    }
+    // Flat-span safety exit (only reachable with NaN-free ties):
+    // keys[hi] >= target is known, so the bracket suffices.
+    let (pos, cmp) = binary_lower_bound(&keys[lo..hi], &target);
+    SearchResult {
+        pos: lo + pos,
+        comparisons: comparisons + cmp,
+    }
+}
+
+/// Plain lower-bound binary search with a comparison counter.
+fn binary_lower_bound<K: PartialOrd>(keys: &[K], target: &K) -> (usize, u32) {
+    let mut lo = 0usize;
+    let mut hi = keys.len();
+    let mut comparisons = 0u32;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        comparisons += 1;
+        if keys[mid] < *target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_lower_bound(keys: &[u64], target: u64) -> usize {
+        keys.partition_point(|k| *k < target)
+    }
+
+    #[test]
+    fn exact_hit_at_hint() {
+        let keys: Vec<u64> = (0..100).map(|i| i * 2).collect();
+        let r = exponential_search_lower_bound(&keys, &40, 20);
+        assert_eq!(r.pos, 20);
+        assert!(r.comparisons <= 3, "direct hit should be cheap, took {}", r.comparisons);
+    }
+
+    #[test]
+    fn matches_reference_for_all_hints() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 3 + 1).collect();
+        for target in 0..620u64 {
+            let expect = reference_lower_bound(&keys, target);
+            for hint in [0usize, 1, 50, 100, 199] {
+                let r = exponential_search_lower_bound(&keys, &target, hint);
+                assert_eq!(r.pos, expect, "target={target} hint={hint}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_duplicate_runs() {
+        // Gap-filled arrays contain runs of equal keys; the search must
+        // return the first slot of the run.
+        let keys = vec![1u64, 5, 5, 5, 9, 9, 12];
+        for hint in 0..keys.len() {
+            assert_eq!(exponential_search_lower_bound(&keys, &5, hint).pos, 1);
+            assert_eq!(exponential_search_lower_bound(&keys, &9, hint).pos, 4);
+            assert_eq!(exponential_search_lower_bound(&keys, &13, hint).pos, 7);
+            assert_eq!(exponential_search_lower_bound(&keys, &0, hint).pos, 0);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(exponential_search_lower_bound(&empty, &5, 0).pos, 0);
+        let single = vec![7u64];
+        assert_eq!(exponential_search_lower_bound(&single, &5, 0).pos, 0);
+        assert_eq!(exponential_search_lower_bound(&single, &7, 0).pos, 0);
+        assert_eq!(exponential_search_lower_bound(&single, &9, 0).pos, 1);
+    }
+
+    #[test]
+    fn comparisons_scale_with_error() {
+        let keys: Vec<u64> = (0..100_000).collect();
+        let near = exponential_search_lower_bound(&keys, &50_000, 50_004);
+        let far = exponential_search_lower_bound(&keys, &50_000, 99_999);
+        assert!(near.comparisons < far.comparisons);
+        // Exponential search is logarithmic in the error.
+        assert!(far.comparisons < 40, "comparisons {}", far.comparisons);
+    }
+
+    #[test]
+    fn bounded_binary_matches_reference() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 2).collect();
+        for target in [0u64, 3, 500, 1998, 2001] {
+            let expect = reference_lower_bound(&keys, target);
+            let r = bounded_binary_lower_bound(&keys, &target, 0, keys.len());
+            assert_eq!(r.pos, expect, "target={target}");
+        }
+        // Clamped bounds.
+        let r = bounded_binary_lower_bound(&keys, &10, 900, 5000);
+        assert_eq!(r.pos, 900, "target below window returns window start");
+    }
+
+    #[test]
+    fn interpolation_matches_reference() {
+        let keys: Vec<f64> = (0..500).map(|i| i as f64 * 2.5).collect();
+        for t in 0..1300 {
+            let target = t as f64;
+            let expect = keys.partition_point(|k| *k < target);
+            let r = interpolation_search_lower_bound(&keys, target);
+            assert_eq!(r.pos, expect, "target={target}");
+        }
+    }
+
+    #[test]
+    fn interpolation_nonuniform_and_edges() {
+        let keys: Vec<f64> = (0..200).map(|i| (i as f64).powi(3)).collect();
+        for t in [0.0, 1.0, 3.5, 1000.0, 1e6, 8e6] {
+            let expect = keys.partition_point(|k| *k < t);
+            assert_eq!(interpolation_search_lower_bound(&keys, t).pos, expect, "t={t}");
+        }
+        // Below the minimum and above the maximum.
+        assert_eq!(interpolation_search_lower_bound(&keys, -5.0).pos, 0);
+        assert_eq!(interpolation_search_lower_bound(&keys, 1e12).pos, 200);
+        // Empty and single-element.
+        assert_eq!(interpolation_search_lower_bound(&[], 5.0).pos, 0);
+        assert_eq!(interpolation_search_lower_bound(&[3.0], 2.0).pos, 0);
+        assert_eq!(interpolation_search_lower_bound(&[3.0], 4.0).pos, 1);
+    }
+
+    #[test]
+    fn interpolation_cheap_on_uniform_data() {
+        let keys: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        let r = interpolation_search_lower_bound(&keys, 54_321.0);
+        assert_eq!(r.pos, 54_321);
+        assert!(r.comparisons < 20, "uniform data should interpolate fast, took {}", r.comparisons);
+    }
+
+    #[test]
+    fn float_keys() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let r = exponential_search_lower_bound(&keys, &10.25, 3);
+        assert_eq!(r.pos, 21); // first key >= 10.25 is 10.5 at index 21
+    }
+}

@@ -1,0 +1,159 @@
+//! Instrumentation counters.
+//!
+//! The paper's drilldown experiments (Figures 7–9) are driven by
+//! counters like shifts-per-insert and prediction error; these structs
+//! collect them. Read-side counters (search comparisons) live in
+//! `Cell`s so `get` can stay `&self`; the index is single-threaded by
+//! design, like the paper's experiments.
+
+use core::cell::Cell;
+
+/// Write-side work counters for one data node or a whole index.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Number of inserts performed.
+    pub inserts: u64,
+    /// Elements moved to create gaps for inserts (Figure 8's metric).
+    pub shifts: u64,
+    /// Elements rewritten by PMA window rebalances.
+    pub rebalance_moves: u64,
+    /// Node expansions (Algorithm 3).
+    pub expansions: u64,
+    /// Node contractions after deletes.
+    pub contractions: u64,
+    /// Linear-model retrains.
+    pub retrains: u64,
+    /// Leaf splits (node splitting on inserts, §3.4.2).
+    pub splits: u64,
+    /// Number of deletes performed.
+    pub deletes: u64,
+}
+
+impl WriteStats {
+    /// Merge counters from another instance.
+    pub fn absorb(&mut self, other: &WriteStats) {
+        self.inserts += other.inserts;
+        self.shifts += other.shifts;
+        self.rebalance_moves += other.rebalance_moves;
+        self.expansions += other.expansions;
+        self.contractions += other.contractions;
+        self.retrains += other.retrains;
+        self.splits += other.splits;
+        self.deletes += other.deletes;
+    }
+
+    /// Average shifts per insert (Figure 8).
+    pub fn shifts_per_insert(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.shifts as f64 / self.inserts as f64
+        }
+    }
+}
+
+/// Read-side counters, interior-mutable so lookups stay `&self`.
+#[derive(Debug, Default)]
+pub struct ReadStats {
+    lookups: Cell<u64>,
+    comparisons: Cell<u64>,
+    direct_hits: Cell<u64>,
+}
+
+impl Clone for ReadStats {
+    fn clone(&self) -> Self {
+        Self {
+            lookups: Cell::new(self.lookups.get()),
+            comparisons: Cell::new(self.comparisons.get()),
+            direct_hits: Cell::new(self.direct_hits.get()),
+        }
+    }
+}
+
+impl ReadStats {
+    /// Record one lookup that took `comparisons` key comparisons.
+    /// `direct` marks a *direct hit* — the key was found at exactly the
+    /// model-predicted slot (§4).
+    #[inline]
+    pub fn record(&self, comparisons: u32, direct: bool) {
+        self.lookups.set(self.lookups.get() + 1);
+        self.comparisons.set(self.comparisons.get() + u64::from(comparisons));
+        if direct {
+            self.direct_hits.set(self.direct_hits.get() + 1);
+        }
+    }
+
+    /// Total lookups recorded.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Total key comparisons across lookups.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons.get()
+    }
+
+    /// Lookups that hit the predicted slot directly.
+    pub fn direct_hits(&self) -> u64 {
+        self.direct_hits.get()
+    }
+
+    /// Mean comparisons per lookup.
+    pub fn comparisons_per_lookup(&self) -> f64 {
+        if self.lookups.get() == 0 {
+            0.0
+        } else {
+            self.comparisons.get() as f64 / self.lookups.get() as f64
+        }
+    }
+}
+
+/// Memory-footprint report (§5.1 accounting).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Models + child pointers + node metadata.
+    pub index_bytes: usize,
+    /// Key/payload arrays including gaps, plus bitmaps.
+    pub data_bytes: usize,
+    /// Number of data (leaf) nodes.
+    pub num_data_nodes: usize,
+    /// Number of inner (model) nodes.
+    pub num_inner_nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_stats_absorb_and_ratio() {
+        let mut a = WriteStats {
+            inserts: 10,
+            shifts: 30,
+            ..Default::default()
+        };
+        let b = WriteStats {
+            inserts: 10,
+            shifts: 10,
+            expansions: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.inserts, 20);
+        assert_eq!(a.shifts, 40);
+        assert_eq!(a.expansions, 2);
+        assert!((a.shifts_per_insert() - 2.0).abs() < 1e-12);
+        assert_eq!(WriteStats::default().shifts_per_insert(), 0.0);
+    }
+
+    #[test]
+    fn read_stats_record() {
+        let r = ReadStats::default();
+        r.record(1, true);
+        r.record(5, false);
+        assert_eq!(r.lookups(), 2);
+        assert_eq!(r.comparisons(), 6);
+        assert_eq!(r.direct_hits(), 1);
+        assert!((r.comparisons_per_lookup() - 3.0).abs() < 1e-12);
+    }
+}

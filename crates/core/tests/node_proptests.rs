@@ -1,0 +1,120 @@
+//! Node-level property tests: random operation sequences against a
+//! `BTreeMap` model directly on the two data-node layouts, checking
+//! the slot-array invariants after every mutation (via the index-free
+//! node API). These hit the gap-key bookkeeping, shifting, expansion,
+//! and PMA rebalance paths harder than the index-level tests because
+//! every operation lands in the same node.
+
+use std::collections::BTreeMap;
+
+use alex_core::gapped::InsertOutcome;
+use alex_core::{GappedNode, NodeParams, PmaNode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let key = 0u64..500;
+    prop::collection::vec(
+        prop_oneof![
+            5 => key.clone().prop_map(Op::Insert),
+            2 => key.clone().prop_map(Op::Remove),
+            3 => key.prop_map(Op::Get),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn gapped_node_matches_btreemap(ops in ops()) {
+        let mut node: GappedNode<u64, u64> = GappedNode::empty(NodeParams::default());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => {
+                    let inserted = matches!(node.insert(k, k * 3), InsertOutcome::Inserted { .. });
+                    prop_assert_eq!(inserted, model.insert(k, k * 3).is_none());
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(node.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(node.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(node.num_keys(), model.len());
+        }
+        let pairs: Vec<(u64, u64)> = node.to_pairs();
+        let expect: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn pma_node_matches_btreemap(ops in ops()) {
+        let mut node: PmaNode<u64, u64> = PmaNode::empty(NodeParams::default());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => {
+                    let inserted = matches!(node.insert(k, k * 3), InsertOutcome::Inserted { .. });
+                    prop_assert_eq!(inserted, model.insert(k, k * 3).is_none());
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(node.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(node.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(node.num_keys(), model.len());
+            prop_assert!(node.capacity().is_power_of_two());
+        }
+        let pairs: Vec<(u64, u64)> = node.to_pairs();
+        let expect: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn gapped_bulk_load_any_key_set(keys in prop::collection::btree_set(0u64..1_000_000_000, 1..800)) {
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        let node = GappedNode::bulk_load(&pairs, NodeParams::default());
+        prop_assert_eq!(node.num_keys(), pairs.len());
+        for &k in &keys {
+            prop_assert_eq!(node.get(&k), Some(&k));
+        }
+        prop_assert_eq!(node.to_pairs(), pairs);
+    }
+
+    #[test]
+    fn pma_bulk_load_any_key_set(keys in prop::collection::btree_set(0u64..1_000_000_000, 1..800)) {
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        let node = PmaNode::bulk_load(&pairs, NodeParams::default());
+        prop_assert_eq!(node.num_keys(), pairs.len());
+        for &k in &keys {
+            prop_assert_eq!(node.get(&k), Some(&k));
+        }
+    }
+
+    #[test]
+    fn gapped_scan_matches_model(
+        keys in prop::collection::btree_set(0u64..10_000, 2..400),
+        start in 0u64..10_000,
+        limit in 0usize..50,
+    ) {
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        let node = GappedNode::bulk_load(&pairs, NodeParams::default());
+        let slot = node.lower_bound_slot(&start);
+        let mut got = Vec::new();
+        node.scan_from_slot(slot, limit, &mut |k, _| got.push(*k));
+        let expect: Vec<u64> = keys.range(start..).take(limit).copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,89 @@
+//! Empirical CDF sampling, used to regenerate Figures 13 and 14
+//! (Appendix C: dataset CDFs at global and zoomed scales).
+
+/// Sample `points` evenly spaced points of the empirical CDF of
+/// `sorted_keys`. Returns `(key, cdf)` pairs with `cdf` in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `sorted_keys` is empty or `points == 0`.
+pub fn cdf_points<K: Copy>(sorted_keys: &[K], points: usize) -> Vec<(K, f64)> {
+    assert!(!sorted_keys.is_empty(), "need at least one key");
+    assert!(points > 0, "need at least one point");
+    let n = sorted_keys.len();
+    (0..points)
+        .map(|i| {
+            let rank = (i * (n - 1)) / points.max(1).saturating_sub(1).max(1);
+            let rank = rank.min(n - 1);
+            (sorted_keys[rank], rank as f64 / n as f64)
+        })
+        .collect()
+}
+
+/// Sample the CDF restricted to the rank window `[lo_frac, hi_frac)`,
+/// reproducing the "zoom in on 10% / 0.2% of the CDF" panels of
+/// Figure 14.
+///
+/// # Panics
+/// Panics if the fractions are not `0 <= lo < hi <= 1` or the window is
+/// empty.
+pub fn zoomed_cdf_points<K: Copy>(
+    sorted_keys: &[K],
+    lo_frac: f64,
+    hi_frac: f64,
+    points: usize,
+) -> Vec<(K, f64)> {
+    assert!((0.0..1.0).contains(&lo_frac) && lo_frac < hi_frac && hi_frac <= 1.0);
+    let n = sorted_keys.len();
+    let lo = (lo_frac * n as f64) as usize;
+    let hi = ((hi_frac * n as f64) as usize).min(n);
+    assert!(lo < hi, "zoom window is empty");
+    let window = &sorted_keys[lo..hi];
+    cdf_points(window, points.min(window.len()))
+        .into_iter()
+        .map(|(k, frac)| (k, (lo as f64 + frac * window.len() as f64) / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 7).collect();
+        let pts = cdf_points(&keys, 50);
+        assert_eq!(pts.len(), 50);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(pts[0].1 >= 0.0 && pts.last().unwrap().1 <= 1.0);
+    }
+
+    #[test]
+    fn cdf_uniform_data_is_linear() {
+        let keys: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let pts = cdf_points(&keys, 100);
+        for (k, c) in pts {
+            assert!((k / 10_000.0 - c).abs() < 0.02, "key {k} cdf {c}");
+        }
+    }
+
+    #[test]
+    fn zoom_window_covers_expected_ranks() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let pts = zoomed_cdf_points(&keys, 0.5, 0.6, 10);
+        for (k, c) in pts {
+            assert!((500..600).contains(&k), "key {k} outside zoom window");
+            assert!((0.5..0.6001).contains(&c), "cdf {c} outside zoom window");
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let keys = vec![42u64];
+        let pts = cdf_points(&keys, 1);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].0, 42);
+    }
+}

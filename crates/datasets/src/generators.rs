@@ -1,0 +1,281 @@
+//! Key generators for the four evaluation datasets plus two synthetic
+//! helpers used by the microbenchmarks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// The four datasets of Table 1, used to parameterize benchmark binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// OSM-style longitudes (`f64`, smooth non-uniform CDF).
+    Longitudes,
+    /// Compound `180·round(lon) + lat` keys (`f64`, step-function CDF).
+    Longlat,
+    /// `⌊exp(N(0,2))·10⁹⌋` (`u64`, extreme skew).
+    Lognormal,
+    /// Uniform 64-bit user IDs (`u64`, uniform CDF).
+    Ycsb,
+}
+
+impl Dataset {
+    /// All four datasets in the paper's presentation order.
+    pub const ALL: [Dataset; 4] = [Dataset::Longitudes, Dataset::Longlat, Dataset::Lognormal, Dataset::Ycsb];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Longitudes => "longitudes",
+            Dataset::Longlat => "longlat",
+            Dataset::Lognormal => "lognormal",
+            Dataset::Ycsb => "YCSB",
+        }
+    }
+
+    /// Key type name, as in Table 1.
+    pub fn key_type(self) -> &'static str {
+        match self {
+            Dataset::Longitudes | Dataset::Longlat => "double",
+            Dataset::Lognormal | Dataset::Ycsb => "64-bit int",
+        }
+    }
+
+    /// Payload size in bytes, as in Table 1.
+    pub fn payload_size(self) -> usize {
+        match self {
+            Dataset::Ycsb => 80,
+            _ => 8,
+        }
+    }
+}
+
+/// Population-centre mixture used to synthesize OSM-like longitudes.
+/// Weights are relative; means/stddevs are in degrees. Chosen so the
+/// global CDF is smooth but clearly non-uniform (dense Europe/Asia,
+/// sparse oceans), like Figure 13's `longitudes` panel.
+const LON_CLUSTERS: &[(f64, f64, f64)] = &[
+    // (weight, mean, stddev)
+    (0.22, 10.0, 12.0),   // Europe
+    (0.08, 30.0, 8.0),    // Eastern Europe / Middle East
+    (0.16, 78.0, 10.0),   // South Asia
+    (0.18, 115.0, 12.0),  // East Asia
+    (0.05, 140.0, 5.0),   // Japan
+    (0.13, -75.0, 10.0),  // US East / South America
+    (0.08, -100.0, 12.0), // US Central / Mexico
+    (0.06, -122.0, 6.0),  // US West
+    (0.04, 0.0, 90.0),    // diffuse background
+];
+
+/// Latitude mixture (for `longlat`): population concentrates in the
+/// northern mid-latitudes.
+const LAT_CLUSTERS: &[(f64, f64, f64)] = &[
+    (0.45, 40.0, 12.0),
+    (0.25, 25.0, 10.0),
+    (0.15, 0.0, 15.0),
+    (0.10, -25.0, 10.0),
+    (0.05, 0.0, 40.0),
+];
+
+/// One standard normal via Box–Muller (rand's `StandardNormal` lives in
+/// `rand_distr`, which is outside the approved dependency set).
+#[inline]
+fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Sample from a weighted Gaussian mixture, clamped to `[lo, hi]`.
+fn mixture_sample(rng: &mut StdRng, clusters: &[(f64, f64, f64)], lo: f64, hi: f64) -> f64 {
+    let total: f64 = clusters.iter().map(|c| c.0).sum();
+    let mut pick = rng.random_range(0.0..total);
+    for &(w, mean, std) in clusters {
+        if pick < w {
+            let v = mean + std * std_normal(rng);
+            return v.clamp(lo, hi);
+        }
+        pick -= w;
+    }
+    // Floating-point edge: fall back to the last cluster.
+    let &(_, mean, std) = clusters.last().expect("mixture must be non-empty");
+    (mean + std * std_normal(rng)).clamp(lo, hi)
+}
+
+/// Generate exactly `n` unique keys by oversampling `gen` and
+/// deduplicating, then shuffle them.
+fn unique_shuffled<K, F>(n: usize, seed: u64, mut generate: F) -> Vec<K>
+where
+    K: PartialOrd + Copy,
+    F: FnMut(&mut StdRng) -> K,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<K> = Vec::with_capacity(n + n / 8);
+    loop {
+        while keys.len() < n + n / 8 + 16 {
+            keys.push(generate(&mut rng));
+        }
+        keys.sort_by(|a, b| a.partial_cmp(b).expect("no NaN keys"));
+        keys.dedup_by(|a, b| a == b);
+        if keys.len() >= n {
+            break;
+        }
+    }
+    // Shuffle *before* truncating: truncating the sorted vector would
+    // systematically drop the largest keys and bias the distribution.
+    keys.shuffle(&mut rng);
+    keys.truncate(n);
+    keys
+}
+
+/// OSM-style longitudes in `[-180, 180]` (the paper's `longitudes`
+/// dataset, scaled down). Unique, shuffled, deterministic per seed.
+pub fn longitudes_keys(n: usize, seed: u64) -> Vec<f64> {
+    unique_shuffled(n, seed, |rng| mixture_sample(rng, LON_CLUSTERS, -180.0, 180.0))
+}
+
+/// Compound `longlat` keys built with the paper's own transformation
+/// (App. C): round the longitude to the nearest degree, multiply by 180
+/// (the latitude domain size), add the latitude. Produces the highly
+/// non-linear, step-function local CDF of Figure 14.
+pub fn longlat_keys(n: usize, seed: u64) -> Vec<f64> {
+    unique_shuffled(n, seed, |rng| {
+        let lon = mixture_sample(rng, LON_CLUSTERS, -180.0, 180.0).round();
+        let lat = mixture_sample(rng, LAT_CLUSTERS, -90.0, 90.0);
+        180.0 * lon + lat
+    })
+}
+
+/// The paper's `lognormal` dataset: `⌊exp(N(0, σ=2)) · 10⁹⌋` as 64-bit
+/// integers (App. C). Extremely skewed.
+pub fn lognormal_keys(n: usize, seed: u64) -> Vec<u64> {
+    unique_shuffled(n, seed, |rng| {
+        let z = std_normal(rng);
+        ((2.0 * z).exp() * 1e9).floor() as u64
+    })
+}
+
+/// The paper's `YCSB` dataset: uniform 64-bit user IDs.
+pub fn ycsb_keys(n: usize, seed: u64) -> Vec<u64> {
+    unique_shuffled(n, seed, |rng| rng.random::<u64>())
+}
+
+/// Strictly increasing keys `0, step, 2·step, …` — the adversarial
+/// sequential-insert pattern of Figure 5c.
+pub fn sequential_keys(n: usize, step: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| i * step).collect()
+}
+
+/// `n` perfectly uniformly spaced integers, as used by the search-method
+/// microbenchmark of Figure 11 ("100 million perfectly uniformly
+/// distributed integers", scaled).
+pub fn uniform_dense_keys(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i * 16 + 7).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_unique_f64(keys: &[f64]) {
+        let mut s = keys.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in s.windows(2) {
+            assert!(w[0] < w[1], "duplicate key {}", w[0]);
+        }
+    }
+
+    #[test]
+    fn longitudes_shape() {
+        let keys = longitudes_keys(10_000, 42);
+        assert_eq!(keys.len(), 10_000);
+        assert_unique_f64(&keys);
+        assert!(keys.iter().all(|k| (-180.0..=180.0).contains(k)));
+        // Non-uniform: more keys in [0, 30] (Europe) than in [-30, 0]
+        // (Atlantic).
+        let europe = keys.iter().filter(|k| (0.0..30.0).contains(*k)).count();
+        let atlantic = keys.iter().filter(|k| (-30.0..0.0).contains(*k)).count();
+        assert!(europe > atlantic * 2, "europe={europe} atlantic={atlantic}");
+    }
+
+    #[test]
+    fn longitudes_deterministic() {
+        assert_eq!(longitudes_keys(1000, 7), longitudes_keys(1000, 7));
+        assert_ne!(longitudes_keys(1000, 7), longitudes_keys(1000, 8));
+    }
+
+    #[test]
+    fn longlat_step_structure() {
+        let keys = longlat_keys(20_000, 42);
+        assert_eq!(keys.len(), 20_000);
+        assert_unique_f64(&keys);
+        // Keys cluster into strips of width <= 180 (one per rounded
+        // longitude): the fractional strip index must repeat heavily.
+        let mut strips: Vec<i64> = keys.iter().map(|k| (k / 180.0).round() as i64).collect();
+        strips.sort_unstable();
+        strips.dedup();
+        assert!(
+            strips.len() < 362,
+            "at most one strip per integer degree, got {}",
+            strips.len()
+        );
+        assert!(strips.len() > 50, "should cover many strips, got {}", strips.len());
+    }
+
+    #[test]
+    fn lognormal_skew() {
+        let keys = lognormal_keys(20_000, 42);
+        assert_eq!(keys.len(), 20_000);
+        let mut s = keys.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), keys.len(), "keys must be unique");
+        // Median far below the mean => heavy right skew.
+        let median = s[s.len() / 2] as f64;
+        let mean = s.iter().map(|&k| k as f64).sum::<f64>() / s.len() as f64;
+        assert!(mean > 3.0 * median, "mean={mean:.3e} median={median:.3e}");
+    }
+
+    #[test]
+    fn ycsb_uniformity() {
+        let keys = ycsb_keys(20_000, 42);
+        assert_eq!(keys.len(), 20_000);
+        // Quartile counts within 15% of each other.
+        let q = u64::MAX / 4;
+        let counts = [
+            keys.iter().filter(|&&k| k < q).count(),
+            keys.iter().filter(|&&k| (q..2 * q).contains(&k)).count(),
+            keys.iter().filter(|&&k| (2 * q..3 * q).contains(&k)).count(),
+            keys.iter().filter(|&&k| k >= 3 * q).count(),
+        ];
+        for c in counts {
+            assert!((4000..6000).contains(&c), "quartile counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_uniform_helpers() {
+        assert_eq!(sequential_keys(4, 10), vec![0, 10, 20, 30]);
+        let u = uniform_dense_keys(100);
+        assert_eq!(u.len(), 100);
+        for w in u.windows(2) {
+            assert_eq!(w[1] - w[0], 16);
+        }
+    }
+
+    #[test]
+    fn dataset_metadata() {
+        assert_eq!(Dataset::Longitudes.name(), "longitudes");
+        assert_eq!(Dataset::Ycsb.payload_size(), 80);
+        assert_eq!(Dataset::Lognormal.payload_size(), 8);
+        assert_eq!(Dataset::Longlat.key_type(), "double");
+        assert_eq!(Dataset::ALL.len(), 4);
+    }
+
+    #[test]
+    fn generators_are_shuffled() {
+        // A shuffled output should not be sorted.
+        let keys = longitudes_keys(1000, 3);
+        let is_sorted = keys.windows(2).all(|w| w[0] <= w[1]);
+        assert!(!is_sorted, "generator output should arrive in random order");
+    }
+}

@@ -1,0 +1,39 @@
+//! Dataset and key-selection generators mirroring §5.1.1 and Appendix C
+//! of the ALEX paper.
+//!
+//! The paper evaluates on four datasets: `longitudes` (OSM longitudes),
+//! `longlat` (compound keys `k = 180·lon + lat`), `lognormal`
+//! (`⌊exp(N(0, 2)) · 10⁹⌋`), and `YCSB` (uniform 64-bit user IDs with
+//! 80-byte payloads). We do not have the OSM extracts, so `longitudes`
+//! and `longlat` are synthesized from a mixture model of clustered
+//! population centres that reproduces the documented CDF shapes: a
+//! smooth but non-uniform global CDF for `longitudes`, and the
+//! step-function local CDF that Appendix C shows for `longlat` (the
+//! steps come from the paper's own construction — longitudes are rounded
+//! to whole degrees before being scaled and combined with latitudes —
+//! which we apply verbatim). `lognormal` and `YCSB` follow the paper's
+//! exact recipes.
+//!
+//! All generators are deterministic given a seed, return *unique* keys
+//! (the paper: "These datasets do not contain duplicate values"), and
+//! return them in shuffled order (the paper: "datasets are randomly
+//! shuffled to simulate a uniform dataset distribution over time").
+
+mod cdf;
+mod generators;
+mod payload;
+mod zipf;
+
+pub use cdf::{cdf_points, zoomed_cdf_points};
+pub use generators::{
+    lognormal_keys, longitudes_keys, longlat_keys, sequential_keys, uniform_dense_keys, ycsb_keys, Dataset,
+};
+pub use payload::{Payload, Payload8, Payload80};
+pub use zipf::{ScrambledZipf, Zipf};
+
+/// Sort a key vector ascending (total order via `partial_cmp`; the
+/// generators never produce NaN).
+pub fn sorted<K: PartialOrd + Copy>(mut keys: Vec<K>) -> Vec<K> {
+    keys.sort_by(|a, b| a.partial_cmp(b).expect("keys must be totally ordered"));
+    keys
+}

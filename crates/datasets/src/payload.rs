@@ -1,0 +1,69 @@
+//! Fixed-size payloads. The paper attaches randomly generated
+//! fixed-size payloads to every key: 8 bytes for three datasets, 80
+//! bytes for YCSB (Table 1).
+
+/// A fixed-size, `Copy` payload of `N` bytes.
+///
+/// # Examples
+/// ```
+/// use alex_datasets::Payload;
+///
+/// let p = Payload::<8>::from_seed(17);
+/// assert_eq!(p, Payload::<8>::from_seed(17));
+/// assert_ne!(p, Payload::<8>::from_seed(18));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Payload<const N: usize>(pub [u8; N]);
+
+impl<const N: usize> Default for Payload<N> {
+    fn default() -> Self {
+        Self([0; N])
+    }
+}
+
+impl<const N: usize> Payload<N> {
+    /// Deterministic pseudo-random payload derived from `seed`
+    /// (splitmix64 stream).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut bytes = [0u8; N];
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        for chunk in bytes.chunks_mut(8) {
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            for (b, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = src;
+            }
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+        }
+        Self(bytes)
+    }
+}
+
+/// 8-byte payload (longitudes / longlat / lognormal).
+pub type Payload8 = Payload<8>;
+/// 80-byte payload (YCSB).
+pub type Payload80 = Payload<80>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(core::mem::size_of::<Payload8>(), 8);
+        assert_eq!(core::mem::size_of::<Payload80>(), 80);
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = Payload::<80>::from_seed(1);
+        let b = Payload::<80>::from_seed(1);
+        let c = Payload::<80>::from_seed(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Not all-zero.
+        assert!(a.0.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Zipfian key-rank selection, after the YCSB generator (Gray et al.,
+//! "Quickly generating billion-record synthetic databases"). §5.1.2 of
+//! the paper: "keys to look up are selected randomly from the set of
+//! existing keys in the index according to a Zipfian distribution".
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const DEFAULT_THETA: f64 = 0.99;
+
+/// Zipfian generator over ranks `0..n` with YCSB's constant `θ = 0.99`.
+///
+/// Rank 0 is the most popular. Supports growing `n` incrementally (the
+/// read-write workloads insert as they go) without recomputing the
+/// harmonic sum from scratch.
+#[derive(Debug)]
+pub struct Zipf {
+    n: usize,
+    theta: f64,
+    zeta_n: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Generator over ranks `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "Zipf requires a non-empty rank space");
+        let theta = DEFAULT_THETA;
+        let zeta_n = zeta(0, n, theta, 0.0);
+        let zeta2 = zeta(0, 2.min(n), theta, 0.0);
+        let mut z = Self {
+            n,
+            theta,
+            zeta_n,
+            zeta2,
+            alpha: 1.0 / (1.0 - theta),
+            eta: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        z.recompute_eta();
+        z
+    }
+
+    fn recompute_eta(&mut self) {
+        self.eta =
+            (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zeta_n);
+    }
+
+    /// Current rank-space size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Grow the rank space to `n`, extending the harmonic sum
+    /// incrementally.
+    pub fn extend_to(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        self.zeta_n = zeta(self.n, n, self.theta, self.zeta_n);
+        self.n = n;
+        self.recompute_eta();
+    }
+
+    /// Next Zipf-distributed rank in `0..n` (0 = most popular).
+    pub fn next_rank(&mut self) -> usize {
+        let u: f64 = self.rng.random();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(self.n - 1)
+    }
+}
+
+/// `zeta(n) = Σ_{i=1}^{n} 1/i^θ`, computed incrementally from a prefix.
+fn zeta(from: usize, to: usize, theta: f64, partial: f64) -> f64 {
+    let mut sum = partial;
+    for i in from..to {
+        sum += 1.0 / ((i + 1) as f64).powf(theta);
+    }
+    sum
+}
+
+/// Scrambled Zipfian: Zipf popularity spread pseudo-randomly across the
+/// rank space via FNV hashing, as YCSB does, so that the hot keys are
+/// not physically adjacent in the index.
+#[derive(Debug)]
+pub struct ScrambledZipf {
+    inner: Zipf,
+}
+
+impl ScrambledZipf {
+    /// Generator over ranks `0..n`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            inner: Zipf::new(n, seed),
+        }
+    }
+
+    /// Grow the rank space to `n`.
+    pub fn extend_to(&mut self, n: usize) {
+        self.inner.extend_to(n);
+    }
+
+    /// Current rank-space size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// Next scrambled rank in `0..n`.
+    pub fn next_rank(&mut self) -> usize {
+        let r = self.inner.next_rank() as u64;
+        (fnv1a(r) % self.inner.n() as u64) as usize
+    }
+}
+
+#[inline]
+fn fnv1a(x: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for i in 0..8 {
+        h ^= (x >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_bounds() {
+        let mut z = Zipf::new(1000, 1);
+        for _ in 0..10_000 {
+            assert!(z.next_rank() < 1000);
+        }
+        let mut s = ScrambledZipf::new(1000, 1);
+        for _ in 0..10_000 {
+            assert!(s.next_rank() < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut z = Zipf::new(10_000, 42);
+        let mut top10 = 0usize;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if z.next_rank() < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta=0.99 and n=10k, the top-10 ranks draw a large share
+        // of accesses (far beyond the uniform 0.1%).
+        assert!(top10 > trials / 10, "top-10 share too small: {top10}/{trials}");
+    }
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let mut z = Zipf::new(1000, 7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.next_rank()] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must be the mode");
+        assert!(counts[0] > counts[100] * 2);
+    }
+
+    #[test]
+    fn extend_to_grows() {
+        let mut z = Zipf::new(100, 3);
+        z.extend_to(1000);
+        assert_eq!(z.n(), 1000);
+        let mut seen_beyond = false;
+        for _ in 0..50_000 {
+            if z.next_rank() >= 100 {
+                seen_beyond = true;
+                break;
+            }
+        }
+        assert!(seen_beyond, "extended rank space never sampled");
+        // Extending to a smaller n is a no-op.
+        z.extend_to(10);
+        assert_eq!(z.n(), 1000);
+    }
+
+    #[test]
+    fn scrambled_spreads_popularity() {
+        let mut s = ScrambledZipf::new(10_000, 11);
+        let mut counts = vec![0usize; 10_000];
+        for _ in 0..100_000 {
+            counts[s.next_rank()] += 1;
+        }
+        // The mode should NOT be rank 0 with overwhelming likelihood —
+        // scrambling moves it to a hashed position.
+        let (mode, _) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+        // fnv1a(0) % 10000 is deterministic; just assert the hot key moved.
+        assert_eq!(mode as u64, fnv1a(0) % 10_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Zipf::new(500, 9);
+        let mut b = Zipf::new(500, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_rank(), b.next_rank());
+        }
+    }
+}

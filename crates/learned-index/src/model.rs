@@ -1,0 +1,182 @@
+//! Linear regression model and the key-to-float trait shared by the
+//! learned structures.
+
+/// Keys usable by learned models: totally ordered, copyable, and
+/// convertible to `f64` for regression.
+pub trait Key: Copy + PartialOrd + PartialEq + core::fmt::Debug {
+    /// The key as an `f64` model input. For 64-bit integers this loses
+    /// precision beyond 2⁵³, which only perturbs *predictions* (search
+    /// correctness never depends on the conversion).
+    fn as_f64(self) -> f64;
+}
+
+impl Key for f64 {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Key for u64 {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Key for i64 {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Key for u32 {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// `y = slope · x + intercept`, fit by ordinary least squares.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinearModel {
+    /// Slope `a`.
+    pub slope: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Fit by OLS over `(x, y)` samples. Degenerate inputs (no samples,
+    /// or all-equal x) produce a constant model predicting the mean y.
+    pub fn fit(samples: impl Iterator<Item = (f64, f64)>) -> Self {
+        let mut n = 0f64;
+        let mut sx = 0f64;
+        let mut sy = 0f64;
+        let mut sxx = 0f64;
+        let mut sxy = 0f64;
+        for (x, y) in samples {
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        if n == 0.0 {
+            return Self::default();
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON * n * sxx.abs().max(1.0) {
+            return Self {
+                slope: 0.0,
+                intercept: sy / n,
+            };
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Self { slope, intercept }
+    }
+
+    /// Fit `x -> rank` over a sorted key slice (the common case).
+    pub fn fit_keys<K: Key>(keys: &[K]) -> Self {
+        Self::fit(keys.iter().enumerate().map(|(i, k)| (k.as_f64(), i as f64)))
+    }
+
+    /// Raw (unclamped, unrounded) prediction.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Prediction rounded down and clamped to `[0, len)` (`0` when
+    /// `len == 0`).
+    #[inline]
+    pub fn predict_clamped(&self, x: f64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let p = self.predict(x);
+        if p.is_nan() || p < 0.0 {
+            0
+        } else {
+            (p as usize).min(len - 1)
+        }
+    }
+
+    /// Scale the model so that predictions map into an array stretched
+    /// by `factor` (Algorithm 3, line "model *= expansion_factor").
+    #[inline]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            slope: self.slope * factor,
+            intercept: self.intercept * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let m = LinearModel::fit((0..100).map(|i| (i as f64, 3.0 * i as f64 + 7.0)));
+        assert!((m.slope - 3.0).abs() < 1e-9);
+        assert!((m.intercept - 7.0).abs() < 1e-9);
+        assert!((m.predict(50.0) - 157.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_keys_linear_data() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 5).collect();
+        let m = LinearModel::fit_keys(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.predict_clamped(k.as_f64(), keys.len()), i);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let m = LinearModel::fit(core::iter::empty());
+        assert_eq!(m, LinearModel::default());
+        // All-equal x: constant model at mean y.
+        let m = LinearModel::fit([(5.0, 1.0), (5.0, 3.0)].into_iter());
+        assert_eq!(m.slope, 0.0);
+        assert!((m.intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_clamped_bounds() {
+        let m = LinearModel {
+            slope: 1.0,
+            intercept: -10.0,
+        };
+        assert_eq!(m.predict_clamped(0.0, 100), 0); // negative -> 0
+        assert_eq!(m.predict_clamped(1e9, 100), 99); // overflow -> len-1
+        assert_eq!(m.predict_clamped(50.0, 0), 0); // empty
+        let nan_model = LinearModel {
+            slope: f64::NAN,
+            intercept: 0.0,
+        };
+        assert_eq!(nan_model.predict_clamped(1.0, 10), 0);
+    }
+
+    #[test]
+    fn scaled_model() {
+        let m = LinearModel {
+            slope: 2.0,
+            intercept: 4.0,
+        };
+        let s = m.scaled(1.5);
+        assert!((s.predict(10.0) - 1.5 * m.predict(10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_conversions() {
+        assert_eq!(3.5f64.as_f64(), 3.5);
+        assert_eq!(7u64.as_f64(), 7.0);
+        assert_eq!((-7i64).as_f64(), -7.0);
+        assert_eq!(9u32.as_f64(), 9.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! A classic Packed Memory Array container with uniform redistribution.
+//!
+//! This is the textbook structure of Bender & Hu: ordered elements in a
+//! power-of-two array, per-window density bounds, local rebalances, and
+//! doubling/halving when the root window's bounds are hit. ALEX's PMA
+//! node layout (in `alex-core`) uses the same [`crate::layout`] machinery
+//! but places elements with a learned model instead of uniformly; this
+//! container is the uniform reference used by tests and benchmarks.
+
+use crate::layout::{DensityBounds, Geometry};
+
+/// Counters describing the work a [`Pma`] has performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PmaStats {
+    /// Total element moves (shifts plus redistribution writes).
+    pub moves: u64,
+    /// Number of window rebalances triggered by density violations.
+    pub rebalances: u64,
+    /// Number of capacity doublings.
+    pub expansions: u64,
+    /// Number of capacity halvings.
+    pub contractions: u64,
+}
+
+/// An ordered container over a gapped, power-of-two array.
+///
+/// Duplicate elements are not supported (mirroring ALEX, §7 of the
+/// paper): inserting an element equal to an existing one returns `false`.
+///
+/// # Examples
+/// ```
+/// use alex_pma::Pma;
+///
+/// let mut pma = Pma::new();
+/// for x in [5u64, 1, 9, 3, 7] {
+///     assert!(pma.insert(x));
+/// }
+/// assert!(pma.contains(&7));
+/// assert!(!pma.contains(&8));
+/// assert_eq!(pma.iter().copied().collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pma<T> {
+    slots: Vec<Option<T>>,
+    geometry: Geometry,
+    bounds: DensityBounds,
+    len: usize,
+    stats: PmaStats,
+}
+
+impl<T: Ord + Clone> Default for Pma<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Clone> Pma<T> {
+    /// Create an empty PMA with default density bounds.
+    pub fn new() -> Self {
+        Self::with_bounds(DensityBounds::default())
+    }
+
+    /// Create an empty PMA with the given density bounds.
+    pub fn with_bounds(bounds: DensityBounds) -> Self {
+        let geometry = Geometry::for_capacity(8);
+        Self {
+            slots: vec![None; geometry.capacity()],
+            geometry,
+            bounds,
+            len: 0,
+            stats: PmaStats::default(),
+        }
+    }
+
+    /// Bulk-load from a sorted, deduplicated slice, evenly spacing the
+    /// elements at roughly the root density.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `sorted` is not strictly increasing.
+    pub fn from_sorted(sorted: &[T], bounds: DensityBounds) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+        let min_cap = ((sorted.len() as f64 / bounds.upper_root).ceil() as usize).max(8);
+        let geometry = Geometry::for_capacity(min_cap);
+        let mut slots = vec![None; geometry.capacity()];
+        spread_evenly(sorted, &mut slots);
+        Self {
+            len: sorted.len(),
+            slots,
+            geometry,
+            bounds,
+            stats: PmaStats::default(),
+        }
+    }
+
+    /// Number of elements stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the PMA is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot capacity (always a power of two).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Work counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> PmaStats {
+        self.stats
+    }
+
+    /// Overall fill fraction.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    /// Whether `x` is present.
+    pub fn contains(&self, x: &T) -> bool {
+        let slot = self.lower_bound(x);
+        matches!(self.occupied_at_or_after(slot), Some(s) if self.slots[s].as_ref() == Some(x))
+    }
+
+    /// Insert `x`, returning `false` if it was already present.
+    pub fn insert(&mut self, x: T) -> bool {
+        let ins = self.lower_bound(&x);
+        if let Some(s) = self.occupied_at_or_after(ins) {
+            if self.slots[s].as_ref() == Some(&x) {
+                return false;
+            }
+        }
+        self.insert_at_rank_slot(ins, x);
+        true
+    }
+
+    /// Remove `x`, returning `true` if it was present.
+    pub fn remove(&mut self, x: &T) -> bool {
+        let slot = self.lower_bound(x);
+        let Some(s) = self.occupied_at_or_after(slot) else {
+            return false;
+        };
+        if self.slots[s].as_ref() != Some(x) {
+            return false;
+        }
+        self.slots[s] = None;
+        self.len -= 1;
+        self.maybe_contract();
+        true
+    }
+
+    /// In-order iterator over the stored elements.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// In-order iterator over elements `>= x`.
+    pub fn range_from<'a>(&'a self, x: &T) -> impl Iterator<Item = &'a T> {
+        let start = self.lower_bound(x);
+        self.slots[start.min(self.slots.len())..].iter().filter_map(|s| s.as_ref())
+    }
+
+    /// First slot index such that every occupied slot before it holds an
+    /// element `< x`. May itself be a gap; `capacity()` if all elements
+    /// are `< x`.
+    fn lower_bound(&self, x: &T) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.slots.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            // Probe leftward from mid for an occupied slot within [lo, mid].
+            let mut probe = mid;
+            loop {
+                match &self.slots[probe] {
+                    Some(v) => {
+                        if v < x {
+                            lo = probe + 1;
+                        } else {
+                            hi = probe;
+                        }
+                        break;
+                    }
+                    None if probe == lo => {
+                        // [lo, mid] is all gaps: nothing < x there.
+                        lo = mid + 1;
+                        break;
+                    }
+                    None => probe -= 1,
+                }
+            }
+        }
+        lo
+    }
+
+    /// First occupied slot at or after `slot`.
+    fn occupied_at_or_after(&self, slot: usize) -> Option<usize> {
+        (slot..self.slots.len()).find(|&s| self.slots[s].is_some())
+    }
+
+    /// Insert `x` so that it lands before the first occupied slot `>=
+    /// ins`, applying PMA density-bound logic.
+    fn insert_at_rank_slot(&mut self, ins: usize, x: T) {
+        let slot = ins.min(self.slots.len() - 1);
+        let height = self.geometry.height();
+        // Walk up from the leaf window until a window can absorb the insert.
+        for depth in (0..=height).rev() {
+            let window = self.geometry.window_at(slot, depth);
+            let count = self.count_occupied(window.clone());
+            let bound = self.bounds.upper_at(depth, height);
+            if (count + 1) as f64 / window.len() as f64 <= bound {
+                if depth == height {
+                    // Leaf window: plain local shift toward the nearest gap.
+                    self.insert_with_local_shift(ins, window, x);
+                } else {
+                    self.stats.rebalances += 1;
+                    self.rebalance_with_insert(window, x);
+                }
+                self.len += 1;
+                return;
+            }
+        }
+        // Even the root window is too dense: double and retry.
+        self.grow();
+        let ins = self.lower_bound(&x);
+        self.insert_at_rank_slot(ins, x);
+    }
+
+    /// Shift within `window` to open a gap at the insertion point. The
+    /// caller guarantees the window contains at least one gap.
+    fn insert_with_local_shift(&mut self, ins: usize, window: core::ops::Range<usize>, x: T) {
+        let ins = ins.clamp(window.start, window.end);
+        // Nearest gap to the left of ins (inclusive of ins-1 .. start) and
+        // to the right (ins .. end).
+        let right_gap = (ins..window.end).find(|&s| self.slots[s].is_none());
+        let left_gap = (window.start..ins).rev().find(|&s| self.slots[s].is_none());
+        match (left_gap, right_gap) {
+            (_, Some(g)) if right_gap.is_some() && (left_gap.is_none() || g - ins <= ins - left_gap.unwrap()) => {
+                // Shift (ins..g) right by one.
+                for s in (ins..g).rev() {
+                    self.slots[s + 1] = self.slots[s].take();
+                }
+                self.stats.moves += (g - ins) as u64;
+                self.slots[ins] = Some(x);
+            }
+            (Some(g), _) => {
+                // Shift (g+1..ins) left by one; element lands at ins-1.
+                for s in g + 1..ins {
+                    self.slots[s - 1] = self.slots[s].take();
+                }
+                self.stats.moves += (ins - 1 - g) as u64;
+                self.slots[ins - 1] = Some(x);
+            }
+            (None, Some(g)) => {
+                for s in (ins..g).rev() {
+                    self.slots[s + 1] = self.slots[s].take();
+                }
+                self.stats.moves += (g - ins) as u64;
+                self.slots[ins] = Some(x);
+            }
+            (None, None) => unreachable!("caller checked the window has a free slot"),
+        }
+    }
+
+    /// Collect the window's elements, splice in `x` at its ordered
+    /// position, and write everything back evenly spaced.
+    fn rebalance_with_insert(&mut self, window: core::ops::Range<usize>, x: T) {
+        let mut elems: Vec<T> = Vec::with_capacity(window.len());
+        for s in window.clone() {
+            if let Some(v) = self.slots[s].take() {
+                elems.push(v);
+            }
+        }
+        let pos = elems.partition_point(|v| v < &x);
+        elems.insert(pos, x);
+        self.stats.moves += elems.len() as u64;
+        spread_evenly(&elems, &mut self.slots[window]);
+    }
+
+    fn count_occupied(&self, window: core::ops::Range<usize>) -> usize {
+        self.slots[window].iter().filter(|s| s.is_some()).count()
+    }
+
+    fn grow(&mut self) {
+        self.stats.expansions += 1;
+        self.resize(self.slots.len() * 2);
+    }
+
+    fn maybe_contract(&mut self) {
+        let min_geom = Geometry::for_capacity(8);
+        if self.slots.len() > min_geom.capacity() && self.density() < self.bounds.lower_root {
+            self.stats.contractions += 1;
+            let target = (self.slots.len() / 2).max(min_geom.capacity());
+            self.resize(target);
+        }
+    }
+
+    fn resize(&mut self, new_capacity: usize) {
+        let elems: Vec<T> = self.slots.iter_mut().filter_map(|s| s.take()).collect();
+        self.geometry = Geometry::for_capacity(new_capacity);
+        self.slots = vec![None; self.geometry.capacity()];
+        self.stats.moves += elems.len() as u64;
+        spread_evenly(&elems, &mut self.slots);
+    }
+}
+
+/// Write `elems` into `slots` evenly spaced, clearing any other slot.
+fn spread_evenly<T: Clone>(elems: &[T], slots: &mut [Option<T>]) {
+    debug_assert!(elems.len() <= slots.len());
+    for s in slots.iter_mut() {
+        *s = None;
+    }
+    if elems.is_empty() {
+        return;
+    }
+    let stride = slots.len() as f64 / elems.len() as f64;
+    for (i, e) in elems.iter().enumerate() {
+        let slot = ((i as f64 * stride) as usize).min(slots.len() - 1);
+        // Strides >= 1.0 guarantee distinct targets.
+        slots[slot] = Some(e.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorted<T: Ord + Clone + core::fmt::Debug>(pma: &Pma<T>) {
+        let v: Vec<&T> = pma.iter().collect();
+        for w in v.windows(2) {
+            assert!(w[0] < w[1], "PMA order violated: {:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let pma: Pma<u64> = Pma::new();
+        assert!(pma.is_empty());
+        assert!(!pma.contains(&42));
+        assert_eq!(pma.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut pma = Pma::new();
+        assert!(pma.insert(10u64));
+        assert!(pma.insert(5));
+        assert!(pma.insert(20));
+        assert!(pma.contains(&5));
+        assert!(pma.contains(&10));
+        assert!(pma.contains(&20));
+        assert!(!pma.contains(&6));
+        assert_eq!(pma.len(), 3);
+        assert_sorted(&pma);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut pma = Pma::new();
+        assert!(pma.insert(7u64));
+        assert!(!pma.insert(7));
+        assert_eq!(pma.len(), 1);
+    }
+
+    #[test]
+    fn ascending_inserts_stay_sorted_and_grow() {
+        let mut pma = Pma::new();
+        for x in 0..2000u64 {
+            assert!(pma.insert(x));
+        }
+        assert_eq!(pma.len(), 2000);
+        assert_sorted(&pma);
+        assert_eq!(pma.iter().count(), 2000);
+        assert!(pma.capacity().is_power_of_two());
+        assert!(pma.stats().expansions > 0);
+    }
+
+    #[test]
+    fn descending_inserts_stay_sorted() {
+        let mut pma = Pma::new();
+        for x in (0..2000u64).rev() {
+            assert!(pma.insert(x));
+        }
+        assert_eq!(pma.len(), 2000);
+        assert_sorted(&pma);
+    }
+
+    #[test]
+    fn interleaved_inserts() {
+        let mut pma = Pma::new();
+        // Insert evens then odds: every odd lands between two evens.
+        for x in (0..1000u64).step_by(2) {
+            pma.insert(x);
+        }
+        for x in (1..1000u64).step_by(2) {
+            pma.insert(x);
+        }
+        assert_eq!(pma.len(), 1000);
+        assert_sorted(&pma);
+        let collected: Vec<u64> = pma.iter().copied().collect();
+        assert_eq!(collected, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_and_contract() {
+        let mut pma = Pma::new();
+        for x in 0..1024u64 {
+            pma.insert(x);
+        }
+        let cap_before = pma.capacity();
+        for x in 0..1000u64 {
+            assert!(pma.remove(&x), "failed to remove {x}");
+        }
+        assert_eq!(pma.len(), 24);
+        assert!(pma.capacity() < cap_before, "PMA should contract after mass deletes");
+        assert_sorted(&pma);
+        for x in 1000..1024u64 {
+            assert!(pma.contains(&x));
+        }
+    }
+
+    #[test]
+    fn remove_missing() {
+        let mut pma = Pma::new();
+        pma.insert(1u64);
+        assert!(!pma.remove(&2));
+        assert_eq!(pma.len(), 1);
+    }
+
+    #[test]
+    fn from_sorted_bulk_load() {
+        let data: Vec<u64> = (0..500).map(|x| x * 3).collect();
+        let pma = Pma::from_sorted(&data, DensityBounds::default());
+        assert_eq!(pma.len(), 500);
+        assert_sorted(&pma);
+        assert!(pma.contains(&0));
+        assert!(pma.contains(&1497));
+        assert!(!pma.contains(&1));
+        // Bulk load should respect the root density bound.
+        assert!(pma.density() <= DensityBounds::default().upper_root + 1e-9);
+    }
+
+    #[test]
+    fn range_from_iterates_in_order() {
+        let data: Vec<u64> = (0..100).collect();
+        let pma = Pma::from_sorted(&data, DensityBounds::default());
+        let tail: Vec<u64> = pma.range_from(&90).copied().collect();
+        assert_eq!(tail, (90..100).collect::<Vec<_>>());
+        // From a key between elements.
+        let mut pma2 = Pma::new();
+        for x in [10u64, 20, 30] {
+            pma2.insert(x);
+        }
+        let from15: Vec<u64> = pma2.range_from(&15).copied().collect();
+        assert_eq!(from15, vec![20, 30]);
+    }
+
+    #[test]
+    fn densities_respected_after_random_inserts() {
+        let mut pma = Pma::new();
+        // Deterministic pseudo-random sequence.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pma.insert(x >> 16);
+        }
+        assert_sorted(&pma);
+        // Root density must be at or below the root bound right after any
+        // expansion-triggering insert; overall it can exceed slightly
+        // between expansions but never the leaf bound.
+        assert!(pma.density() <= DensityBounds::default().upper_leaf + 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! [`OrderedIndex`] adapters for the three competitors of §5.1:
+//! ALEX (all four variants), the B+Tree baseline, and the Learned
+//! Index baseline.
+
+use alex_btree::BPlusTree;
+use alex_core::{AlexIndex, AlexKey};
+use alex_learned_index::LearnedIndex;
+
+use crate::OrderedIndex;
+
+/// ALEX behind the workload-driver interface.
+pub struct AlexAdapter<K, V>(pub AlexIndex<K, V>);
+
+impl<K: AlexKey, V: Clone + Default> OrderedIndex<K, V> for AlexAdapter<K, V> {
+    fn contains(&self, key: &K) -> bool {
+        self.0.get(key).is_some()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        self.0.insert(key, value).is_ok()
+    }
+
+    fn scan_from(&self, key: &K, limit: usize) -> usize {
+        self.0.scan_from(key, limit, |k, v| {
+            core::hint::black_box((k, v));
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.0.size_report().index_bytes
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.0.size_report().data_bytes
+    }
+
+    fn label(&self) -> String {
+        self.0.config().variant_name()
+    }
+}
+
+/// The B+Tree baseline behind the workload-driver interface.
+pub struct BTreeAdapter<K, V>(pub BPlusTree<K, V>);
+
+impl<K: PartialOrd + Clone, V> OrderedIndex<K, V> for BTreeAdapter<K, V> {
+    fn contains(&self, key: &K) -> bool {
+        self.0.get(key).is_some()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        self.0.insert(key, value).is_none()
+    }
+
+    fn scan_from(&self, key: &K, limit: usize) -> usize {
+        let mut n = 0usize;
+        for kv in self.0.range_from(key, limit) {
+            core::hint::black_box(kv);
+            n += 1;
+        }
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.0.index_size_bytes()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.0.data_size_bytes()
+    }
+
+    fn label(&self) -> String {
+        "B+Tree".to_string()
+    }
+}
+
+/// The static Learned Index baseline behind the workload-driver
+/// interface. (The paper excludes it from read-write workloads —
+/// naive inserts are orders of magnitude slower — but the adapter
+/// supports them for the Figure 8 shift study.)
+pub struct LearnedIndexAdapter<K, V>(pub LearnedIndex<K, V>);
+
+impl<K: alex_learned_index::Key, V: Clone> OrderedIndex<K, V> for LearnedIndexAdapter<K, V> {
+    fn contains(&self, key: &K) -> bool {
+        self.0.get(key).is_some()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        self.0.insert(key, value)
+    }
+
+    fn scan_from(&self, key: &K, limit: usize) -> usize {
+        let mut n = 0usize;
+        for kv in self.0.range_from(key, limit) {
+            core::hint::black_box(kv);
+            n += 1;
+        }
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.0.index_size_bytes()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.0.data_size_bytes()
+    }
+
+    fn label(&self) -> String {
+        "Learned Index".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_core::AlexConfig;
+
+    #[test]
+    fn adapters_agree_on_basics() {
+        let data: Vec<(u64, u64)> = (0..1000).map(|k| (k * 2, k)).collect();
+        let mut alex = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let mut btree = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+        let mut li = LearnedIndexAdapter(LearnedIndex::bulk_load(&data, 16));
+        for idx in [
+            &mut alex as &mut dyn OrderedIndex<u64, u64>,
+            &mut btree,
+            &mut li,
+        ] {
+            assert_eq!(idx.len(), 1000, "{}", idx.label());
+            assert!(idx.contains(&500));
+            assert!(!idx.contains(&501));
+            assert!(idx.insert(501, 0));
+            assert!(!idx.insert(501, 0));
+            assert!(idx.contains(&501));
+            assert_eq!(idx.scan_from(&0, 10), 10);
+            assert!(idx.index_size_bytes() > 0);
+            assert!(idx.data_size_bytes() > 0);
+        }
+        assert_eq!(alex.label(), "ALEX-GA-ARMI");
+        assert_eq!(btree.label(), "B+Tree");
+        assert_eq!(li.label(), "Learned Index");
+    }
+}

@@ -1,0 +1,285 @@
+//! Workload execution: interleaved read/insert/scan loops with Zipfian
+//! key selection and throughput measurement.
+
+use std::time::{Duration, Instant};
+
+use alex_datasets::ScrambledZipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::OrderedIndex;
+
+/// The four workload mixes of §5.1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// 100% point reads (YCSB C).
+    ReadOnly,
+    /// 95% reads / 5% inserts, interleaved 19:1 (YCSB B).
+    ReadHeavy,
+    /// 50% reads / 50% inserts, interleaved 1:1 (YCSB A).
+    WriteHeavy,
+    /// 95% scans / 5% inserts, scan length uniform in 1..=100 (YCSB E).
+    RangeScan,
+}
+
+impl WorkloadKind {
+    /// All four, in the paper's order.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::ReadOnly,
+        WorkloadKind::ReadHeavy,
+        WorkloadKind::WriteHeavy,
+        WorkloadKind::RangeScan,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::ReadOnly => "read-only",
+            WorkloadKind::ReadHeavy => "read-heavy",
+            WorkloadKind::WriteHeavy => "write-heavy",
+            WorkloadKind::RangeScan => "range-scan",
+        }
+    }
+
+    /// `(reads, inserts)` per interleave cycle.
+    fn cycle(self) -> (usize, usize) {
+        match self {
+            WorkloadKind::ReadOnly => (1, 0),
+            WorkloadKind::ReadHeavy | WorkloadKind::RangeScan => (19, 1),
+            WorkloadKind::WriteHeavy => (1, 1),
+        }
+    }
+
+    /// Whether reads are range scans.
+    fn scans(self) -> bool {
+        matches!(self, WorkloadKind::RangeScan)
+    }
+}
+
+/// Parameters for one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Which mix to run.
+    pub kind: WorkloadKind,
+    /// Total operations (reads + inserts) to perform. The run ends
+    /// early if the insert pool is exhausted.
+    pub ops: usize,
+    /// Maximum range-scan length (paper: 100).
+    pub max_scan_len: usize,
+    /// RNG seed for key selection.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the paper's constants and the given op budget.
+    pub fn new(kind: WorkloadKind, ops: usize) -> Self {
+        Self {
+            kind,
+            ops,
+            max_scan_len: 100,
+            seed: 0xA1EF,
+        }
+    }
+}
+
+/// Results of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Point reads (or scans) performed.
+    pub reads: u64,
+    /// Inserts performed.
+    pub inserts: u64,
+    /// Total entries visited by scans.
+    pub scanned: u64,
+    /// Reads that found their key (should equal `reads`).
+    pub hits: u64,
+    /// Wall-clock time of the measured loop.
+    pub elapsed: Duration,
+    /// Index label.
+    pub label: String,
+    /// Index size after the run (bytes).
+    pub index_size_bytes: usize,
+    /// Data size after the run (bytes).
+    pub data_size_bytes: usize,
+}
+
+impl WorkloadReport {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+/// Run `spec` against `index`.
+///
+/// `existing_keys` must list the keys already loaded into the index (in
+/// any order); lookups Zipf-select from this pool, which grows as
+/// inserts drain `insert_keys`. `make_value` produces the payload for
+/// an inserted key.
+pub fn run_workload<K, V, I>(
+    index: &mut I,
+    existing_keys: &[K],
+    insert_keys: &[K],
+    spec: &WorkloadSpec,
+    mut make_value: impl FnMut(&K) -> V,
+) -> WorkloadReport
+where
+    K: Copy,
+    I: OrderedIndex<K, V> + ?Sized,
+{
+    assert!(!existing_keys.is_empty(), "need at least one existing key");
+    let mut pool: Vec<K> = existing_keys.to_vec();
+    pool.reserve(insert_keys.len());
+    let mut zipf = ScrambledZipf::new(pool.len(), spec.seed);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5EED);
+    let (reads_per_cycle, inserts_per_cycle) = spec.kind.cycle();
+    let mut report = WorkloadReport {
+        ops: 0,
+        reads: 0,
+        inserts: 0,
+        scanned: 0,
+        hits: 0,
+        elapsed: Duration::ZERO,
+        label: index.label(),
+        index_size_bytes: 0,
+        data_size_bytes: 0,
+    };
+    let mut to_insert = insert_keys.iter();
+    let start = Instant::now();
+    'outer: while (report.ops as usize) < spec.ops {
+        for _ in 0..reads_per_cycle {
+            if report.ops as usize >= spec.ops {
+                break;
+            }
+            let key = pool[zipf.next_rank()];
+            if spec.kind.scans() {
+                let len = rng.random_range(1..=spec.max_scan_len);
+                let visited = index.scan_from(&key, len);
+                report.scanned += visited as u64;
+                report.hits += u64::from(visited > 0);
+            } else {
+                report.hits += u64::from(index.contains(&key));
+            }
+            report.reads += 1;
+            report.ops += 1;
+        }
+        for _ in 0..inserts_per_cycle {
+            if report.ops as usize >= spec.ops {
+                break;
+            }
+            let Some(&key) = to_insert.next() else {
+                break 'outer; // insert pool exhausted
+            };
+            if index.insert(key, make_value(&key)) {
+                pool.push(key);
+            }
+            report.inserts += 1;
+            report.ops += 1;
+        }
+        if inserts_per_cycle > 0 {
+            zipf.extend_to(pool.len());
+        }
+    }
+    report.elapsed = start.elapsed();
+    report.index_size_bytes = index.index_size_bytes();
+    report.data_size_bytes = index.data_size_bytes();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{AlexAdapter, BTreeAdapter};
+    use alex_btree::BPlusTree;
+    use alex_core::{AlexConfig, AlexIndex};
+
+    fn setup() -> (Vec<u64>, Vec<u64>) {
+        let existing: Vec<u64> = (0..5000u64).map(|k| k * 2).collect();
+        let inserts: Vec<u64> = (0..5000u64).map(|k| k * 2 + 1).collect();
+        (existing, inserts)
+    }
+
+    #[test]
+    fn read_only_always_hits() {
+        let (existing, _) = setup();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_srmi(16)));
+        let spec = WorkloadSpec::new(WorkloadKind::ReadOnly, 2000);
+        let report = run_workload(&mut idx, &existing, &[], &spec, |&k| k);
+        assert_eq!(report.ops, 2000);
+        assert_eq!(report.reads, 2000);
+        assert_eq!(report.inserts, 0);
+        assert_eq!(report.hits, 2000, "Zipf over existing keys must always hit");
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn read_heavy_interleaves_19_to_1() {
+        let (existing, inserts) = setup();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+        let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, 2000);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        assert_eq!(report.ops, 2000);
+        assert_eq!(report.inserts, 100, "5% of 2000");
+        assert_eq!(report.reads, 1900);
+        assert_eq!(report.hits, 1900);
+        assert_eq!(idx.0.len(), 5100);
+    }
+
+    #[test]
+    fn write_heavy_is_half_inserts() {
+        let (existing, inserts) = setup();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let spec = WorkloadSpec::new(WorkloadKind::WriteHeavy, 3000);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        assert_eq!(report.inserts, 1500);
+        assert_eq!(report.reads, 1500);
+        assert_eq!(report.hits, 1500);
+    }
+
+    #[test]
+    fn range_scan_visits_entries() {
+        let (existing, inserts) = setup();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let spec = WorkloadSpec::new(WorkloadKind::RangeScan, 1000);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        assert!(report.scanned > 0);
+        // Mean scan length ~50 per read.
+        assert!(report.scanned as f64 / report.reads as f64 > 10.0);
+    }
+
+    #[test]
+    fn run_stops_when_insert_pool_exhausted() {
+        let existing: Vec<u64> = (0..100u64).collect();
+        let inserts: Vec<u64> = (1000..1010u64).collect();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let spec = WorkloadSpec::new(WorkloadKind::WriteHeavy, 10_000);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        assert_eq!(report.inserts, 10);
+        assert!(report.ops < 10_000);
+    }
+
+    #[test]
+    fn inserted_keys_become_lookup_candidates() {
+        let existing: Vec<u64> = (0..50u64).map(|k| k * 2).collect();
+        let inserts: Vec<u64> = (0..5000u64).map(|k| 100 + k).collect();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let spec = WorkloadSpec::new(WorkloadKind::WriteHeavy, 6000);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        // Every read must hit even though most of the pool was inserted
+        // during the run.
+        assert_eq!(report.hits, report.reads);
+    }
+}

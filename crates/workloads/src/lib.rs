@@ -1,0 +1,54 @@
+//! YCSB-style workload drivers reproducing §5.1.2 of the ALEX paper.
+//!
+//! Four workloads, "roughly corresponding to Workloads C, B, A, and E
+//! from the YCSB benchmark":
+//!
+//! | Workload | Mix | Interleave |
+//! |---|---|---|
+//! | read-only | 100% reads | — |
+//! | read-heavy | 95% reads / 5% inserts | 19 reads, 1 insert |
+//! | write-heavy | 50% reads / 50% inserts | 1 read, 1 insert |
+//! | range scan | 95% scans / 5% inserts | 19 scans, 1 insert |
+//!
+//! Lookup keys are drawn from the *existing* keys with a Zipfian
+//! distribution (so lookups always hit); scan lengths are uniform in
+//! `1..=100`. The driver works against any [`OrderedIndex`] — adapters
+//! for ALEX, the B+Tree baseline, and the Learned Index baseline are in
+//! [`adapters`].
+
+pub mod adapters;
+mod driver;
+
+pub use driver::{run_workload, WorkloadKind, WorkloadReport, WorkloadSpec};
+
+/// The index interface the workload driver exercises — the operations
+/// §5.1.2 measures, plus the §5.1 size accounting.
+pub trait OrderedIndex<K, V> {
+    /// Point lookup; `true` when the key was found.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Insert; `false` on duplicate.
+    fn insert(&mut self, key: K, value: V) -> bool;
+
+    /// Scan up to `limit` entries with key `>= key`; returns the number
+    /// of entries visited.
+    fn scan_from(&self, key: &K, limit: usize) -> usize;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's *index size* (models/inner nodes + pointers +
+    /// metadata).
+    fn index_size_bytes(&self) -> usize;
+
+    /// The paper's *data size* (leaf/data storage including gaps).
+    fn data_size_bytes(&self) -> usize;
+
+    /// Display name for reports.
+    fn label(&self) -> String;
+}

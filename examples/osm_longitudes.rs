@@ -1,0 +1,63 @@
+//! The paper's motivating scenario: index OSM-style longitude keys and
+//! compare all four ALEX variants against the B+Tree baseline on a
+//! read-heavy workload (§5.2.2's setting, scaled down).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example osm_longitudes
+//! ```
+
+use alex_repro::alex_btree::BPlusTree;
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_datasets::{longitudes_keys, sorted};
+use alex_repro::alex_workloads::adapters::{AlexAdapter, BTreeAdapter};
+use alex_repro::alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
+
+const INIT_KEYS: usize = 400_000;
+const INSERT_KEYS: usize = 200_000;
+const OPS: usize = 400_000;
+
+fn main() {
+    println!("generating {} longitude keys…", INIT_KEYS + INSERT_KEYS);
+    let keys = longitudes_keys(INIT_KEYS + INSERT_KEYS, 42);
+    let (init, inserts) = keys.split_at(INIT_KEYS);
+    let init_sorted = sorted(init.to_vec());
+    let data: Vec<(f64, u64)> = init_sorted.iter().map(|&k| (k, k.to_bits())).collect();
+
+    let configs = [
+        AlexConfig::ga_srmi(INIT_KEYS / 4096),
+        AlexConfig::ga_armi(),
+        AlexConfig::pma_srmi(INIT_KEYS / 4096),
+        AlexConfig::pma_armi(),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>14} {:>12}",
+        "index", "ops/sec", "index bytes", "data MiB"
+    );
+    for cfg in configs {
+        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, cfg));
+        let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, OPS);
+        let report = run_workload(&mut idx, &init_sorted, inserts, &spec, |k| k.to_bits());
+        println!(
+            "{:<14} {:>12.0} {:>14} {:>12}",
+            report.label,
+            report.throughput(),
+            report.index_size_bytes,
+            report.data_size_bytes >> 20
+        );
+    }
+
+    let mut btree = BTreeAdapter(BPlusTree::bulk_load(&data, 128, 128, 0.7));
+    let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, OPS);
+    let report = run_workload(&mut btree, &init_sorted, inserts, &spec, |k| k.to_bits());
+    println!(
+        "{:<14} {:>12.0} {:>14} {:>12}",
+        report.label,
+        report.throughput(),
+        report.index_size_bytes,
+        report.data_size_bytes >> 20
+    );
+
+    println!("\n(every read during the run hit an existing key: Zipfian over the live key set)");
+}

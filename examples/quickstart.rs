@@ -1,0 +1,52 @@
+//! Quickstart: build an ALEX index, look keys up, insert, delete, scan.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+
+fn main() {
+    // 1. Bulk-load one million sorted (key, payload) pairs.
+    let data: Vec<(u64, u64)> = (0..1_000_000u64).map(|k| (k * 3, k)).collect();
+    let mut index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+    println!("loaded {} keys into {}", index.len(), index.config().variant_name());
+
+    // 2. Point lookups.
+    assert_eq!(index.get(&300_000), Some(&100_000));
+    assert_eq!(index.get(&300_001), None);
+    println!("lookup 300000 -> {:?}", index.get(&300_000));
+
+    // 3. Inserts go to the slot the model predicts (model-based
+    //    insertion); duplicates are rejected.
+    index.insert(300_001, 42).expect("fresh key");
+    assert!(index.insert(300_001, 43).is_err());
+    println!("inserted 300001 -> {:?}", index.get(&300_001));
+
+    // 4. Updates and deletes.
+    index.update(&300_001, 44);
+    assert_eq!(index.remove(&300_001), Some(44));
+
+    // 5. Range scans skip gaps via the per-node bitmap.
+    let window: Vec<u64> = index.range_from(&899_997, 5).map(|(k, _)| *k).collect();
+    println!("5 keys from 899997: {window:?}");
+
+    // 6. The learned index is tiny compared to the data it indexes.
+    let sizes = index.size_report();
+    println!(
+        "index: {} KiB over {} data nodes / {} inner nodes; data: {} MiB",
+        sizes.index_bytes / 1024,
+        sizes.num_data_nodes,
+        sizes.num_inner_nodes,
+        sizes.data_bytes >> 20,
+    );
+
+    // 7. Model quality: how far keys sit from their predicted slots.
+    let errs = index.prediction_errors();
+    let direct = errs.iter().filter(|&&e| e == 0).count();
+    println!(
+        "prediction: {:.1}% of keys exactly where the model predicts",
+        100.0 * direct as f64 / errs.len() as f64
+    );
+}

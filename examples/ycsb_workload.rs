@@ -1,0 +1,50 @@
+//! Run the four YCSB-style workloads (§5.1.2) on the YCSB dataset —
+//! uniform 64-bit user IDs with 80-byte payloads — comparing ALEX with
+//! the B+Tree baseline.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example ycsb_workload
+//! ```
+
+use alex_repro::alex_btree::BPlusTree;
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_datasets::{sorted, ycsb_keys, Payload};
+use alex_repro::alex_workloads::adapters::{AlexAdapter, BTreeAdapter};
+use alex_repro::alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
+
+type Value = Payload<80>;
+
+const INIT_KEYS: usize = 200_000;
+const INSERT_KEYS: usize = 200_000;
+const OPS: usize = 200_000;
+
+fn main() {
+    println!("generating {} YCSB keys…", INIT_KEYS + INSERT_KEYS);
+    let keys = ycsb_keys(INIT_KEYS + INSERT_KEYS, 7);
+    let (init, inserts) = keys.split_at(INIT_KEYS);
+    let init_sorted = sorted(init.to_vec());
+    let data: Vec<(u64, Value)> = init_sorted.iter().map(|&k| (k, Value::from_seed(k))).collect();
+
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "workload", "ALEX ops/s", "B+Tree ops/s"
+    );
+    for kind in WorkloadKind::ALL {
+        let mut alex = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let spec = WorkloadSpec::new(kind, OPS);
+        let alex_report = run_workload(&mut alex, &init_sorted, inserts, &spec, |&k| Value::from_seed(k));
+
+        let mut btree = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+        let btree_report = run_workload(&mut btree, &init_sorted, inserts, &spec, |&k| Value::from_seed(k));
+
+        println!(
+            "{:<12} {:>14.0} {:>14.0}   (index size: {} vs {} bytes)",
+            kind.name(),
+            alex_report.throughput(),
+            btree_report.throughput(),
+            alex_report.index_size_bytes,
+            btree_report.index_size_bytes,
+        );
+    }
+}

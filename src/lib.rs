@@ -1,0 +1,25 @@
+//! Umbrella crate for the ALEX reproduction workspace.
+//!
+//! This crate re-exports the public surface of every workspace member so
+//! that examples and integration tests can use a single dependency. The
+//! actual implementations live in the `crates/` members:
+//!
+//! - [`alex_core`] — the ALEX index itself (the paper's contribution).
+//! - [`alex_pma`] — a standalone Packed Memory Array (Bender & Hu), the
+//!   substrate behind ALEX's PMA node layout.
+//! - [`alex_btree`] — an in-memory B+Tree baseline (STX-style).
+//! - [`alex_learned_index`] — a reimplementation of the static Learned
+//!   Index of Kraska et al. (two-level linear RMI over a dense sorted
+//!   array with bounded binary search).
+//! - [`alex_datasets`] — generators for the paper's four datasets plus
+//!   Zipfian key selection.
+//! - [`alex_workloads`] — YCSB-style workload drivers and the
+//!   [`alex_workloads::OrderedIndex`] trait that all three indexes
+//!   implement.
+
+pub use alex_btree;
+pub use alex_core;
+pub use alex_datasets;
+pub use alex_learned_index;
+pub use alex_pma;
+pub use alex_workloads;

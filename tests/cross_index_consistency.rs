@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the three index implementations must
+//! agree with each other (and with `std::collections::BTreeMap`) on
+//! every workload the paper runs.
+
+use std::collections::BTreeMap;
+
+use alex_repro::alex_btree::BPlusTree;
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_datasets::{
+    lognormal_keys, longitudes_keys, longlat_keys, sorted, ycsb_keys,
+};
+use alex_repro::alex_learned_index::LearnedIndex;
+
+fn alex_variants() -> Vec<AlexConfig> {
+    vec![
+        AlexConfig::ga_srmi(32),
+        AlexConfig::ga_armi().with_max_node_keys(1024),
+        AlexConfig::pma_srmi(32),
+        AlexConfig::pma_armi().with_max_node_keys(1024),
+        AlexConfig::ga_armi().with_max_node_keys(512).with_splitting(),
+    ]
+}
+
+fn check_dataset_u64(keys: Vec<u64>, name: &str) {
+    let init_sorted = sorted(keys.clone());
+    let data: Vec<(u64, u64)> = init_sorted.iter().map(|&k| (k, k ^ 0xABCD)).collect();
+    let reference: BTreeMap<u64, u64> = data.iter().copied().collect();
+
+    let btree = BPlusTree::bulk_load(&data, 64, 64, 0.7);
+    let li = LearnedIndex::bulk_load(&data, 64);
+    for cfg in alex_variants() {
+        let alex = AlexIndex::bulk_load(&data, cfg);
+        for (i, &k) in init_sorted.iter().enumerate().step_by(7) {
+            let expect = reference.get(&k);
+            assert_eq!(alex.get(&k), expect, "{name}/{} key {k} (#{i})", cfg.variant_name());
+            assert_eq!(btree.get(&k), expect, "{name}/btree key {k}");
+            assert_eq!(li.get(&k), expect, "{name}/li key {k}");
+            // A key absent from the dataset must be absent everywhere.
+            let miss = k ^ 1;
+            if !reference.contains_key(&miss) {
+                assert_eq!(alex.get(&miss), None, "{name}/{}", cfg.variant_name());
+                assert_eq!(btree.get(&miss), None);
+                assert_eq!(li.get(&miss), None);
+            }
+        }
+        // Full iteration agrees with the reference.
+        let alex_keys: Vec<u64> = alex.iter().map(|(k, _)| *k).collect();
+        let ref_keys: Vec<u64> = reference.keys().copied().collect();
+        assert_eq!(alex_keys, ref_keys, "{name}/{} iteration", cfg.variant_name());
+    }
+}
+
+#[test]
+fn lognormal_dataset_consistency() {
+    check_dataset_u64(lognormal_keys(30_000, 11), "lognormal");
+}
+
+#[test]
+fn ycsb_dataset_consistency() {
+    check_dataset_u64(ycsb_keys(30_000, 12), "ycsb");
+}
+
+#[test]
+fn longitudes_dataset_consistency() {
+    let keys = sorted(longitudes_keys(30_000, 13));
+    let data: Vec<(f64, u64)> = keys.iter().map(|&k| (k, k.to_bits())).collect();
+    let btree = BPlusTree::bulk_load(&data, 64, 64, 0.7);
+    for cfg in alex_variants() {
+        let alex = AlexIndex::bulk_load(&data, cfg);
+        for &k in keys.iter().step_by(11) {
+            assert_eq!(alex.get(&k), Some(&k.to_bits()), "{}", cfg.variant_name());
+            assert_eq!(btree.get(&k), Some(&k.to_bits()));
+        }
+    }
+}
+
+#[test]
+fn longlat_dataset_consistency() {
+    // The non-linear stepped CDF is the hard case for learned indexes.
+    let keys = sorted(longlat_keys(30_000, 14));
+    let data: Vec<(f64, u64)> = keys.iter().map(|&k| (k, 7u64)).collect();
+    for cfg in alex_variants() {
+        let alex = AlexIndex::bulk_load(&data, cfg);
+        assert_eq!(alex.len(), data.len());
+        for &k in keys.iter().step_by(23) {
+            assert_eq!(alex.get(&k), Some(&7), "{} key {k}", cfg.variant_name());
+        }
+    }
+}
+
+#[test]
+fn interleaved_workload_agreement() {
+    // Simulate the write-heavy workload on ALEX, B+Tree, and BTreeMap
+    // simultaneously and require identical observable behaviour.
+    let all = ycsb_keys(20_000, 99);
+    let (init, inserts) = all.split_at(10_000);
+    let init_sorted = sorted(init.to_vec());
+    let data: Vec<(u64, u64)> = init_sorted.iter().map(|&k| (k, k)).collect();
+
+    let mut alex = AlexIndex::bulk_load(&data, AlexConfig::ga_armi().with_max_node_keys(1024));
+    let mut btree = BPlusTree::bulk_load(&data, 64, 64, 0.7);
+    let mut reference: BTreeMap<u64, u64> = data.iter().copied().collect();
+
+    for (i, &k) in inserts.iter().enumerate() {
+        assert!(alex.insert(k, k).is_ok(), "alex insert {k}");
+        assert!(btree.insert(k, k).is_none());
+        reference.insert(k, k);
+        if i % 97 == 0 {
+            // Point reads of an existing and a missing key.
+            let probe = inserts[i / 2];
+            assert_eq!(alex.get(&probe).is_some(), reference.contains_key(&probe));
+            assert_eq!(btree.get(&probe).is_some(), reference.contains_key(&probe));
+            // Short range scan from a random spot.
+            let start = init_sorted[(i * 31) % init_sorted.len()];
+            let a: Vec<u64> = alex.range_from(&start, 20).map(|(k, _)| *k).collect();
+            let b: Vec<u64> = btree.range_from(&start, 20).map(|(k, _)| *k).collect();
+            let r: Vec<u64> = reference.range(start..).take(20).map(|(k, _)| *k).collect();
+            assert_eq!(a, r, "alex scan from {start}");
+            assert_eq!(b, r, "btree scan from {start}");
+        }
+    }
+    assert_eq!(alex.len(), reference.len());
+    assert_eq!(btree.len(), reference.len());
+}
+
+#[test]
+fn deletes_agree_with_reference() {
+    let keys = sorted(lognormal_keys(10_000, 5));
+    let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+    let mut alex = AlexIndex::bulk_load(&data, AlexConfig::pma_armi().with_max_node_keys(1024));
+    let mut btree = BPlusTree::bulk_load(&data, 32, 32, 0.7);
+    let mut reference: BTreeMap<u64, u64> = data.iter().copied().collect();
+
+    for (i, &k) in keys.iter().enumerate() {
+        if i % 3 == 0 {
+            assert_eq!(alex.remove(&k), Some(k));
+            assert_eq!(btree.remove(&k), Some(k));
+            reference.remove(&k);
+        }
+    }
+    assert_eq!(alex.len(), reference.len());
+    for &k in keys.iter().step_by(13) {
+        assert_eq!(alex.get(&k).is_some(), reference.contains_key(&k));
+        assert_eq!(btree.get(&k).is_some(), reference.contains_key(&k));
+    }
+    let alex_keys: Vec<u64> = alex.iter().map(|(k, _)| *k).collect();
+    let ref_keys: Vec<u64> = reference.keys().copied().collect();
+    assert_eq!(alex_keys, ref_keys);
+}
+
+#[test]
+fn index_size_ordering_matches_paper() {
+    // §5.2.1: ALEX index is orders of magnitude smaller than B+Tree's
+    // inner nodes and smaller than the Learned Index at comparable
+    // throughput settings.
+    let keys = sorted(ycsb_keys(100_000, 1));
+    let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+    let alex = AlexIndex::bulk_load(&data, AlexConfig::ga_armi().with_max_node_keys(8192));
+    let btree = BPlusTree::bulk_load(&data, 128, 128, 0.7);
+    let li = LearnedIndex::bulk_load(&data, 10_000);
+
+    let alex_size = alex.size_report().index_bytes;
+    assert!(
+        alex_size * 10 < btree.index_size_bytes(),
+        "ALEX {} should be far below B+Tree {}",
+        alex_size,
+        btree.index_size_bytes()
+    );
+    assert!(
+        alex_size < li.index_size_bytes(),
+        "ALEX {} should be below Learned Index {}",
+        alex_size,
+        li.index_size_bytes()
+    );
+}
