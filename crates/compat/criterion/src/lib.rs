@@ -1,0 +1,202 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, written because this build environment has no
+//! access to crates.io. It keeps the same bench-authoring surface the
+//! workspace uses — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], [`criterion_group!`] and [`criterion_main!`] — but
+//! the measurement core is deliberately simple: a fixed warm-up, then
+//! `sample_size` timed samples whose median ns/iter is printed to
+//! stdout. No statistics, plots, or baseline comparison.
+//!
+//! Swapping the workspace back to the real crate is a one-line change
+//! in the root `[workspace.dependencies]`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched-setup output is sized. Only a hint in the real crate;
+/// accepted and ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Few, large batches.
+    LargeInput,
+    /// Many, small batches.
+    SmallInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` over inputs built (outside the timing) by `setup`.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (upstream default: 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.criterion.quick, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.criterion.quick, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = id.to_string();
+        let quick = self.quick;
+        run_one(&full, 100, quick, &mut f);
+        self
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, quick: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    // `--quick` / CRITERION_QUICK=1 (used by CI smoke runs) cuts the
+    // sample count to the bone — enough to prove the bench executes.
+    let sample_count = if quick { 2 } else { sample_size };
+    let mut bencher = Bencher {
+        iters_per_sample: if quick { 1 } else { 16 },
+        samples: Vec::with_capacity(sample_count),
+        sample_count,
+    };
+    f(&mut bencher);
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("{name}: median {median:?}/iter over {} samples", bencher.samples.len());
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Build from the process arguments/environment (`--quick` or
+    /// `CRITERION_QUICK=1` shorten runs; other flags are ignored).
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        Self { quick }
+    }
+}

@@ -1,0 +1,174 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::strategy::{Strategy, TestRng};
+use crate::tree::Tree;
+
+/// Size bounds for a generated collection. Built from `usize` ranges
+/// via `Into`, mirroring upstream's `SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Tree<Vec<S::Value>> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        let elements: Vec<Tree<S::Value>> =
+            (0..len).map(|_| self.element.new_tree(rng)).collect();
+        vec_tree(Rc::new(elements), self.size.min)
+    }
+}
+
+/// Shrink a vector of element trees by (a) removing chunks of elements
+/// down to the minimum length, then (b) shrinking individual elements.
+fn vec_tree<T: Clone + Debug + 'static>(
+    elements: Rc<Vec<Tree<T>>>,
+    min_len: usize,
+) -> Tree<Vec<T>> {
+    let value: Vec<T> = elements.iter().map(|t| t.value().clone()).collect();
+    Tree::new(value, move || {
+        let mut out = Vec::new();
+        let len = elements.len();
+        // (a) Chunk removals, biggest chunks first.
+        let mut chunk = len.saturating_sub(min_len);
+        while chunk > 0 {
+            let mut start = 0;
+            while start < len {
+                let end = (start + chunk).min(len);
+                if len - (end - start) >= min_len {
+                    let mut remaining = Vec::with_capacity(len - (end - start));
+                    remaining.extend(elements[..start].iter().cloned());
+                    remaining.extend(elements[end..].iter().cloned());
+                    out.push(vec_tree(Rc::new(remaining), min_len));
+                }
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        // (b) Per-element shrinks (capped per element to bound the
+        // candidate list; greedy descent revisits the element anyway).
+        for (i, element) in elements.iter().enumerate() {
+            for candidate in element.shrink_candidates().into_iter().take(8) {
+                let mut replaced: Vec<Tree<T>> = elements.as_ref().clone();
+                replaced[i] = candidate;
+                out.push(vec_tree(Rc::new(replaced), min_len));
+            }
+        }
+        out
+    })
+}
+
+/// Strategy for `BTreeSet`s with `size` distinct elements drawn from
+/// `element`. Shrinking removes elements (it never shrinks individual
+/// element values, which could collide and is rarely needed).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Tree<BTreeSet<S::Value>> {
+        let span = (self.size.max - self.size.min) as u64;
+        let target = self.size.min + rng.below(span.max(1)) as usize;
+        let mut items: BTreeSet<S::Value> = BTreeSet::new();
+        // Give up gracefully on tiny domains: a set as large as the
+        // domain allows is the best any generator can do.
+        let mut attempts = 0usize;
+        let max_attempts = target * 20 + 100;
+        while items.len() < target && attempts < max_attempts {
+            items.insert(self.element.new_tree(rng).value().clone());
+            attempts += 1;
+        }
+        set_tree(Rc::new(items.into_iter().collect()), self.size.min)
+    }
+}
+
+/// Shrink a set (as a sorted vec of distinct items) by removing chunks.
+fn set_tree<T: Ord + Clone + Debug + 'static>(
+    items: Rc<Vec<T>>,
+    min_len: usize,
+) -> Tree<BTreeSet<T>> {
+    let value: BTreeSet<T> = items.iter().cloned().collect();
+    Tree::new(value, move || {
+        let mut out = Vec::new();
+        let len = items.len();
+        let mut chunk = len.saturating_sub(min_len);
+        while chunk > 0 {
+            let mut start = 0;
+            while start < len {
+                let end = (start + chunk).min(len);
+                if len - (end - start) >= min_len {
+                    let mut remaining = Vec::with_capacity(len - (end - start));
+                    remaining.extend(items[..start].iter().cloned());
+                    remaining.extend(items[end..].iter().cloned());
+                    out.push(set_tree(Rc::new(remaining), min_len));
+                }
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        out
+    })
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, written because this build environment has no access to
+//! crates.io. It implements the subset of the API this workspace uses,
+//! with hedgehog-style *integrated shrinking* (every generated value
+//! carries a lazy tree of smaller candidates):
+//!
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`]
+//!   macros,
+//! - [`Strategy`] with [`Strategy::prop_map`], implemented for integer
+//!   ranges, tuples, [`strategy::Just`], [`strategy::Union`]
+//!   (`prop_oneof!`) and mapped strategies,
+//! - [`collection::vec`] and [`collection::btree_set`],
+//! - [`test_runner::ProptestConfig`] (`with_cases`, plus the
+//!   `PROPTEST_CASES` env override) and
+//!   [`test_runner::TestCaseError`] / rejection via `prop_assume!`,
+//! - regression-seed persistence compatible in spirit with upstream:
+//!   failing cases append a `cc 0x<seed>` line to
+//!   `proptest-regressions/<test-file-stem>.txt` (relative to the crate
+//!   root), and every `cc` line found there is replayed before the
+//!   random cases on the next run.
+//!
+//! Case generation is fully deterministic: the per-case RNG seed is
+//! derived from a fixed base (overridable with `PROPTEST_RNG_SEED`),
+//! the test's name, and the case number, so CI runs are reproducible.
+//!
+//! Swapping the workspace back to the real crate is a one-line change
+//! in the root `[workspace.dependencies]`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+mod tree;
+
+pub use strategy::Strategy;
+pub use tree::Tree;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Mirror of upstream's `prelude::prop` module namespace.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a property, failing the case (with
+/// shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discard the current case (it counts as neither pass nor failure)
+/// when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((
+                $weight as u32,
+                ::std::rc::Rc::new($strategy) as ::std::rc::Rc<dyn $crate::strategy::AnyStrategy<_>>,
+            )),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` attribute and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run(&config, file!(), stringify!($name), &strategy, |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

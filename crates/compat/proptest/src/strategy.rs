@@ -1,0 +1,233 @@
+//! Strategies: how to generate a shrinkable random value.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::tree::{self, Tree};
+
+/// The deterministic generator behind every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A recipe for generating shrinkable values of type [`Strategy::Value`].
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value: Clone + Debug + 'static;
+
+    /// Generate one value together with its shrink tree.
+    fn new_tree(&self, rng: &mut TestRng) -> Tree<Self::Value>;
+
+    /// Transform every generated value with `f` (shrinking happens on
+    /// the source value and is mapped through).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+    where
+        Self: Sized,
+        O: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let f = Rc::new(f);
+        Map {
+            source: self,
+            f: Rc::new(move |value: &Self::Value| f(value.clone())),
+        }
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_tree(&self, _rng: &mut TestRng) -> Tree<T> {
+        Tree::leaf(self.0.clone())
+    }
+}
+
+/// Shared mapping function from a strategy's value to the output type.
+type MapFn<V, O> = Rc<dyn Fn(&V) -> O>;
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S: Strategy, O> {
+    source: S,
+    f: MapFn<S::Value, O>,
+}
+
+impl<S: Strategy, O: Clone + Debug + 'static> Strategy for Map<S, O> {
+    type Value = O;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Tree<O> {
+        self.source.new_tree(rng).map(Rc::clone(&self.f))
+    }
+}
+
+/// Object-safe view of [`Strategy`], so differently typed strategies
+/// producing the same value type can share a [`Union`].
+pub trait AnyStrategy<T> {
+    /// Generate one value together with its shrink tree.
+    fn new_tree_dyn(&self, rng: &mut TestRng) -> Tree<T>;
+}
+
+impl<S: Strategy> AnyStrategy<S::Value> for S {
+    fn new_tree_dyn(&self, rng: &mut TestRng) -> Tree<S::Value> {
+        self.new_tree(rng)
+    }
+}
+
+/// Weighted choice between strategies — what [`prop_oneof!`] builds.
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<(u32, Rc<dyn AnyStrategy<T>>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Rc<dyn AnyStrategy<T>>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one arm with nonzero weight");
+        Self { arms, total_weight }
+    }
+}
+
+impl<T: Clone + Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Tree<T> {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.new_tree_dyn(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the total weight");
+    }
+}
+
+/// Shrink tree for an integer: candidates halve the distance to the
+/// range's lower bound, most aggressive first.
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut TestRng) -> Tree<$t> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                let value = self.start + rng.below(span) as $t;
+                int_tree(value, self.start)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut TestRng) -> Tree<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64 + 1;
+                let value = start + rng.below(span) as $t;
+                int_tree(value, start)
+            }
+        }
+    )*};
+}
+
+int_strategies!(u64, u32, usize, u8);
+
+/// Build the shrink tree for integer `value` with lower bound `lo`.
+fn int_tree<T>(value: T, lo: T) -> Tree<T>
+where
+    T: Copy + Debug + PartialOrd + core::ops::Sub<Output = T> + core::ops::Div<Output = T>
+        + core::ops::Add<Output = T> + From<u8> + 'static,
+{
+    Tree::new(value, move || {
+        let mut out = Vec::new();
+        let mut distance = value - lo;
+        let zero = T::from(0u8);
+        let two = T::from(2u8);
+        while distance > zero {
+            out.push(int_tree(value - distance, lo));
+            distance = distance / two;
+        }
+        out
+    })
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_tree(&self, rng: &mut TestRng) -> Tree<Self::Value> {
+                tuple_strategies!(@build self rng $($idx),+)
+            }
+        }
+    )*};
+    (@build $self:ident $rng:ident 0) => {{
+        let t0 = $self.0.new_tree($rng);
+        t0.map(Rc::new(|v| (v.clone(),)))
+    }};
+    (@build $self:ident $rng:ident 0, 1) => {{
+        let t0 = $self.0.new_tree($rng);
+        let t1 = $self.1.new_tree($rng);
+        tree::tuple2(t0, t1)
+    }};
+    (@build $self:ident $rng:ident 0, 1, 2) => {{
+        let t0 = $self.0.new_tree($rng);
+        let t1 = $self.1.new_tree($rng);
+        let t2 = $self.2.new_tree($rng);
+        tree::tuple2(tree::tuple2(t0, t1), t2)
+            .map(Rc::new(|((a, b), c): &((_, _), _)| (a.clone(), b.clone(), c.clone())))
+    }};
+    (@build $self:ident $rng:ident 0, 1, 2, 3) => {{
+        let t0 = $self.0.new_tree($rng);
+        let t1 = $self.1.new_tree($rng);
+        let t2 = $self.2.new_tree($rng);
+        let t3 = $self.3.new_tree($rng);
+        tree::tuple2(tree::tuple2(t0, t1), tree::tuple2(t2, t3)).map(Rc::new(
+            |((a, b), (c, d)): &((_, _), (_, _))| (a.clone(), b.clone(), c.clone(), d.clone()),
+        ))
+    }};
+}
+
+tuple_strategies! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+}

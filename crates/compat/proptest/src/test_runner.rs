@@ -1,0 +1,354 @@
+//! The runner behind the [`proptest!`](crate::proptest) macro: replay
+//! persisted regression seeds, run deterministic random cases, shrink
+//! failures greedily, and persist the seed of any new failure.
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::strategy::{Strategy, TestRng};
+use crate::tree::Tree;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+/// Result type of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Only the knobs this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    /// Overridable at runtime with the `PROPTEST_CASES` env var.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated before
+    /// the test errors out.
+    pub max_global_rejects: u32,
+    /// Maximum number of candidate executions during shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 4_096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Fixed base seed; `PROPTEST_RNG_SEED` overrides it for exploratory
+/// fuzzing runs. Derived per test from the test name so sibling tests
+/// see different streams.
+const BASE_SEED: u64 = 0xA1EC_5EED_2020_0001;
+
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn execute<V, F>(test: &F, value: &V) -> CaseOutcome
+where
+    V: Clone + Debug + 'static,
+    F: Fn(V) -> TestCaseResult,
+{
+    match panic::catch_unwind(AssertUnwindSafe(|| test(value.clone()))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => CaseOutcome::Reject,
+        Ok(Err(TestCaseError::Fail(msg))) => CaseOutcome::Fail(msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "test panicked".to_string());
+            CaseOutcome::Fail(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Greedy depth-first shrink: while any candidate still fails, descend.
+fn shrink<V, F>(
+    mut current: Tree<V>,
+    mut message: String,
+    budget: u32,
+    test: &F,
+) -> (V, String)
+where
+    V: Clone + Debug + 'static,
+    F: Fn(V) -> TestCaseResult,
+{
+    let mut iterations = 0u32;
+    'outer: loop {
+        for candidate in current.shrink_candidates() {
+            if iterations >= budget {
+                break 'outer;
+            }
+            iterations += 1;
+            if let CaseOutcome::Fail(msg) = execute(test, candidate.value()) {
+                current = candidate;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current.value().clone(), message)
+}
+
+/// Entry point used by the [`proptest!`](crate::proptest) macro.
+pub fn run<S, F>(config: &ProptestConfig, file: &str, test_name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let base_seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| parse_seed(&v))
+        .unwrap_or(BASE_SEED)
+        ^ fnv1a(test_name.as_bytes());
+
+    let regression_path = regression_file(file);
+    for seed in load_regression_seeds(&regression_path, test_name) {
+        run_case(config, strategy, &test, seed, &regression_path, test_name, true);
+    }
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < cases {
+        // SplitMix the case index so per-case seeds are decorrelated.
+        let seed = base_seed ^ TestRng::new(case_index).next_u64();
+        case_index += 1;
+        if run_case(config, strategy, &test, seed, &regression_path, test_name, false) {
+            passed += 1;
+        } else {
+            rejected += 1;
+            assert!(
+                rejected <= config.max_global_rejects,
+                "{test_name}: too many prop_assume! rejections ({rejected})"
+            );
+        }
+    }
+}
+
+/// Run one seeded case; panics (after shrinking and persisting the
+/// seed) if the property fails. Returns whether the case passed (vs.
+/// was rejected).
+fn run_case<S, F>(
+    config: &ProptestConfig,
+    strategy: &S,
+    test: &F,
+    seed: u64,
+    regression_path: &Path,
+    test_name: &str,
+    from_regression_file: bool,
+) -> bool
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::new(seed);
+    let tree = strategy.new_tree(&mut rng);
+    match execute(test, tree.value()) {
+        CaseOutcome::Pass => true,
+        CaseOutcome::Reject => false,
+        CaseOutcome::Fail(message) => {
+            let (minimal, message) = shrink(tree, message, config.max_shrink_iters, test);
+            if !from_regression_file {
+                persist_seed(regression_path, test_name, seed);
+            }
+            panic!(
+                "proptest case failed: {test_name}\n\
+                 minimal failing input: {minimal:?}\n\
+                 {message}\n\
+                 [replay: line `cc 0x{seed:016x} # {test_name}` in {}]",
+                regression_path.display()
+            );
+        }
+    }
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// `proptest-regressions/<stem>.txt` under the crate root (the test
+/// binary's working directory), mirroring upstream's layout.
+fn regression_file(file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    PathBuf::from("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Seeds persisted for this test (lines `cc <seed> # <test name>`;
+/// untagged `cc` lines are replayed by every test in the file).
+fn load_regression_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let (seed_text, tag) = match rest.split_once('#') {
+            Some((s, tag)) => (s, Some(tag.trim())),
+            None => (rest, None),
+        };
+        if tag.is_some_and(|t| !t.is_empty() && t != test_name) {
+            continue;
+        }
+        if let Some(seed) = parse_seed(seed_text) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+/// Best-effort append of a newly found failing seed (what upstream's
+/// `FileFailurePersistence` does); ignores IO errors so read-only
+/// checkouts still report the failure itself.
+fn persist_seed(path: &Path, test_name: &str, seed: u64) {
+    use std::io::Write;
+    let line = format!("cc 0x{seed:016x} # {test_name}\n");
+    if load_regression_seeds(path, test_name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::TestRng;
+
+    #[test]
+    fn execute_classifies_outcomes() {
+        let pass = |_: u64| Ok(());
+        let reject = |_: u64| Err(TestCaseError::reject("nope"));
+        let fail = |_: u64| Err(TestCaseError::fail("bad"));
+        let panics = |_: u64| -> TestCaseResult { panic!("boom") };
+        assert!(matches!(execute(&pass, &1), CaseOutcome::Pass));
+        assert!(matches!(execute(&reject, &1), CaseOutcome::Reject));
+        assert!(matches!(execute(&fail, &1), CaseOutcome::Fail(_)));
+        assert!(matches!(execute(&panics, &1), CaseOutcome::Fail(_)));
+    }
+
+    #[test]
+    fn shrink_finds_minimal_integer() {
+        // Property "x < 500" fails for x >= 500; minimum counterexample
+        // reachable by halving from any failing start is 500.
+        let strategy = 0u64..100_000;
+        let test = |x: u64| -> TestCaseResult {
+            if x < 500 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("too big"))
+            }
+        };
+        let mut rng = TestRng::new(42);
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            if *t.value() >= 500 {
+                break t;
+            }
+        };
+        let (minimal, _) = shrink(tree, "seed".into(), 4096, &test);
+        assert_eq!(minimal, 500);
+    }
+
+    #[test]
+    fn shrink_minimizes_vec_lengths() {
+        // Property "len < 3" shrinks any failing vec to exactly 3
+        // all-zero elements.
+        let strategy = crate::collection::vec(0u64..1000, 0..50);
+        let test = |v: Vec<u64>| -> TestCaseResult {
+            if v.len() < 3 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("too long"))
+            }
+        };
+        let mut rng = TestRng::new(7);
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            if t.value().len() >= 3 {
+                break t;
+            }
+        };
+        let (minimal, _) = shrink(tree, "seed".into(), 4096, &test);
+        assert_eq!(minimal, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn regression_lines_parse_and_filter() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sample.txt");
+        std::fs::write(
+            &path,
+            "# comment\ncc 0x00000000000000ff # mine\ncc 17 # other\ncc 21\n",
+        )
+        .unwrap();
+        assert_eq!(load_regression_seeds(&path, "mine"), vec![0xff, 21]);
+        assert_eq!(load_regression_seeds(&path, "other"), vec![17, 21]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

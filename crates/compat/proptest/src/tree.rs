@@ -1,0 +1,77 @@
+//! The shrink tree: a generated value plus a lazily computed list of
+//! simpler candidate values, each itself a tree. Shrinking is a greedy
+//! depth-first walk: as long as some candidate still fails the
+//! property, descend into it.
+
+use std::rc::Rc;
+
+/// A generated value with its shrink candidates.
+pub struct Tree<T> {
+    pub(crate) value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone + 'static> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Self {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A tree with lazily computed shrink candidates.
+    pub fn new(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Self {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// A tree with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Self::new(value, Vec::new)
+    }
+
+    /// The generated value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Materialize the shrink candidates for this node.
+    pub fn shrink_candidates(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Lazily map the whole tree through `f`.
+    pub fn map<U: Clone + 'static>(self, f: Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let children = Rc::clone(&self.children);
+        Tree::new(value, move || {
+            children()
+                .into_iter()
+                .map(|child| child.map(Rc::clone(&f)))
+                .collect()
+        })
+    }
+}
+
+/// Combine two trees into a tree of pairs, shrinking one side at a time.
+pub(crate) fn tuple2<A, B>(a: Tree<A>, b: Tree<B>) -> Tree<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let value = (a.value.clone(), b.value.clone());
+    Tree::new(value, move || {
+        let mut out = Vec::new();
+        for ca in a.shrink_candidates() {
+            out.push(tuple2(ca, b.clone()));
+        }
+        for cb in b.shrink_candidates() {
+            out.push(tuple2(a.clone(), cb));
+        }
+        out
+    })
+}

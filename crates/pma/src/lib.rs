@@ -24,6 +24,21 @@
 //! - [`Pma`] — a complete, self-contained ordered container built on that
 //!   layout (classic PMA with uniform redistribution), used directly by
 //!   tests and benchmarks and as the reference implementation.
+//!
+//! # Examples
+//! ```
+//! use alex_pma::Pma;
+//!
+//! let mut pma = Pma::new();
+//! for x in [42u64, 7, 19, 3] {
+//!     assert!(pma.insert(x));
+//! }
+//! assert!(pma.remove(&7));
+//! assert_eq!(pma.range_from(&4).copied().collect::<Vec<_>>(), vec![19, 42]);
+//! // The backing array keeps power-of-two capacity across rebalances.
+//! assert_eq!(pma.len(), 3);
+//! assert!(pma.capacity().is_power_of_two());
+//! ```
 
 pub mod layout;
 

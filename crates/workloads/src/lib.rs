@@ -15,6 +15,25 @@
 //! `1..=100`. The driver works against any [`OrderedIndex`] — adapters
 //! for ALEX, the B+Tree baseline, and the Learned Index baseline are in
 //! [`adapters`].
+//!
+//! # Examples
+//! ```
+//! use alex_btree::BPlusTree;
+//! use alex_workloads::adapters::BTreeAdapter;
+//! use alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
+//!
+//! let keys: Vec<u64> = (0..1000).collect();
+//! let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 2)).collect();
+//! let mut index = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+//!
+//! let inserts: Vec<u64> = (1000..1100).collect();
+//! let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, 500);
+//! let report = run_workload(&mut index, &keys, &inserts, &spec, |&k| k * 2);
+//!
+//! assert_eq!(report.ops, 500);
+//! // Lookups Zipf-select from keys known to exist, so they always hit.
+//! assert_eq!(report.hits, report.reads);
+//! ```
 
 pub mod adapters;
 mod driver;

@@ -149,6 +149,79 @@ fn deletes_agree_with_reference() {
 }
 
 #[test]
+fn remove_heavy_mixed_workload_agrees_with_btreemap() {
+    // A remove-heavy mix (50% removes / 30% inserts / 20% point reads,
+    // with a short scan every 64 ops) over every ALEX variant,
+    // cross-checked op-for-op against `std::collections::BTreeMap`.
+    // Removes deliberately target both present keys (drawn from the
+    // loaded dataset) and absent ones, and re-insert previously removed
+    // keys, exercising gap reclamation and PMA contraction paths.
+    let all = sorted(lognormal_keys(12_000, 77));
+    let (init, extra) = all.split_at(8_000);
+    let data: Vec<(u64, u64)> = init.iter().map(|&k| (k, k.rotate_left(17))).collect();
+
+    for cfg in alex_variants() {
+        let mut alex = AlexIndex::bulk_load(&data, cfg);
+        let mut reference: BTreeMap<u64, u64> = data.iter().copied().collect();
+
+        // Deterministic op stream: cycle through present keys, absent
+        // keys, and the extra pool, weighting removes heaviest.
+        let name = cfg.variant_name();
+        for step in 0..20_000usize {
+            let pick = init[(step * 31) % init.len()];
+            let absent = pick ^ 1;
+            match step % 10 {
+                // 50%: removes — alternate present-ish and absent keys.
+                0 | 2 | 4 => {
+                    assert_eq!(alex.remove(&pick), reference.remove(&pick), "{name}: remove {pick}");
+                }
+                6 | 8 => {
+                    assert_eq!(alex.remove(&absent), reference.remove(&absent), "{name}: remove absent {absent}");
+                }
+                // 30%: inserts — fresh keys from the extra pool plus
+                // re-insertion of keys removed earlier in the stream.
+                // The payload is a pure function of the key on both
+                // sides: ALEX rejects duplicate inserts while
+                // `BTreeMap::insert` overwrites, so identical values
+                // keep the two models in sync on duplicates.
+                1 | 5 => {
+                    let k = extra[(step * 13) % extra.len()];
+                    assert_eq!(
+                        alex.insert(k, k.rotate_left(17)).is_ok(),
+                        reference.insert(k, k.rotate_left(17)).is_none(),
+                        "{name}: insert {k}"
+                    );
+                }
+                7 => {
+                    assert_eq!(
+                        alex.insert(pick, pick.rotate_left(17)).is_ok(),
+                        reference.insert(pick, pick.rotate_left(17)).is_none(),
+                        "{name}: re-insert {pick}"
+                    );
+                }
+                // 20%: point reads of present and absent keys.
+                3 | 9 => {
+                    assert_eq!(alex.get(&pick), reference.get(&pick), "{name}: get {pick}");
+                    assert_eq!(alex.get(&absent), reference.get(&absent), "{name}: get absent {absent}");
+                }
+                _ => unreachable!(),
+            }
+            if step % 64 == 0 {
+                let got: Vec<u64> = alex.range_from(&pick, 15).map(|(k, _)| *k).collect();
+                let expect: Vec<u64> = reference.range(pick..).take(15).map(|(k, _)| *k).collect();
+                assert_eq!(got, expect, "{name}: scan from {pick} at step {step}");
+            }
+            assert_eq!(alex.len(), reference.len(), "{name}: len after step {step}");
+        }
+
+        // The survivors must match exactly, in order.
+        let got: Vec<(u64, u64)> = alex.iter().map(|(k, v)| (*k, *v)).collect();
+        let expect: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, expect, "{}: final iteration", cfg.variant_name());
+    }
+}
+
+#[test]
 fn index_size_ordering_matches_paper() {
     // §5.2.1: ALEX index is orders of magnitude smaller than B+Tree's
     // inner nodes and smaller than the Learned Index at comparable
