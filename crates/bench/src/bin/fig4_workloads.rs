@@ -6,11 +6,13 @@
 //! cargo run -p alex-bench --release --bin fig4_workloads -- \
 //!     --workload read-heavy --keys 1000000 --ops 500000
 //! ```
-//! `--workload all` runs all four mixes.
+//! `--workload all` runs all four mixes; `--csv` emits machine-readable
+//! rows for diffing across PRs.
 
 use alex_bench::cli::Args;
 use alex_bench::harness::{
-    paper_alex_grid, print_rows, run_alex_grid, run_btree_grid, run_learned_index_grid, split_init,
+    emit_rows, paper_alex_grid, run_alex_grid, run_btree_grid, run_learned_index_grid, split_init,
+    ReportFormat, CSV_HEADER,
 };
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_OPS, DEFAULT_SEED};
 use alex_core::AlexKey;
@@ -23,6 +25,7 @@ fn main() {
     let ops = args.usize("ops", DEFAULT_OPS);
     let seed = args.u64("seed", DEFAULT_SEED);
     let workload = args.string("workload", "all");
+    let format = ReportFormat::from_flag(args.flag("csv"));
 
     let kinds: Vec<WorkloadKind> = match workload.as_str() {
         "read-only" => vec![WorkloadKind::ReadOnly],
@@ -33,18 +36,25 @@ fn main() {
         other => panic!("unknown --workload {other:?}"),
     };
 
+    if format == ReportFormat::Csv {
+        println!("{CSV_HEADER}");
+    }
     for kind in kinds {
-        println!("\n#### Figure 4: {} workload ####", kind.name());
+        if format == ReportFormat::Table {
+            println!("\n#### Figure 4: {} workload ####", kind.name());
+        }
         for ds in Dataset::ALL {
             match ds {
                 Dataset::Longitudes => {
-                    bench::<f64, u64>(ds, longitudes_keys(n, seed), kind, ops, |k| k.to_bits())
+                    bench::<f64, u64>(ds, longitudes_keys(n, seed), kind, ops, format, |k| k.to_bits())
                 }
                 Dataset::Longlat => {
-                    bench::<f64, u64>(ds, longlat_keys(n, seed), kind, ops, |k| k.to_bits())
+                    bench::<f64, u64>(ds, longlat_keys(n, seed), kind, ops, format, |k| k.to_bits())
                 }
-                Dataset::Lognormal => bench::<u64, u64>(ds, lognormal_keys(n, seed), kind, ops, |&k| k),
-                Dataset::Ycsb => bench::<u64, Payload<80>>(ds, ycsb_keys(n, seed), kind, ops, |&k| {
+                Dataset::Lognormal => {
+                    bench::<u64, u64>(ds, lognormal_keys(n, seed), kind, ops, format, |&k| k)
+                }
+                Dataset::Ycsb => bench::<u64, Payload<80>>(ds, ycsb_keys(n, seed), kind, ops, format, |&k| {
                     Payload::from_seed(k)
                 }),
             }
@@ -52,8 +62,14 @@ fn main() {
     }
 }
 
-fn bench<K, V>(ds: Dataset, keys: Vec<K>, kind: WorkloadKind, ops: usize, mv: impl Fn(&K) -> V + Copy)
-where
+fn bench<K, V>(
+    ds: Dataset,
+    keys: Vec<K>,
+    kind: WorkloadKind,
+    ops: usize,
+    format: ReportFormat,
+    mv: impl Fn(&K) -> V + Copy,
+) where
     K: AlexKey + alex_learned_index::Key,
     V: Clone + Default,
 {
@@ -95,9 +111,9 @@ where
             .collect::<Vec<_>>();
         rows.push(run_learned_index_grid::<K, V>(&data, &init_keys, &grid, ops));
     }
-    print_rows(
-        &format!("{} / {} ({} init keys, {} ops)", ds.name(), kind.name(), init, ops),
-        &rows,
-        "B+Tree",
-    );
+    let title = match format {
+        ReportFormat::Table => format!("{} / {} ({} init keys, {} ops)", ds.name(), kind.name(), init, ops),
+        ReportFormat::Csv => format!("fig4/{}/{}", ds.name(), kind.name()),
+    };
+    emit_rows(&title, &rows, "B+Tree", format);
 }

@@ -20,6 +20,73 @@ pub struct Row {
     pub data_bytes: usize,
 }
 
+impl Row {
+    /// Build a row from a finished workload report, optionally
+    /// overriding the label (e.g. to tag a thread count).
+    pub fn from_report(report: &alex_workloads::WorkloadReport, label: Option<String>) -> Self {
+        Self {
+            label: label.unwrap_or_else(|| report.label.clone()),
+            throughput: report.throughput(),
+            index_bytes: report.index_size_bytes,
+            data_bytes: report.data_size_bytes,
+        }
+    }
+}
+
+/// How result rows are emitted: human-readable table or
+/// machine-readable CSV (for diffing bench runs across PRs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Aligned table with a normalized-throughput column.
+    #[default]
+    Table,
+    /// One CSV line per row (`run,label,ops_per_sec,vs_baseline,index_bytes,data_bytes`).
+    Csv,
+}
+
+impl ReportFormat {
+    /// `Csv` when the `--csv` flag is present, `Table` otherwise.
+    pub fn from_flag(csv: bool) -> Self {
+        if csv {
+            ReportFormat::Csv
+        } else {
+            ReportFormat::Table
+        }
+    }
+}
+
+/// The CSV column header matching [`emit_rows`]' CSV mode. Binaries
+/// print it once before their first data line.
+pub const CSV_HEADER: &str = "run,label,ops_per_sec,vs_baseline,index_bytes,data_bytes";
+
+/// Emit rows in the requested format. `title` identifies the run (CSV
+/// mode embeds it in the first column, with commas sanitized);
+/// `baseline` names the row used for the normalized-throughput column.
+pub fn emit_rows(title: &str, rows: &[Row], baseline: &str, format: ReportFormat) {
+    match format {
+        ReportFormat::Table => print_rows(title, rows, baseline),
+        ReportFormat::Csv => {
+            let run = title.replace(',', ";");
+            let base = rows
+                .iter()
+                .find(|r| r.label == baseline)
+                .map(|r| r.throughput)
+                .unwrap_or(0.0);
+            for r in rows {
+                let rel = if base > 0.0 { r.throughput / base } else { 0.0 };
+                println!(
+                    "{run},{},{:.0},{:.4},{},{}",
+                    r.label.replace(',', ";"),
+                    r.throughput,
+                    rel,
+                    r.index_bytes,
+                    r.data_bytes
+                );
+            }
+        }
+    }
+}
+
 /// Print rows as a table with a normalized-throughput column
 /// (baseline = the `baseline`-labelled row, usually the B+Tree).
 pub fn print_rows(title: &str, rows: &[Row], baseline: &str) {
@@ -72,12 +139,7 @@ where
     let mut idx = AlexAdapter(AlexIndex::bulk_load(data, cfg));
     let spec = WorkloadSpec::new(kind, ops);
     let report = run_workload(&mut idx, init_keys, inserts, &spec, make_value);
-    Row {
-        label: report.label.clone(),
-        throughput: report.throughput(),
-        index_bytes: report.index_size_bytes,
-        data_bytes: report.data_size_bytes,
-    }
+    Row::from_report(&report, None)
 }
 
 /// Run one workload against a fresh B+Tree for each fanout in
@@ -101,12 +163,7 @@ where
         let mut idx = BTreeAdapter(BPlusTree::bulk_load(data, fanout, fanout, 0.7));
         let spec = WorkloadSpec::new(kind, ops);
         let report = run_workload(&mut idx, init_keys, inserts, &spec, &mut make_value);
-        let row = Row {
-            label: "B+Tree".to_string(),
-            throughput: report.throughput(),
-            index_bytes: report.index_size_bytes,
-            data_bytes: report.data_size_bytes,
-        };
+        let row = Row::from_report(&report, Some("B+Tree".to_string()));
         if best.as_ref().is_none_or(|b| row.throughput > b.throughput) {
             best = Some(row);
         }
@@ -132,12 +189,7 @@ where
         let mut idx = LearnedIndexAdapter(LearnedIndex::bulk_load(data, m));
         let spec = WorkloadSpec::new(WorkloadKind::ReadOnly, ops);
         let report = run_workload(&mut idx, init_keys, &[], &spec, |_| V::default());
-        let row = Row {
-            label: "Learned Index".to_string(),
-            throughput: report.throughput(),
-            index_bytes: report.index_size_bytes,
-            data_bytes: report.data_size_bytes,
-        };
+        let row = Row::from_report(&report, Some("Learned Index".to_string()));
         if best.as_ref().is_none_or(|b| row.throughput > b.throughput) {
             best = Some(row);
         }

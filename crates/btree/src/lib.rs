@@ -1,5 +1,5 @@
 //! An in-memory B+Tree baseline, standing in for the STX B+Tree that the
-//! ALEX paper benchmarks against (§5.1, reference [3]).
+//! ALEX paper benchmarks against (§5.1, reference \[3\]).
 //!
 //! The tree keeps all values in sorted leaves linked into a chain for
 //! range scans; inner nodes store separator keys and child pointers.

@@ -109,6 +109,18 @@ impl<K: AlexKey, V: Clone + Default> DataNode<K, V> {
         dispatch!(self, n => n.first_occupied())
     }
 
+    /// Last occupied slot, if any.
+    #[inline]
+    pub fn last_occupied(&self) -> Option<usize> {
+        dispatch!(self, n => n.last_occupied())
+    }
+
+    /// Largest stored key, if any.
+    #[inline]
+    pub fn max_key(&self) -> Option<&K> {
+        self.last_occupied().map(|s| self.entry_at(s).0)
+    }
+
     /// All pairs in key order.
     pub fn to_pairs(&self) -> Vec<(K, V)> {
         dispatch!(self, n => n.to_pairs())

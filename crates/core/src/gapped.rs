@@ -172,6 +172,12 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
         self.slots.bitmap.next_occupied(0)
     }
 
+    /// Last occupied slot.
+    #[inline]
+    pub(crate) fn last_occupied(&self) -> Option<usize> {
+        self.slots.bitmap.prev_occupied(self.capacity().saturating_sub(1))
+    }
+
     /// Insert, expanding first if the insert would cross the upper
     /// density limit `d` (Algorithm 1).
     pub fn insert(&mut self, key: K, value: V) -> InsertOutcome {
@@ -425,6 +431,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "read-stats")]
     fn read_stats_count_direct_hits() {
         let node = GappedNode::bulk_load(&sorted_pairs(1000, 5), params());
         for k in 0..1000u64 {

@@ -1,0 +1,174 @@
+//! RMI construction: static two-level builds, adaptive initialization
+//! (Algorithm 4), and the shared partition-model helpers.
+//!
+//! All node allocation goes through [`super::store::NodeStore`]; this
+//! module owns the *shape* of the tree (how partitions recurse, merge,
+//! and link into the leaf chain) but never indexes the arena directly.
+
+use crate::config::RmiMode;
+use crate::data_node::DataNode;
+use crate::key::AlexKey;
+use crate::model::LinearModel;
+
+use super::store::{InnerNode, LeafNode, Node, NodeId};
+use super::AlexIndex;
+
+impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
+    /// Build the RMI for `pairs` according to the configured mode and
+    /// wire the leaf chain. Called once from `bulk_load`.
+    pub(super) fn build(&mut self, pairs: &[(K, V)]) {
+        self.root = match self.config.rmi {
+            RmiMode::Static { num_leaf_nodes } => self.build_static(pairs, num_leaf_nodes.max(1)),
+            RmiMode::Adaptive {
+                max_node_keys,
+                inner_fanout,
+                ..
+            } => self.build_adaptive(pairs, max_node_keys.max(64), inner_fanout.max(2), true),
+        };
+        self.link_leaves();
+    }
+
+    /// Allocate a fresh unlinked leaf bulk-loaded from `pairs`.
+    pub(super) fn push_leaf(&mut self, pairs: &[(K, V)]) -> NodeId {
+        self.store.push(Node::Leaf(LeafNode {
+            data: DataNode::bulk_load(pairs, self.config.layout, self.config.node),
+            prev: None,
+            next: None,
+        }))
+    }
+
+    /// Two-level static RMI: a linear root over `num_leaf_nodes` data
+    /// nodes.
+    fn build_static(&mut self, pairs: &[(K, V)], num_leaf_nodes: usize) -> NodeId {
+        let model = root_partition_model(pairs, num_leaf_nodes);
+        let parts = partition_by_model(pairs, &model, num_leaf_nodes);
+        let mut children = Vec::with_capacity(num_leaf_nodes);
+        for range in parts {
+            children.push(self.push_leaf(&pairs[range]));
+        }
+        self.store.push(Node::Inner(InnerNode { model, children }))
+    }
+
+    /// Adaptive RMI initialization (Algorithm 4).
+    ///
+    /// The root gets `ceil(n / max_node_keys)` partitions (so each holds
+    /// `max_node_keys` in expectation); non-root inner nodes get
+    /// `inner_fanout`. Oversized partitions recurse; undersized adjacent
+    /// partitions merge into shared leaf children.
+    fn build_adaptive(
+        &mut self,
+        pairs: &[(K, V)],
+        max_node_keys: usize,
+        inner_fanout: usize,
+        is_root: bool,
+    ) -> NodeId {
+        let n = pairs.len();
+        if n <= max_node_keys {
+            return self.push_leaf(pairs);
+        }
+        let num_partitions = if is_root {
+            n.div_ceil(max_node_keys).max(2)
+        } else {
+            inner_fanout
+        };
+        let model = root_partition_model(pairs, num_partitions);
+        let parts = partition_by_model(pairs, &model, num_partitions);
+        let mut children = Vec::with_capacity(num_partitions);
+        let mut i = 0usize;
+        while i < parts.len() {
+            let part = parts[i].clone();
+            if part.len() > max_node_keys && part.len() < n {
+                let child = self.build_adaptive(&pairs[part], max_node_keys, inner_fanout, false);
+                children.push(child);
+                i += 1;
+            } else if part.len() > max_node_keys {
+                // Degenerate: the linear model routed every key to one
+                // partition, so no linear refinement can make progress.
+                // Accept an oversized leaf rather than recursing forever.
+                let child = self.push_leaf(&pairs[part]);
+                children.push(child);
+                i += 1;
+            } else {
+                // Merge this partition with subsequent small partitions
+                // until the accumulated size would exceed the bound.
+                let begin = parts[i].start;
+                let mut end = parts[i].end;
+                let mut acc = part.len();
+                let mut j = i + 1;
+                while j < parts.len() && acc + parts[j].len() <= max_node_keys {
+                    acc += parts[j].len();
+                    end = parts[j].end;
+                    j += 1;
+                }
+                let child = self.push_leaf(&pairs[begin..end]);
+                for _ in i..j {
+                    children.push(child);
+                }
+                i = j;
+            }
+        }
+        self.store.push(Node::Inner(InnerNode { model, children }))
+    }
+
+    /// Wire the doubly-linked leaf chain in key order after a bulk
+    /// build.
+    fn link_leaves(&mut self) {
+        let mut order = Vec::new();
+        self.collect_leaves(self.root, &mut order);
+        self.store.link_chain(&order);
+    }
+
+    /// In-order leaf ids (children slots may repeat a merged child).
+    pub(super) fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        match self.store.node(id) {
+            Node::Leaf(_) => out.push(id),
+            Node::Inner(inner) => {
+                let mut last: Option<NodeId> = None;
+                for &c in &inner.children {
+                    if last != Some(c) {
+                        self.collect_leaves(c, out);
+                        last = Some(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fit a root model mapping keys to partition indices `[0, parts)`.
+pub(super) fn root_partition_model<K: AlexKey, V>(pairs: &[(K, V)], parts: usize) -> LinearModel {
+    let n = pairs.len();
+    if n == 0 {
+        return LinearModel::default();
+    }
+    LinearModel::fit(
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.0.as_f64(), i as f64 * parts as f64 / n as f64)),
+    )
+}
+
+/// Contiguous partition ranges of `pairs` under `model` routing
+/// (`predict_clamped` into `[0, parts)`). Sorted input + clamping make
+/// the ranges contiguous even if the fitted slope is degenerate.
+pub(super) fn partition_by_model<K: AlexKey, V>(
+    pairs: &[(K, V)],
+    model: &LinearModel,
+    parts: usize,
+) -> Vec<core::ops::Range<usize>> {
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        // End of partition p: first pair routed past p.
+        let end = if p + 1 == parts {
+            pairs.len()
+        } else {
+            start
+                + pairs[start..].partition_point(|(k, _)| model.predict_clamped(k.as_f64(), parts) <= p)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}

@@ -1,0 +1,237 @@
+//! The ALEX index: an RMI of linear models over flexible data nodes.
+//!
+//! Inner nodes route purely by model prediction (no comparisons until
+//! the leaf, §3.2); leaves are [`crate::data_node::DataNode`]s. The RMI
+//! is built either statically (two levels, fixed leaf count) or
+//! adaptively (Algorithm 4), and can optionally split leaves on inserts
+//! (§3.4.2).
+//!
+//! The implementation is stratified into submodules with a strict
+//! layering — only `store` touches the node arena:
+//!
+//! - `store` — `NodeStore`: arena storage, `NodeId` allocation, and
+//!   the doubly-linked leaf chain.
+//! - `build` — static/adaptive RMI construction (Algorithm 4).
+//! - `ops` — point, range, and sorted-batch operations.
+//! - `split` — node splitting on inserts (§3.4.2).
+
+mod build;
+mod ops;
+mod split;
+mod store;
+
+#[cfg(test)]
+mod tests;
+
+use core::mem::size_of;
+
+use crate::config::AlexConfig;
+use crate::data_node::DataNode;
+use crate::key::AlexKey;
+use crate::stats::{SizeReport, WriteStats};
+
+pub(crate) use store::{LeafNode, Node, NodeId};
+use store::{InnerNode, NodeStore};
+
+/// An updatable adaptive learned index (the paper's contribution).
+///
+/// # Examples
+/// ```
+/// use alex_core::{AlexConfig, AlexIndex};
+///
+/// let data: Vec<(u64, u64)> = (0..10_000).map(|k| (k * 2, k)).collect();
+/// let mut index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+/// assert_eq!(index.get(&4000), Some(&2000));
+/// index.insert(4001, 99).unwrap();
+/// assert_eq!(index.get(&4001), Some(&99));
+/// let scan: Vec<u64> = index.range_from(&3999, 3).map(|(k, _)| *k).collect();
+/// assert_eq!(scan, vec![4000, 4001, 4002]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlexIndex<K, V> {
+    /// Storage layer: node arena + leaf chain. Only `store.rs` indexes
+    /// the arena directly.
+    store: NodeStore<K, V>,
+    root: NodeId,
+    config: AlexConfig,
+    len: usize,
+    /// Index-level write counters (splits; node counters are summed on
+    /// demand).
+    splits: u64,
+}
+
+/// Error returned by [`AlexIndex::insert`] on a duplicate key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateKey;
+
+impl core::fmt::Display for DuplicateKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "key already present (ALEX does not support duplicate keys)")
+    }
+}
+
+impl std::error::Error for DuplicateKey {}
+
+impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
+    /// An empty index ("cold start": a single empty data node that
+    /// grows by splitting, §3.4.2).
+    pub fn new(config: AlexConfig) -> Self {
+        let mut store = NodeStore::new();
+        store.push(Node::Leaf(LeafNode {
+            data: DataNode::empty(config.layout, config.node),
+            prev: None,
+            next: None,
+        }));
+        Self {
+            store,
+            root: 0,
+            config,
+            len: 0,
+            splits: 0,
+        }
+    }
+
+    /// Bulk-load from sorted, strictly-increasing pairs.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not strictly increasing by
+    /// key.
+    pub fn bulk_load(pairs: &[(K, V)], config: AlexConfig) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load input must be strictly increasing"
+        );
+        let mut index = Self {
+            store: NodeStore::new(),
+            root: 0,
+            config,
+            len: pairs.len(),
+            splits: 0,
+        };
+        index.build(pairs);
+        index
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configuration this index was built with.
+    #[inline]
+    pub fn config(&self) -> &AlexConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Depth of the RMI (0 = root is a leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 0;
+        let mut id = self.root;
+        loop {
+            match self.store.node(id) {
+                Node::Inner(inner) => {
+                    id = inner.children[0];
+                    d += 1;
+                }
+                Node::Leaf(_) => return d,
+            }
+        }
+    }
+
+    /// Number of data (leaf) nodes.
+    pub fn num_data_nodes(&self) -> usize {
+        self.store.num_leaves()
+    }
+
+    /// Key counts per data node in key order (Figure 12 / Appendix B).
+    pub fn leaf_sizes(&self) -> Vec<usize> {
+        let mut order = Vec::new();
+        self.collect_leaves(self.root, &mut order);
+        order.iter().map(|&id| self.store.leaf(id).data.num_keys()).collect()
+    }
+
+    /// Aggregated write counters across all data nodes plus index-level
+    /// splits.
+    pub fn write_stats(&self) -> WriteStats {
+        let mut total = WriteStats::default();
+        for leaf in self.store.leaves() {
+            total.absorb(leaf.data.write_stats());
+        }
+        total.splits += self.splits;
+        total
+    }
+
+    /// Aggregated read counters: `(lookups, comparisons, direct_hits)`.
+    pub fn read_stats(&self) -> (u64, u64, u64) {
+        let mut lookups = 0;
+        let mut comparisons = 0;
+        let mut hits = 0;
+        for leaf in self.store.leaves() {
+            let r = leaf.data.read_stats();
+            lookups += r.lookups();
+            comparisons += r.comparisons();
+            hits += r.direct_hits();
+        }
+        (lookups, comparisons, hits)
+    }
+
+    /// |predicted − actual| for every stored key (Figure 7).
+    pub fn prediction_errors(&self) -> Vec<usize> {
+        let mut errs = Vec::with_capacity(self.len);
+        for leaf in self.store.leaves() {
+            errs.extend(leaf.data.prediction_errors());
+        }
+        errs
+    }
+
+    /// Memory accounting per §5.1: index = models + pointers +
+    /// metadata; data = key/payload arrays incl. gaps + bitmaps.
+    pub fn size_report(&self) -> SizeReport {
+        let mut report = SizeReport::default();
+        for node in self.store.iter() {
+            match node {
+                Node::Inner(inner) => {
+                    report.num_inner_nodes += 1;
+                    report.index_bytes += 2 * size_of::<f64>()
+                        + inner.children.capacity() * size_of::<NodeId>()
+                        + size_of::<InnerNode>();
+                }
+                Node::Leaf(l) => {
+                    report.num_data_nodes += 1;
+                    // Leaf model + chain pointers.
+                    report.index_bytes += 2 * size_of::<f64>() + 2 * size_of::<Option<NodeId>>();
+                    report.data_bytes += l.data.data_size_bytes();
+                }
+            }
+        }
+        report
+    }
+
+    #[cfg(any(test, debug_assertions))]
+    #[allow(dead_code)] // exercised by unit, integration, and property tests
+    pub(crate) fn debug_assert_invariants(&self) {
+        let mut total = 0;
+        for leaf in self.store.leaves() {
+            leaf.data.debug_assert_invariants();
+            total += leaf.data.num_keys();
+        }
+        assert_eq!(total, self.len, "len must equal sum of leaf key counts");
+        // The chain must visit every key in order.
+        let visited: Vec<K> = self.iter().map(|(k, _)| *k).collect();
+        assert_eq!(visited.len(), self.len, "chain must cover all keys");
+        for w in visited.windows(2) {
+            assert!(w[0] < w[1], "chain out of order");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Point, range, and sorted-batch operations.
+//!
+//! Routing (§3.2: model predictions only, no comparisons until the
+//! leaf) lives here; storage access goes through
+//! [`super::store::NodeStore`]. The batch operations ([`AlexIndex::get_many`],
+//! [`AlexIndex::bulk_insert`]) exploit sorted input to route through
+//! the RMI once per *leaf run* instead of once per key.
+//!
+//! The whole read path (`get`, `range_from`, `scan_from`, `get_many`,
+//! stats reads) is `&self` and `Sync`-clean — concurrent readers are
+//! safe on a shared `&AlexIndex`, which the sharded front-end
+//! (`alex-sharded`) relies on.
+
+use crate::config::RmiMode;
+use crate::gapped::InsertOutcome;
+use crate::iter::RangeIter;
+use crate::key::AlexKey;
+
+use super::store::{LeafNode, Node, NodeId};
+use super::{AlexIndex, DuplicateKey};
+
+/// Cached routing target for a run of ascending keys: a leaf plus the
+/// largest key it is known to own. Valid while `key <= max_key` (or
+/// unconditionally for the tail leaf): routing is monotone, so any key
+/// between two keys routed to the same leaf routes there too.
+struct LeafRun<K> {
+    id: NodeId,
+    /// Largest key stored in the leaf (`None` for an empty leaf — no
+    /// ownership claim can be made, so every key re-routes).
+    max_key: Option<K>,
+    /// The tail leaf owns everything from its region upward.
+    is_tail: bool,
+}
+
+impl<K: AlexKey> LeafRun<K> {
+    /// Whether `key` is guaranteed to route to this cached leaf.
+    #[inline]
+    fn owns(&self, key: &K) -> bool {
+        if self.is_tail {
+            return true;
+        }
+        self.max_key.as_ref().is_some_and(|max| key <= max)
+    }
+}
+
+impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// Descend by model prediction to the leaf owning `key` (§3.2:
+    /// multiplications and additions only, no comparisons).
+    #[inline]
+    pub(crate) fn find_leaf(&self, key: &K) -> NodeId {
+        let x = key.as_f64();
+        let mut id = self.root;
+        loop {
+            match self.store.node(id) {
+                Node::Inner(inner) => {
+                    let idx = inner.model.predict_clamped(x, inner.children.len());
+                    id = inner.children[idx];
+                }
+                Node::Leaf(_) => return id,
+            }
+        }
+    }
+
+    /// The leaf at `id` (used by [`RangeIter`]).
+    #[inline]
+    pub(crate) fn leaf(&self, id: NodeId) -> &LeafNode<K, V> {
+        self.store.leaf(id)
+    }
+
+    /// Route `key` and capture the run cache for subsequent keys.
+    fn start_run(&self, key: &K) -> LeafRun<K> {
+        let id = self.find_leaf(key);
+        let leaf = self.store.leaf(id);
+        LeafRun {
+            id,
+            max_key: leaf.data.max_key().copied(),
+            is_tail: leaf.next.is_none(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point operations
+    // ------------------------------------------------------------------
+
+    /// Look up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        self.store.leaf(leaf).data.get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Look up `key` and return a mutable reference to its payload
+    /// (payload updates, §3.2).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        self.store.leaf_mut(leaf).data.get_mut(key)
+    }
+
+    /// Insert a pair. Errors on duplicates (ALEX does not support
+    /// duplicate keys, §7).
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), DuplicateKey> {
+        let leaf = self.find_leaf(&key);
+        if self.maybe_split(leaf) {
+            return self.insert(key, value);
+        }
+        match self.store.leaf_mut(leaf).data.insert(key, value) {
+            InsertOutcome::Inserted { .. } => {
+                self.len += 1;
+                Ok(())
+            }
+            InsertOutcome::Duplicate => Err(DuplicateKey),
+        }
+    }
+
+    /// Split `leaf` if the config calls for split-on-insert and the
+    /// next insert would overflow it. Returns whether a split happened
+    /// (routing must then restart — the leaf became an inner node).
+    fn maybe_split(&mut self, leaf: NodeId) -> bool {
+        if let RmiMode::Adaptive {
+            max_node_keys,
+            split_on_insert: true,
+            split_fanout,
+            ..
+        } = self.config.rmi
+        {
+            self.store.leaf(leaf).data.num_keys() + 1 > max_node_keys
+                && self.split_leaf(leaf, split_fanout.max(2))
+        } else {
+            false
+        }
+    }
+
+    /// Remove `key`, returning its payload.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        let v = self.store.leaf_mut(leaf).data.remove(key)?;
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Update the payload of an existing key, returning the old value.
+    pub fn update(&mut self, key: &K, value: V) -> Option<V> {
+        self.get_mut(key).map(|slot| core::mem::replace(slot, value))
+    }
+
+    // ------------------------------------------------------------------
+    // Sorted-batch operations
+    // ------------------------------------------------------------------
+
+    /// Look up a sorted (non-decreasing) batch of keys, routing through
+    /// the RMI once per leaf run instead of once per key.
+    ///
+    /// Returns one `Option<&V>` per input key, in input order.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `keys` is not sorted non-decreasing.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<&V>> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "get_many input must be sorted"
+        );
+        let mut out = Vec::with_capacity(keys.len());
+        let mut run: Option<LeafRun<K>> = None;
+        for key in keys {
+            let id = match &run {
+                Some(r) if r.owns(key) => r.id,
+                _ => {
+                    let fresh = self.start_run(key);
+                    let id = fresh.id;
+                    run = Some(fresh);
+                    id
+                }
+            };
+            out.push(self.store.leaf(id).data.get(key));
+        }
+        out
+    }
+
+    /// Insert a sorted (strictly increasing) batch of pairs, routing
+    /// through the RMI once per leaf run instead of once per key.
+    /// Duplicates (against the index *or* repeated within the batch)
+    /// are skipped. Returns the number of pairs actually inserted.
+    ///
+    /// Equivalent to calling [`AlexIndex::insert`] per pair, including
+    /// split-on-insert behaviour.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not sorted non-decreasing by
+    /// key.
+    pub fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_insert input must be sorted by key"
+        );
+        let mut inserted = 0usize;
+        let mut run: Option<LeafRun<K>> = None;
+        for (key, value) in pairs {
+            let id = match &run {
+                Some(r) if r.owns(key) => r.id,
+                _ => {
+                    let fresh = self.start_run(key);
+                    let id = fresh.id;
+                    run = Some(fresh);
+                    id
+                }
+            };
+            if self.maybe_split(id) {
+                // The cached leaf became an inner node: re-route.
+                run = None;
+                if self.insert(*key, value.clone()).is_ok() {
+                    inserted += 1;
+                }
+                continue;
+            }
+            match self.store.leaf_mut(id).data.insert(*key, value.clone()) {
+                InsertOutcome::Inserted { .. } => {
+                    self.len += 1;
+                    inserted += 1;
+                }
+                InsertOutcome::Duplicate => {}
+            }
+        }
+        inserted
+    }
+
+    // ------------------------------------------------------------------
+    // Range operations
+    // ------------------------------------------------------------------
+
+    /// Iterate entries with key `>= key` in order, across leaves, at
+    /// most `limit` of them.
+    pub fn range_from<'a>(&'a self, key: &K, limit: usize) -> RangeIter<'a, K, V> {
+        let leaf = self.find_leaf(key);
+        let slot = self.store.leaf(leaf).data.lower_bound_slot(key);
+        RangeIter::new(self, leaf, slot, limit)
+    }
+
+    /// Visit up to `limit` entries with key `>= key` in order via a
+    /// callback — the fast path for range scans (avoids per-item
+    /// iterator dispatch; used by the Figure 4d/4h benchmarks). Returns
+    /// the number of entries visited.
+    pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
+        let mut leaf_id = self.find_leaf(key);
+        let mut slot = self.store.leaf(leaf_id).data.lower_bound_slot(key);
+        let mut visited = 0usize;
+        loop {
+            let leaf = self.store.leaf(leaf_id);
+            visited += leaf.data.scan_from_slot(slot, limit - visited, &mut f);
+            if visited >= limit {
+                return visited;
+            }
+            match leaf.next {
+                Some(next) => {
+                    leaf_id = next;
+                    slot = 0;
+                }
+                None => return visited,
+            }
+        }
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        let head = self.store.head_leaf();
+        let slot = self.store.leaf(head).data.first_occupied();
+        RangeIter::new(
+            self,
+            head,
+            slot.unwrap_or_else(|| self.store.leaf(head).data.capacity()),
+            usize::MAX,
+        )
+    }
+}

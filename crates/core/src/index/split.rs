@@ -1,0 +1,61 @@
+//! Node splitting on inserts (§3.4.2).
+//!
+//! A full leaf's model becomes an inner model routing to `fanout`
+//! fresh leaves; data is redistributed by the original model; no
+//! rebalancing. Chain surgery goes through
+//! [`super::store::NodeStore::splice_chain`], and the old leaf is
+//! replaced *in place* so parent child-pointers stay valid.
+
+use crate::key::AlexKey;
+
+use super::build::{partition_by_model, root_partition_model};
+use super::store::{InnerNode, Node, NodeId};
+use super::AlexIndex;
+
+impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
+    /// Split the leaf at `id` into `fanout` children. Returns `false`
+    /// when no linear model can separate the keys (the split would make
+    /// no progress).
+    pub(super) fn split_leaf(&mut self, id: NodeId, fanout: usize) -> bool {
+        let (pairs, old_model, capacity, prev, next) = {
+            let l = self.store.leaf(id);
+            (
+                l.data.to_pairs(),
+                l.data.model(),
+                l.data.capacity(),
+                l.prev,
+                l.next,
+            )
+        };
+        // Rescale the leaf's slot-space model to child-index space.
+        let scale = fanout as f64 / capacity.max(1) as f64;
+        let mut route = old_model.scaled(scale);
+        let mut parts = partition_by_model(&pairs, &route, fanout);
+        if parts.iter().any(|r| r.len() == pairs.len()) {
+            // The inherited model routes everything to one child; retry
+            // with a freshly fitted partition model before giving up.
+            route = root_partition_model(&pairs, fanout);
+            parts = partition_by_model(&pairs, &route, fanout);
+            if parts.iter().any(|r| r.len() == pairs.len()) {
+                return false;
+            }
+        }
+        let mut children = Vec::with_capacity(fanout);
+        for range in parts {
+            children.push(self.push_leaf(&pairs[range]));
+        }
+        // Splice the new leaves into the chain where the old leaf was.
+        self.store.splice_chain(prev, next, &children);
+        // The old leaf becomes the routing inner node in place, so all
+        // parent child-pointers stay valid.
+        self.store.replace(
+            id,
+            Node::Inner(InnerNode {
+                model: route,
+                children,
+            }),
+        );
+        self.splits += 1;
+        true
+    }
+}

@@ -1,0 +1,237 @@
+//! The storage layer: an arena of RMI nodes plus the doubly-linked
+//! leaf chain.
+//!
+//! [`NodeStore`] is the *only* module that touches the arena `Vec`
+//! directly. Everything above it — construction ([`super::build`]),
+//! point/range operations ([`super::ops`]), and node splitting
+//! ([`super::split`]) — goes through this narrow API, so storage
+//! concerns (id allocation, chain maintenance, in-place replacement)
+//! stay in one place. That boundary is what lets the sharded front-end
+//! (`alex-sharded`) treat a whole index as a sealed unit, and is the
+//! seam where an epoch-based reclamation scheme would slot in later.
+
+use crate::data_node::DataNode;
+use crate::model::LinearModel;
+
+/// Node id in the arena.
+pub(crate) type NodeId = u32;
+
+/// An RMI node: inner model node or leaf data node.
+///
+/// Leaves are much larger than inner nodes, but nodes live in one arena
+/// `Vec` and are never moved after creation, so the size difference
+/// costs only a little slack on inner-node slots.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Node<K, V> {
+    Inner(InnerNode),
+    Leaf(LeafNode<K, V>),
+}
+
+/// An inner node routes a key to `children[model.predict(key)]`.
+/// Adjacent child slots may point to the same node (merged partitions,
+/// Algorithm 4).
+#[derive(Debug, Clone)]
+pub(crate) struct InnerNode {
+    pub model: LinearModel,
+    pub children: Vec<NodeId>,
+}
+
+/// A leaf: a data node plus its position in the doubly-linked leaf
+/// chain used by range scans.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafNode<K, V> {
+    pub data: DataNode<K, V>,
+    pub prev: Option<NodeId>,
+    pub next: Option<NodeId>,
+}
+
+/// Arena storage for RMI nodes: id allocation, node access, and the
+/// doubly-linked leaf chain. Nodes are never moved or freed once
+/// pushed (splits replace a leaf with an inner node *in place*, so
+/// parent child-pointers stay valid).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeStore<K, V> {
+    nodes: Vec<Node<K, V>>,
+    /// First leaf in key order (entry point for full iteration).
+    head_leaf: NodeId,
+}
+
+impl<K, V> NodeStore<K, V> {
+    /// An empty store. The head leaf defaults to node 0; callers must
+    /// push at least one leaf (or link a chain) before reading it.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            head_leaf: 0,
+        }
+    }
+
+    /// Allocate a node, returning its id.
+    pub fn push(&mut self, node: Node<K, V>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Replace the node at `id` in place (used by splits: the leaf
+    /// becomes the routing inner node under the same id).
+    pub fn replace(&mut self, id: NodeId, node: Node<K, V>) {
+        self.nodes[id as usize] = node;
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<K, V> {
+        &self.nodes[id as usize]
+    }
+
+    /// The leaf at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` refers to an inner node.
+    #[inline]
+    pub fn leaf(&self, id: NodeId) -> &LeafNode<K, V> {
+        match self.node(id) {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("expected leaf node"),
+        }
+    }
+
+    /// The leaf at `id`, mutably.
+    ///
+    /// # Panics
+    /// Panics if `id` refers to an inner node.
+    #[inline]
+    pub fn leaf_mut(&mut self, id: NodeId) -> &mut LeafNode<K, V> {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("expected leaf node"),
+        }
+    }
+
+    /// First leaf in key order.
+    #[inline]
+    pub fn head_leaf(&self) -> NodeId {
+        self.head_leaf
+    }
+
+    /// Iterate every node in the arena (allocation order).
+    pub fn iter(&self) -> impl Iterator<Item = &Node<K, V>> {
+        self.nodes.iter()
+    }
+
+    /// Iterate every leaf in the arena (allocation order, *not* key
+    /// order — use the chain for ordered traversal).
+    pub fn leaves(&self) -> impl Iterator<Item = &LeafNode<K, V>> {
+        self.nodes.iter().filter_map(|n| match n {
+            Node::Leaf(l) => Some(l),
+            Node::Inner(_) => None,
+        })
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves().count()
+    }
+
+    /// Wire the doubly-linked leaf chain through `order` (key order)
+    /// and point the head at the first entry.
+    ///
+    /// # Panics
+    /// Panics if `order` is empty.
+    pub fn link_chain(&mut self, order: &[NodeId]) {
+        for (i, &id) in order.iter().enumerate() {
+            let prev = (i > 0).then(|| order[i - 1]);
+            let next = order.get(i + 1).copied();
+            let leaf = self.leaf_mut(id);
+            leaf.prev = prev;
+            leaf.next = next;
+        }
+        self.head_leaf = *order.first().expect("at least one leaf");
+    }
+
+    /// Splice `run` (key-ordered replacement leaves) into the chain
+    /// between `prev` and `next`, fixing up the neighbours and the head
+    /// pointer. Used when a split replaces one leaf with several.
+    ///
+    /// # Panics
+    /// Panics if `run` is empty.
+    pub fn splice_chain(&mut self, prev: Option<NodeId>, next: Option<NodeId>, run: &[NodeId]) {
+        assert!(!run.is_empty(), "cannot splice an empty run");
+        for (w, &id) in run.iter().enumerate() {
+            let p = if w == 0 { prev } else { Some(run[w - 1]) };
+            let nx = if w == run.len() - 1 { next } else { Some(run[w + 1]) };
+            let leaf = self.leaf_mut(id);
+            leaf.prev = p;
+            leaf.next = nx;
+        }
+        if let Some(p) = prev {
+            self.leaf_mut(p).next = Some(run[0]);
+        } else {
+            self.head_leaf = run[0];
+        }
+        if let Some(nx) = next {
+            self.leaf_mut(nx).prev = Some(*run.last().expect("run is non-empty"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NodeLayout, NodeParams};
+
+    fn leaf(pairs: &[(u64, u64)]) -> Node<u64, u64> {
+        Node::Leaf(LeafNode {
+            data: DataNode::bulk_load(pairs, NodeLayout::Gapped, NodeParams::default()),
+            prev: None,
+            next: None,
+        })
+    }
+
+    #[test]
+    fn push_allocates_sequential_ids() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new();
+        let a = store.push(leaf(&[(1, 1)]));
+        let b = store.push(leaf(&[(2, 2)]));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(store.num_leaves(), 2);
+    }
+
+    #[test]
+    fn link_chain_wires_prev_next_and_head() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new();
+        let ids: Vec<NodeId> = (0..3).map(|i| store.push(leaf(&[(i, i)]))).collect();
+        store.link_chain(&ids);
+        assert_eq!(store.head_leaf(), ids[0]);
+        assert_eq!(store.leaf(ids[0]).next, Some(ids[1]));
+        assert_eq!(store.leaf(ids[1]).prev, Some(ids[0]));
+        assert_eq!(store.leaf(ids[2]).next, None);
+    }
+
+    #[test]
+    fn splice_chain_replaces_middle_leaf() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new();
+        let ids: Vec<NodeId> = (0..3).map(|i| store.push(leaf(&[(i, i)]))).collect();
+        store.link_chain(&ids);
+        let fresh: Vec<NodeId> = (10..12).map(|i| store.push(leaf(&[(i, i)]))).collect();
+        store.splice_chain(Some(ids[0]), Some(ids[2]), &fresh);
+        assert_eq!(store.leaf(ids[0]).next, Some(fresh[0]));
+        assert_eq!(store.leaf(fresh[0]).next, Some(fresh[1]));
+        assert_eq!(store.leaf(fresh[1]).next, Some(ids[2]));
+        assert_eq!(store.leaf(ids[2]).prev, Some(fresh[1]));
+        assert_eq!(store.head_leaf(), ids[0]);
+    }
+
+    #[test]
+    fn splice_chain_at_head_moves_head() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new();
+        let ids: Vec<NodeId> = (0..2).map(|i| store.push(leaf(&[(i, i)]))).collect();
+        store.link_chain(&ids);
+        let fresh = store.push(leaf(&[(9, 9)]));
+        store.splice_chain(None, Some(ids[1]), &[fresh]);
+        assert_eq!(store.head_leaf(), fresh);
+        assert_eq!(store.leaf(ids[1]).prev, Some(fresh));
+    }
+}

@@ -161,6 +161,12 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
         self.slots.bitmap.next_occupied(0)
     }
 
+    /// Last occupied slot.
+    #[inline]
+    pub(crate) fn last_occupied(&self) -> Option<usize> {
+        self.slots.bitmap.prev_occupied(self.capacity().saturating_sub(1))
+    }
+
     /// Insert with PMA density-bound logic (Algorithm 2).
     pub fn insert(&mut self, key: K, value: V) -> InsertOutcome {
         let (plan, _) = self.slots.plan_insert(&key, self.predict(&key));

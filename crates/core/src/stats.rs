@@ -3,10 +3,11 @@
 //! The paper's drilldown experiments (Figures 7–9) are driven by
 //! counters like shifts-per-insert and prediction error; these structs
 //! collect them. Read-side counters (search comparisons) live in
-//! `Cell`s so `get` can stay `&self`; the index is single-threaded by
-//! design, like the paper's experiments.
+//! relaxed atomics so `get` can stay `&self` *and* the whole read path
+//! stays `Sync` — a requirement of the sharded concurrent front-end
+//! (`alex-sharded`), which serves lookups from parallel reader threads.
 
-use core::cell::Cell;
+use core::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Write-side work counters for one data node or a whole index.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -52,20 +53,29 @@ impl WriteStats {
     }
 }
 
-/// Read-side counters, interior-mutable so lookups stay `&self`.
+/// Read-side counters, interior-mutable (relaxed atomics) so lookups
+/// stay `&self` and the read path is `Sync`. Counters are advisory
+/// instrumentation: under concurrent readers each increment lands
+/// atomically but the three fields are not updated as one transaction.
+///
+/// The atomic RMWs sit on the lookup hot path (and, under parallel
+/// Zipf-skewed readers, contend on hot leaves' counter cache lines),
+/// so the default-on `read-stats` cargo feature can be disabled to
+/// compile [`ReadStats::record`] down to a no-op for peak-throughput
+/// runs; all counter reads then return zero.
 #[derive(Debug, Default)]
 pub struct ReadStats {
-    lookups: Cell<u64>,
-    comparisons: Cell<u64>,
-    direct_hits: Cell<u64>,
+    lookups: AtomicU64,
+    comparisons: AtomicU64,
+    direct_hits: AtomicU64,
 }
 
 impl Clone for ReadStats {
     fn clone(&self) -> Self {
         Self {
-            lookups: Cell::new(self.lookups.get()),
-            comparisons: Cell::new(self.comparisons.get()),
-            direct_hits: Cell::new(self.direct_hits.get()),
+            lookups: AtomicU64::new(self.lookups()),
+            comparisons: AtomicU64::new(self.comparisons()),
+            direct_hits: AtomicU64::new(self.direct_hits()),
         }
     }
 }
@@ -76,34 +86,39 @@ impl ReadStats {
     /// model-predicted slot (§4).
     #[inline]
     pub fn record(&self, comparisons: u32, direct: bool) {
-        self.lookups.set(self.lookups.get() + 1);
-        self.comparisons.set(self.comparisons.get() + u64::from(comparisons));
-        if direct {
-            self.direct_hits.set(self.direct_hits.get() + 1);
+        #[cfg(feature = "read-stats")]
+        {
+            self.lookups.fetch_add(1, Relaxed);
+            self.comparisons.fetch_add(u64::from(comparisons), Relaxed);
+            if direct {
+                self.direct_hits.fetch_add(1, Relaxed);
+            }
         }
+        #[cfg(not(feature = "read-stats"))]
+        let _ = (comparisons, direct);
     }
 
     /// Total lookups recorded.
     pub fn lookups(&self) -> u64 {
-        self.lookups.get()
+        self.lookups.load(Relaxed)
     }
 
     /// Total key comparisons across lookups.
     pub fn comparisons(&self) -> u64 {
-        self.comparisons.get()
+        self.comparisons.load(Relaxed)
     }
 
     /// Lookups that hit the predicted slot directly.
     pub fn direct_hits(&self) -> u64 {
-        self.direct_hits.get()
+        self.direct_hits.load(Relaxed)
     }
 
     /// Mean comparisons per lookup.
     pub fn comparisons_per_lookup(&self) -> f64 {
-        if self.lookups.get() == 0 {
+        if self.lookups() == 0 {
             0.0
         } else {
-            self.comparisons.get() as f64 / self.lookups.get() as f64
+            self.comparisons() as f64 / self.lookups() as f64
         }
     }
 }
@@ -147,6 +162,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "read-stats")]
     fn read_stats_record() {
         let r = ReadStats::default();
         r.record(1, true);

@@ -22,6 +22,7 @@
 mod cdf;
 mod generators;
 mod payload;
+mod streaming;
 mod zipf;
 
 pub use cdf::{cdf_points, zoomed_cdf_points};
@@ -29,6 +30,7 @@ pub use generators::{
     lognormal_keys, longitudes_keys, longlat_keys, sequential_keys, uniform_dense_keys, ycsb_keys, Dataset,
 };
 pub use payload::{Payload, Payload8, Payload80};
+pub use streaming::{SortedBlocks, StreamKey};
 pub use zipf::{ScrambledZipf, Zipf};
 
 /// Sort a key vector ascending (total order via `partial_cmp`; the

@@ -1,0 +1,285 @@
+//! Chunked/streaming key generation: an iterator of **globally sorted
+//! blocks**, so shard bulk-loads (`alex_sharded::ShardedAlex::
+//! bulk_load_blocks`) and future >100M-key runs never materialize one
+//! giant `Vec`.
+//!
+//! The batch generators in [`crate::generators`] draw i.i.d. samples
+//! and sort afterwards — inherently all-in-memory. Streaming *sorted*
+//! output instead combines two classic tricks:
+//!
+//! 1. **Sequential uniform order statistics**: the `i`-th smallest of
+//!    `n` uniforms can be generated *in ascending order* one at a time
+//!    via `u_{i+1} = 1 - (1 - u_i)·(1 - U)^{1/(n-i)}` — O(1) memory,
+//!    no sorting.
+//! 2. **Empirical inverse CDF**: a sorted pilot sample of the target
+//!    distribution (the same quantile table as [`crate::cdf_points`])
+//!    maps each uniform rank to a key by linear interpolation.
+//!
+//! The stream therefore follows the pilot's distribution (exactly at
+//! the pilot's quantile knots, interpolated between them) and is
+//! strictly increasing end to end. Keys are deduplicated by nudging to
+//! the next representable value, which only matters in regions denser
+//! than the key type's resolution.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::generators::{lognormal_keys, longitudes_keys, longlat_keys, ycsb_keys};
+use crate::sorted;
+
+/// Pilot-sample size used by the dataset constructors.
+const PILOT_KEYS: usize = 65_536;
+
+/// Key types a [`SortedBlocks`] stream can produce.
+pub trait StreamKey: Copy + PartialOrd {
+    /// Map an interpolated quantile back to a key.
+    fn from_f64(x: f64) -> Self;
+
+    /// The key as an `f64` quantile-table entry.
+    fn to_f64(self) -> f64;
+
+    /// The smallest key strictly greater than `self` (uniqueness
+    /// nudge).
+    fn successor(self) -> Self;
+}
+
+impl StreamKey for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn successor(self) -> Self {
+        self.next_up()
+    }
+}
+
+impl StreamKey for u64 {
+    fn from_f64(x: f64) -> Self {
+        if x <= 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn successor(self) -> Self {
+        self.saturating_add(1)
+    }
+}
+
+/// An iterator of globally sorted key blocks: each yielded `Vec` is
+/// sorted, and every key is strictly greater than everything yielded
+/// before it. Total output is exactly `n` keys in `ceil(n/block_size)`
+/// blocks; memory use is one block plus the pilot table.
+///
+/// # Examples
+/// ```
+/// use alex_datasets::SortedBlocks;
+///
+/// let blocks = SortedBlocks::lognormal(10_000, 1024, 42);
+/// let keys: Vec<u64> = blocks.flatten().collect();
+/// assert_eq!(keys.len(), 10_000);
+/// assert!(keys.windows(2).all(|w| w[0] < w[1]), "globally sorted, unique");
+/// ```
+#[derive(Debug)]
+pub struct SortedBlocks<K> {
+    /// Sorted pilot sample (the empirical quantile table), in key
+    /// space.
+    pilot: Vec<K>,
+    /// Total keys still to produce.
+    remaining: usize,
+    block_size: usize,
+    rng: StdRng,
+    /// Keys not yet drawn from the uniform order-statistics walk
+    /// (`n - i` in the recurrence).
+    ranks_left: usize,
+    /// Last uniform order statistic, in `[0, 1)`.
+    u: f64,
+    /// Last emitted key (uniqueness nudge).
+    last: Option<K>,
+}
+
+impl<K: StreamKey> SortedBlocks<K> {
+    /// Stream `n` keys following the empirical distribution of `pilot`
+    /// (any sorted, non-empty sample), in blocks of `block_size`.
+    ///
+    /// # Panics
+    /// Panics if `pilot` is empty or `block_size == 0`.
+    pub fn from_pilot(pilot: Vec<K>, n: usize, block_size: usize, seed: u64) -> Self {
+        assert!(!pilot.is_empty(), "need a non-empty pilot sample");
+        assert!(block_size > 0, "need a positive block size");
+        Self {
+            pilot,
+            remaining: n,
+            block_size,
+            rng: StdRng::seed_from_u64(seed ^ 0x5B10C6),
+            ranks_left: n,
+            u: 0.0,
+            last: None,
+        }
+    }
+
+    /// Advance the ascending uniform order statistic.
+    fn next_rank(&mut self) -> f64 {
+        let step: f64 = self.rng.random();
+        // u' = 1 - (1-u)·(1-U)^{1/k}: the next of `k` remaining order
+        // statistics above `u`.
+        let k = self.ranks_left.max(1) as f64;
+        self.u = 1.0 - (1.0 - self.u) * (1.0 - step).powf(1.0 / k);
+        self.ranks_left = self.ranks_left.saturating_sub(1);
+        self.u.clamp(0.0, 1.0)
+    }
+
+    /// Map a uniform rank through the pilot quantile table.
+    fn quantile(&self, u: f64) -> K {
+        let m = self.pilot.len();
+        if m == 1 {
+            return self.pilot[0];
+        }
+        let pos = u * (m - 1) as f64;
+        let lo = (pos.floor() as usize).min(m - 2);
+        let frac = pos - lo as f64;
+        let a = self.pilot[lo].to_f64();
+        let b = self.pilot[lo + 1].to_f64();
+        K::from_f64(a + (b - a) * frac)
+    }
+}
+
+impl<K: StreamKey> Iterator for SortedBlocks<K> {
+    type Item = Vec<K>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = self.remaining.min(self.block_size);
+        let mut block = Vec::with_capacity(take);
+        for _ in 0..take {
+            let u = self.next_rank();
+            let mut key = self.quantile(u);
+            if let Some(last) = self.last {
+                if key <= last {
+                    key = last.successor();
+                }
+            }
+            self.last = Some(key);
+            block.push(key);
+        }
+        self.remaining -= take;
+        Some(block)
+    }
+}
+
+impl SortedBlocks<f64> {
+    /// Streaming `longitudes` (smooth non-uniform CDF, `f64` keys).
+    pub fn longitudes(n: usize, block_size: usize, seed: u64) -> Self {
+        let pilot = sorted(longitudes_keys(PILOT_KEYS.min(n.max(2)), seed));
+        Self::from_pilot(pilot, n, block_size, seed)
+    }
+
+    /// Streaming `longlat` (step-function CDF, `f64` keys).
+    pub fn longlat(n: usize, block_size: usize, seed: u64) -> Self {
+        let pilot = sorted(longlat_keys(PILOT_KEYS.min(n.max(2)), seed));
+        Self::from_pilot(pilot, n, block_size, seed)
+    }
+}
+
+impl SortedBlocks<u64> {
+    /// Streaming `lognormal` (extreme skew, `u64` keys).
+    pub fn lognormal(n: usize, block_size: usize, seed: u64) -> Self {
+        let pilot = sorted(lognormal_keys(PILOT_KEYS.min(n.max(2)), seed));
+        Self::from_pilot(pilot, n, block_size, seed)
+    }
+
+    /// Streaming `YCSB` (uniform 64-bit ids, `u64` keys).
+    pub fn ycsb(n: usize, block_size: usize, seed: u64) -> Self {
+        let pilot = sorted(ycsb_keys(PILOT_KEYS.min(n.max(2)), seed));
+        Self::from_pilot(pilot, n, block_size, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(blocks: SortedBlocks<u64>) -> (usize, Vec<u64>) {
+        let mut sizes = Vec::new();
+        let mut keys = Vec::new();
+        let mut n_blocks = 0;
+        for b in blocks {
+            sizes.push(b.len());
+            keys.extend(b);
+            n_blocks += 1;
+        }
+        // Every block but the last is full-size.
+        for s in &sizes[..sizes.len().saturating_sub(1)] {
+            assert_eq!(*s, sizes[0]);
+        }
+        (n_blocks, keys)
+    }
+
+    #[test]
+    fn blocks_concatenate_to_sorted_unique_stream() {
+        let (n_blocks, keys) = collect(SortedBlocks::lognormal(20_000, 1000, 7));
+        assert_eq!(n_blocks, 20);
+        assert_eq!(keys.len(), 20_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    }
+
+    #[test]
+    fn ragged_tail_block() {
+        let (n_blocks, keys) = collect(SortedBlocks::ycsb(2500, 1000, 9));
+        assert_eq!(n_blocks, 3);
+        assert_eq!(keys.len(), 2500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = SortedBlocks::lognormal(5000, 512, 3).flatten().collect();
+        let b: Vec<u64> = SortedBlocks::lognormal(5000, 512, 3).flatten().collect();
+        let c: Vec<u64> = SortedBlocks::lognormal(5000, 512, 4).flatten().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_follows_pilot_distribution() {
+        // The streamed median/quartiles must track the batch
+        // generator's (both heavily skewed lognormal).
+        let stream: Vec<u64> = SortedBlocks::lognormal(40_000, 4096, 11).flatten().collect();
+        let batch = sorted(lognormal_keys(40_000, 11));
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            let i = (q * 40_000.0) as usize;
+            let (s, b) = (stream[i].max(1) as f64, batch[i].max(1) as f64);
+            let ratio = s / b;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "quantile {q}: stream {s} vs batch {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_stream_stays_in_domain() {
+        let keys: Vec<f64> = SortedBlocks::longitudes(10_000, 1024, 5).flatten().collect();
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().all(|k| (-180.0..=180.0).contains(k)));
+    }
+
+    #[test]
+    fn tiny_streams() {
+        let keys: Vec<u64> = SortedBlocks::ycsb(1, 10, 1).flatten().collect();
+        assert_eq!(keys.len(), 1);
+        let none: Vec<Vec<u64>> = SortedBlocks::ycsb(0, 10, 1).collect();
+        assert!(none.is_empty());
+    }
+}

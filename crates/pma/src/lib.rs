@@ -1,5 +1,5 @@
 //! A Packed Memory Array (PMA), after Bender & Hu, *An adaptive
-//! packed-memory array*, TODS 2007 — reference [6] of the ALEX paper.
+//! packed-memory array*, TODS 2007 — reference \[6\] of the ALEX paper.
 //!
 //! A PMA stores a dynamic set of ordered elements in a single array of
 //! power-of-two capacity, deliberately leaving gaps between elements so

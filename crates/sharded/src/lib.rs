@@ -1,0 +1,544 @@
+//! # `alex-sharded`: a sharded concurrent front-end for ALEX
+//!
+//! The ALEX paper (§7) names concurrency as the main follow-up: the
+//! single-threaded index serves one writer at a time. This crate takes
+//! the paper's own suggested first step — *shard the RMI root* — and
+//! packages it as [`ShardedAlex`]: the key space is range-partitioned
+//! across `N` independent [`AlexIndex`] shards, each behind a
+//! `std::sync::RwLock`, so point reads and range scans proceed in
+//! parallel and writers only serialize per shard.
+//!
+//! Shard boundaries are chosen from a **sample CDF** of the bulk-load
+//! keys (the same empirical-quantile trick as `alex_datasets::cdf`):
+//! each shard receives an equal fraction of the *observed* key mass,
+//! not an equal slice of the key domain, so skewed datasets (lognormal,
+//! longlat) still balance.
+//!
+//! The type implements both index interfaces of `alex-workloads`:
+//! [`OrderedIndex`] (exclusive access, used by the single-threaded
+//! driver and the cross-index consistency suite) and
+//! [`ConcurrentIndex`] (shared access, used by the multi-threaded
+//! driver `run_workload_mt`).
+//!
+//! ## Consistency model
+//! Every individual operation is atomic with respect to its shard.
+//! A range scan that crosses shard boundaries locks one shard at a
+//! time, so it observes each shard at a (possibly) different instant —
+//! the usual relaxation for partitioned stores. The per-shard
+//! `AlexIndex` read path is lock-free among readers: it is `&self` and
+//! `Sync` end to end.
+//!
+//! ## Quickstart
+//! ```
+//! use alex_core::AlexConfig;
+//! use alex_sharded::ShardedAlex;
+//!
+//! let data: Vec<(u64, u64)> = (0..100_000).map(|k| (k * 2, k)).collect();
+//! let index = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+//! assert_eq!(index.num_shards(), 4);
+//! assert_eq!(index.get(&20_000), Some(10_000));
+//!
+//! // Reads and writes take &self: share it across threads freely.
+//! std::thread::scope(|s| {
+//!     s.spawn(|| assert!(index.contains(&40_000)));
+//!     s.spawn(|| assert!(index.insert(99, 99)));
+//! });
+//! assert_eq!(index.get(&99), Some(99));
+//! ```
+//!
+//! ## What an epoch-based follow-up would change
+//! The `RwLock` per shard blocks readers during node splits. Because
+//! the storage layer (`NodeStore` in `alex-core`) already isolates all
+//! arena mutation behind a narrow API, swapping the lock for an
+//! epoch-based reclamation scheme (readers pin an epoch, writers
+//! retire replaced nodes) would be a change local to this crate plus
+//! `NodeStore` — no routing or data-node code would move.
+
+use std::sync::RwLock;
+
+use alex_core::stats::SizeReport;
+use alex_core::{AlexConfig, AlexIndex, AlexKey};
+use alex_datasets::cdf_points;
+use alex_workloads::{ConcurrentIndex, OrderedIndex};
+
+/// Range-partitioned ALEX shards behind reader-writer locks.
+///
+/// See the [crate-level docs](crate) for the design and consistency
+/// model.
+#[derive(Debug)]
+pub struct ShardedAlex<K, V> {
+    shards: Vec<RwLock<AlexIndex<K, V>>>,
+    /// `boundaries[i]` is the smallest key owned by shard `i + 1`
+    /// (strictly increasing, `len() == shards.len() - 1`).
+    boundaries: Vec<K>,
+}
+
+impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
+    /// Bulk-load `pairs` (sorted, strictly increasing by key) into
+    /// `num_shards` shards with boundaries drawn from the sample CDF.
+    ///
+    /// Duplicate quantiles (heavily skewed data with few distinct
+    /// sample points) are merged, so the effective shard count can be
+    /// lower than requested.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`, or (debug builds) if `pairs` is not
+    /// strictly increasing by key.
+    pub fn bulk_load(pairs: &[(K, V)], num_shards: usize, config: AlexConfig) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load input must be strictly increasing"
+        );
+        let boundaries = sample_cdf_boundaries(pairs, num_shards);
+        let mut shards = Vec::with_capacity(boundaries.len() + 1);
+        let mut rest = pairs;
+        for bound in &boundaries {
+            let cut = rest.partition_point(|(k, _)| k < bound);
+            let (run, tail) = rest.split_at(cut);
+            shards.push(RwLock::new(AlexIndex::bulk_load(run, config)));
+            rest = tail;
+        }
+        shards.push(RwLock::new(AlexIndex::bulk_load(rest, config)));
+        Self { shards, boundaries }
+    }
+
+    /// Bulk-load from an iterator of **globally sorted blocks** (each
+    /// block sorted, every key in block `i+1` greater than every key in
+    /// block `i`) — e.g. `alex_datasets::SortedBlocks`. Only one
+    /// shard's worth of pairs is buffered at a time, so loads never
+    /// need the whole dataset in one `Vec`.
+    ///
+    /// `boundaries` must be strictly increasing; shard `i + 1` owns
+    /// keys `>= boundaries[i]`. The final shard count is
+    /// `boundaries.len() + 1`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if blocks are not globally sorted or
+    /// `boundaries` is not strictly increasing.
+    pub fn bulk_load_blocks(
+        blocks: impl IntoIterator<Item = Vec<(K, V)>>,
+        boundaries: Vec<K>,
+        config: AlexConfig,
+    ) -> Self {
+        debug_assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "shard boundaries must be strictly increasing"
+        );
+        let num_shards = boundaries.len() + 1;
+        let mut shards: Vec<RwLock<AlexIndex<K, V>>> = Vec::with_capacity(num_shards);
+        let mut buffer: Vec<(K, V)> = Vec::new();
+        let mut prev_key: Option<K> = None;
+        for block in blocks {
+            for (key, value) in block {
+                debug_assert!(
+                    prev_key.is_none_or(|p| p < key),
+                    "blocks must be globally sorted and strictly increasing"
+                );
+                prev_key = Some(key);
+                while shards.len() < boundaries.len() && key >= boundaries[shards.len()] {
+                    shards.push(RwLock::new(AlexIndex::bulk_load(&buffer, config)));
+                    buffer.clear();
+                }
+                buffer.push((key, value));
+            }
+        }
+        // Flush the tail and any remaining empty shards.
+        while shards.len() < num_shards {
+            shards.push(RwLock::new(AlexIndex::bulk_load(&buffer, config)));
+            buffer.clear();
+        }
+        Self { shards, boundaries }
+    }
+
+    /// An empty index with `num_shards` shards split at `boundaries`
+    /// (cold start; every shard grows by inserts/splits).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `boundaries` is not strictly
+    /// increasing.
+    pub fn new(boundaries: Vec<K>, config: AlexConfig) -> Self {
+        Self::bulk_load_blocks(core::iter::empty(), boundaries, config)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard boundaries (shard `i + 1` owns keys `>= boundaries[i]`).
+    pub fn boundaries(&self) -> &[K] {
+        &self.boundaries
+    }
+
+    /// Which shard owns `key`.
+    #[inline]
+    fn shard_for(&self, key: &K) -> usize {
+        self.boundaries.partition_point(|b| b <= key)
+    }
+
+    fn read(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, AlexIndex<K, V>> {
+        self.shards[shard].read().expect("shard lock poisoned")
+    }
+
+    fn write(&self, shard: usize) -> std::sync::RwLockWriteGuard<'_, AlexIndex<K, V>> {
+        self.shards[shard].write().expect("shard lock poisoned")
+    }
+
+    /// Look up `key`, cloning the payload out of the shard lock.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.read(self.shard_for(key)).get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.read(self.shard_for(key)).contains_key(key)
+    }
+
+    /// Insert a pair; `false` on duplicate. Takes `&self`: only the
+    /// owning shard is write-locked.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.write(self.shard_for(&key)).insert(key, value).is_ok()
+    }
+
+    /// Remove `key`, returning its payload.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.write(self.shard_for(key)).remove(key)
+    }
+
+    /// Replace the payload of an existing key, returning the old value.
+    pub fn update(&self, key: &K, value: V) -> Option<V> {
+        self.write(self.shard_for(key)).update(key, value)
+    }
+
+    /// Visit up to `limit` entries with key `>= key` in order. Crosses
+    /// shard boundaries (locking one shard at a time). Returns the
+    /// number of entries visited.
+    pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
+        let mut visited = 0usize;
+        for shard in self.shard_for(key)..self.shards.len() {
+            if visited >= limit {
+                break;
+            }
+            // Keys in later shards are all `>= key` (they sit above the
+            // boundary that routed `key`), so the same lower bound works
+            // in every shard.
+            visited += self.read(shard).scan_from(key, limit - visited, &mut f);
+        }
+        visited
+    }
+
+    /// Split a key-sorted slice into maximal per-shard runs and invoke
+    /// `f` once per `(shard, run)` — the single place that pairs the
+    /// `k < boundary` run cut with [`ShardedAlex::shard_for`]'s
+    /// `boundary <= k` routing, so keys equal to a boundary always go
+    /// to the same shard on both paths.
+    fn for_each_shard_run<'a, T>(
+        &self,
+        items: &'a [T],
+        key_of: impl Fn(&T) -> &K,
+        mut f: impl FnMut(usize, &'a [T]),
+    ) {
+        let mut rest = items;
+        while let Some(first) = rest.first() {
+            let shard = self.shard_for(key_of(first));
+            let run_len = if shard < self.boundaries.len() {
+                let bound = &self.boundaries[shard];
+                rest.partition_point(|t| key_of(t) < bound)
+            } else {
+                rest.len()
+            };
+            let (run, tail) = rest.split_at(run_len);
+            f(shard, run);
+            rest = tail;
+        }
+    }
+
+    /// Sorted-batch lookup: keys are split into per-shard runs, each
+    /// shard is read-locked once and served by `AlexIndex::get_many`.
+    /// Payloads are cloned out of the locks.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `keys` is not sorted non-decreasing.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "get_many input must be sorted"
+        );
+        let mut out = Vec::with_capacity(keys.len());
+        self.for_each_shard_run(keys, |k| k, |shard, run| {
+            out.extend(self.read(shard).get_many(run).into_iter().map(|v| v.cloned()));
+        });
+        out
+    }
+
+    /// Sorted-batch insert: pairs are split into per-shard runs, each
+    /// shard is write-locked once and served by
+    /// `AlexIndex::bulk_insert`. Returns the number of pairs inserted
+    /// (duplicates skipped).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not sorted by key.
+    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_insert input must be sorted by key"
+        );
+        let mut inserted = 0usize;
+        self.for_each_shard_run(pairs, |(k, _)| k, |shard, run| {
+            inserted += self.write(shard).bulk_insert(run);
+        });
+        inserted
+    }
+
+    /// Total number of stored entries (sums shard lengths; each shard
+    /// is read at a possibly different instant).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.read(s).len()).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry counts per shard (load-balance diagnostics).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        (0..self.shards.len()).map(|s| self.read(s).len()).collect()
+    }
+
+    /// Aggregated §5.1 size accounting across shards.
+    pub fn size_report(&self) -> SizeReport {
+        let mut total = SizeReport::default();
+        for s in 0..self.shards.len() {
+            let r = self.read(s).size_report();
+            total.index_bytes += r.index_bytes;
+            total.data_bytes += r.data_bytes;
+            total.num_data_nodes += r.num_data_nodes;
+            total.num_inner_nodes += r.num_inner_nodes;
+        }
+        total
+    }
+}
+
+/// Shard boundaries from the sample CDF of sorted `pairs`: sample up to
+/// 64Ki keys evenly by rank, then take the `num_shards - 1` interior
+/// quantiles (via [`alex_datasets::cdf_points`]) and dedup.
+fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize) -> Vec<K> {
+    if num_shards <= 1 || pairs.len() < 2 {
+        return Vec::new();
+    }
+    let stride = (pairs.len() / 65_536).max(1);
+    let sample: Vec<K> = pairs.iter().step_by(stride).map(|p| p.0).collect();
+    let points = cdf_points(&sample, (num_shards + 1).min(sample.len()));
+    let mut boundaries: Vec<K> = points
+        .into_iter()
+        .skip(1)
+        .take(num_shards - 1)
+        .map(|(k, _)| k)
+        .collect();
+    boundaries.dedup_by(|a, b| a == b);
+    boundaries
+}
+
+impl<K: AlexKey, V: Clone + Default> OrderedIndex<K, V> for ShardedAlex<K, V> {
+    fn contains(&self, key: &K) -> bool {
+        ShardedAlex::contains(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        ShardedAlex::insert(self, key, value)
+    }
+
+    fn scan_from(&self, key: &K, limit: usize) -> usize {
+        ShardedAlex::scan_from(self, key, limit, |k, v| {
+            core::hint::black_box((k, v));
+        })
+    }
+
+    fn len(&self) -> usize {
+        ShardedAlex::len(self)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.size_report().index_bytes
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.size_report().data_bytes
+    }
+
+    fn label(&self) -> String {
+        format!("ShardedAlex[{}]", self.num_shards())
+    }
+}
+
+impl<K: AlexKey + Sync + Send, V: Clone + Default + Sync + Send> ConcurrentIndex<K, V>
+    for ShardedAlex<K, V>
+{
+    fn contains(&self, key: &K) -> bool {
+        ShardedAlex::contains(self, key)
+    }
+
+    fn insert(&self, key: K, value: V) -> bool {
+        ShardedAlex::insert(self, key, value)
+    }
+
+    fn scan_from(&self, key: &K, limit: usize) -> usize {
+        ShardedAlex::scan_from(self, key, limit, |k, v| {
+            core::hint::black_box((k, v));
+        })
+    }
+
+    fn len(&self) -> usize {
+        ShardedAlex::len(self)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.size_report().index_bytes
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.size_report().data_bytes
+    }
+
+    fn label(&self) -> String {
+        format!("ShardedAlex[{}]", self.num_shards())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|k| (k * stride, k)).collect()
+    }
+
+    #[test]
+    fn bulk_load_partitions_evenly_on_uniform_keys() {
+        let index = ShardedAlex::bulk_load(&pairs(40_000, 2), 4, AlexConfig::ga_armi());
+        assert_eq!(index.num_shards(), 4);
+        assert_eq!(index.len(), 40_000);
+        for len in index.shard_lens() {
+            assert!((8000..=12_000).contains(&len), "shard sizes {:?}", index.shard_lens());
+        }
+    }
+
+    #[test]
+    fn get_routes_across_boundaries() {
+        let index = ShardedAlex::bulk_load(&pairs(10_000, 3), 8, AlexConfig::ga_armi());
+        for k in (0..10_000u64).step_by(7) {
+            assert_eq!(index.get(&(k * 3)), Some(k), "key {}", k * 3);
+            assert_eq!(index.get(&(k * 3 + 1)), None);
+        }
+    }
+
+    #[test]
+    fn insert_remove_update_roundtrip() {
+        let index = ShardedAlex::bulk_load(&pairs(1000, 2), 4, AlexConfig::ga_armi());
+        assert!(index.insert(1001, 7));
+        assert!(!index.insert(1001, 8), "duplicate must be rejected");
+        assert_eq!(index.get(&1001), Some(7));
+        assert_eq!(index.update(&1001, 9), Some(7));
+        assert_eq!(index.remove(&1001), Some(9));
+        assert_eq!(index.get(&1001), None);
+        assert_eq!(index.len(), 1000);
+    }
+
+    #[test]
+    fn scan_crosses_shard_boundaries() {
+        let index = ShardedAlex::bulk_load(&pairs(10_000, 1), 4, AlexConfig::ga_armi());
+        // Start 300 keys below the last shard boundary so the 500-entry
+        // window must cross into the next shard.
+        let boundary = index.boundaries()[2];
+        let start = boundary - 300;
+        let mut seen = Vec::new();
+        let visited = index.scan_from(&start, 500, |k, _| seen.push(*k));
+        assert_eq!(visited, 500);
+        assert_eq!(seen, (start..start + 500).collect::<Vec<u64>>());
+        assert!(start + 500 > boundary, "window must span two shards");
+    }
+
+    #[test]
+    fn skewed_keys_still_balance_by_cdf() {
+        // Cubic growth: uniform-domain splits would put almost
+        // everything in shard 0; CDF splits keep shards comparable.
+        let data: Vec<(u64, u64)> = (1..20_000u64).map(|k| (k * k * k, k)).collect();
+        let index = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+        let lens = index.shard_lens();
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        assert!(max < min * 2 + 64, "imbalanced shards {lens:?}");
+    }
+
+    #[test]
+    fn get_many_and_bulk_insert_span_shards() {
+        let index = ShardedAlex::bulk_load(&pairs(10_000, 4), 4, AlexConfig::ga_armi());
+        let queries: Vec<u64> = (0..20_000u64).step_by(3).collect();
+        let got = index.get_many(&queries);
+        for (q, v) in queries.iter().zip(&got) {
+            assert_eq!(*v, index.get(q), "key {q}");
+        }
+        let fresh: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 4 + 1, k)).collect();
+        assert_eq!(index.bulk_insert(&fresh), 10_000);
+        assert_eq!(index.bulk_insert(&fresh), 0, "second pass is all duplicates");
+        assert_eq!(index.len(), 20_000);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let index = ShardedAlex::bulk_load(&pairs(10_000, 2), 4, AlexConfig::ga_armi());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let index = &index;
+                s.spawn(move || {
+                    for k in 0..2000u64 {
+                        // Reads of stable keys must always succeed.
+                        assert_eq!(index.get(&(k * 2)), Some(k));
+                        // Writes land in disjoint per-thread key ranges.
+                        assert!(index.insert(100_000 + t * 10_000 + k, k));
+                    }
+                });
+            }
+        });
+        assert_eq!(index.len(), 10_000 + 4 * 2000);
+    }
+
+    #[test]
+    fn single_shard_degenerates_gracefully() {
+        let index = ShardedAlex::bulk_load(&pairs(1000, 1), 1, AlexConfig::ga_armi());
+        assert_eq!(index.num_shards(), 1);
+        assert!(index.boundaries().is_empty());
+        assert_eq!(index.get(&500), Some(500));
+    }
+
+    #[test]
+    fn empty_and_cold_start() {
+        let empty: ShardedAlex<u64, u64> = ShardedAlex::bulk_load(&[], 4, AlexConfig::ga_armi());
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(&1), None);
+
+        let cold: ShardedAlex<u64, u64> = ShardedAlex::new(vec![100, 200], AlexConfig::ga_armi());
+        assert_eq!(cold.num_shards(), 3);
+        for k in 0..300u64 {
+            assert!(cold.insert(k, k));
+        }
+        assert_eq!(cold.len(), 300);
+        assert_eq!(cold.shard_lens(), vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn blocks_loading_matches_flat_loading() {
+        let data = pairs(10_000, 3);
+        let flat = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+        let blocks: Vec<Vec<(u64, u64)>> = data.chunks(777).map(|c| c.to_vec()).collect();
+        let streamed =
+            ShardedAlex::bulk_load_blocks(blocks, flat.boundaries().to_vec(), AlexConfig::ga_armi());
+        assert_eq!(streamed.num_shards(), flat.num_shards());
+        assert_eq!(streamed.shard_lens(), flat.shard_lens());
+        for k in (0..10_000u64).step_by(11) {
+            assert_eq!(streamed.get(&(k * 3)), Some(k));
+        }
+    }
+}

@@ -42,7 +42,7 @@ impl WorkloadKind {
     }
 
     /// `(reads, inserts)` per interleave cycle.
-    fn cycle(self) -> (usize, usize) {
+    pub(crate) fn cycle(self) -> (usize, usize) {
         match self {
             WorkloadKind::ReadOnly => (1, 0),
             WorkloadKind::ReadHeavy | WorkloadKind::RangeScan => (19, 1),
@@ -51,7 +51,7 @@ impl WorkloadKind {
     }
 
     /// Whether reads are range scans.
-    fn scans(self) -> bool {
+    pub(crate) fn scans(self) -> bool {
         matches!(self, WorkloadKind::RangeScan)
     }
 }
@@ -117,6 +117,104 @@ impl WorkloadReport {
     }
 }
 
+/// One index operation issued by the mix loop. The single- and
+/// multi-threaded drivers share [`drive_mix`] and differ only in how
+/// they execute these (exclusive `&mut` access vs. shared `&self`).
+pub(crate) enum IndexOp<'a, K> {
+    /// Point lookup.
+    Contains(&'a K),
+    /// Range scan of the given length.
+    Scan(&'a K, usize),
+    /// Insert (the executor produces the payload).
+    Insert(K),
+}
+
+/// Outcome of an [`IndexOp`], mirrored variant-for-variant.
+pub(crate) enum IndexOpResult {
+    Hit(bool),
+    Scanned(usize),
+    Inserted(bool),
+}
+
+/// The interleaved read/insert mix loop shared by [`run_workload`] and
+/// the multi-threaded driver: Zipf key selection over a growing pool,
+/// cycle interleaving per [`WorkloadKind`], early exit on insert-pool
+/// exhaustion. `exec` performs each operation against the index; size
+/// accounting is left to the caller.
+pub(crate) fn drive_mix<K: Copy>(
+    existing_keys: &[K],
+    insert_keys: &[K],
+    spec: &WorkloadSpec,
+    ops_budget: usize,
+    seed: u64,
+    label: String,
+    mut exec: impl FnMut(IndexOp<'_, K>) -> IndexOpResult,
+) -> WorkloadReport {
+    assert!(!existing_keys.is_empty(), "need at least one existing key");
+    let mut pool: Vec<K> = existing_keys.to_vec();
+    pool.reserve(insert_keys.len());
+    let mut zipf = ScrambledZipf::new(pool.len(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let (reads_per_cycle, inserts_per_cycle) = spec.kind.cycle();
+    let mut report = WorkloadReport {
+        ops: 0,
+        reads: 0,
+        inserts: 0,
+        scanned: 0,
+        hits: 0,
+        elapsed: Duration::ZERO,
+        label,
+        index_size_bytes: 0,
+        data_size_bytes: 0,
+    };
+    let mut to_insert = insert_keys.iter();
+    let start = Instant::now();
+    'outer: while (report.ops as usize) < ops_budget {
+        for _ in 0..reads_per_cycle {
+            if report.ops as usize >= ops_budget {
+                break;
+            }
+            let key = pool[zipf.next_rank()];
+            if spec.kind.scans() {
+                let len = rng.random_range(1..=spec.max_scan_len);
+                let IndexOpResult::Scanned(visited) = exec(IndexOp::Scan(&key, len)) else {
+                    unreachable!("Scan must yield Scanned");
+                };
+                report.scanned += visited as u64;
+                report.hits += u64::from(visited > 0);
+            } else {
+                let IndexOpResult::Hit(hit) = exec(IndexOp::Contains(&key)) else {
+                    unreachable!("Contains must yield Hit");
+                };
+                report.hits += u64::from(hit);
+            }
+            report.reads += 1;
+            report.ops += 1;
+        }
+        for _ in 0..inserts_per_cycle {
+            if report.ops as usize >= ops_budget {
+                break;
+            }
+            let Some(&key) = to_insert.next() else {
+                break 'outer; // insert pool exhausted
+            };
+            let IndexOpResult::Inserted(fresh) = exec(IndexOp::Insert(key)) else {
+                unreachable!("Insert must yield Inserted");
+            };
+            if fresh {
+                pool.push(key);
+            }
+            report.inserts += 1;
+            report.ops += 1;
+        }
+        if inserts_per_cycle > 0 {
+            zipf.extend_to(pool.len());
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
 /// Run `spec` against `index`.
 ///
 /// `existing_keys` must list the keys already loaded into the index (in
@@ -134,60 +232,20 @@ where
     K: Copy,
     I: OrderedIndex<K, V> + ?Sized,
 {
-    assert!(!existing_keys.is_empty(), "need at least one existing key");
-    let mut pool: Vec<K> = existing_keys.to_vec();
-    pool.reserve(insert_keys.len());
-    let mut zipf = ScrambledZipf::new(pool.len(), spec.seed);
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5EED);
-    let (reads_per_cycle, inserts_per_cycle) = spec.kind.cycle();
-    let mut report = WorkloadReport {
-        ops: 0,
-        reads: 0,
-        inserts: 0,
-        scanned: 0,
-        hits: 0,
-        elapsed: Duration::ZERO,
-        label: index.label(),
-        index_size_bytes: 0,
-        data_size_bytes: 0,
-    };
-    let mut to_insert = insert_keys.iter();
-    let start = Instant::now();
-    'outer: while (report.ops as usize) < spec.ops {
-        for _ in 0..reads_per_cycle {
-            if report.ops as usize >= spec.ops {
-                break;
-            }
-            let key = pool[zipf.next_rank()];
-            if spec.kind.scans() {
-                let len = rng.random_range(1..=spec.max_scan_len);
-                let visited = index.scan_from(&key, len);
-                report.scanned += visited as u64;
-                report.hits += u64::from(visited > 0);
-            } else {
-                report.hits += u64::from(index.contains(&key));
-            }
-            report.reads += 1;
-            report.ops += 1;
-        }
-        for _ in 0..inserts_per_cycle {
-            if report.ops as usize >= spec.ops {
-                break;
-            }
-            let Some(&key) = to_insert.next() else {
-                break 'outer; // insert pool exhausted
-            };
-            if index.insert(key, make_value(&key)) {
-                pool.push(key);
-            }
-            report.inserts += 1;
-            report.ops += 1;
-        }
-        if inserts_per_cycle > 0 {
-            zipf.extend_to(pool.len());
-        }
-    }
-    report.elapsed = start.elapsed();
+    let label = index.label();
+    let mut report = drive_mix(
+        existing_keys,
+        insert_keys,
+        spec,
+        spec.ops,
+        spec.seed,
+        label,
+        |op| match op {
+            IndexOp::Contains(k) => IndexOpResult::Hit(index.contains(k)),
+            IndexOp::Scan(k, len) => IndexOpResult::Scanned(index.scan_from(k, len)),
+            IndexOp::Insert(k) => IndexOpResult::Inserted(index.insert(k, make_value(&k))),
+        },
+    );
     report.index_size_bytes = index.index_size_bytes();
     report.data_size_bytes = index.data_size_bytes();
     report

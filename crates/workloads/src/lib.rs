@@ -36,8 +36,10 @@
 //! ```
 
 pub mod adapters;
+pub mod concurrent;
 mod driver;
 
+pub use concurrent::{run_workload_mt, ConcurrentIndex};
 pub use driver::{run_workload, WorkloadKind, WorkloadReport, WorkloadSpec};
 
 /// The index interface the workload driver exercises — the operations

@@ -13,13 +13,17 @@
 //!   array with bounded binary search).
 //! - [`alex_datasets`] — generators for the paper's four datasets plus
 //!   Zipfian key selection.
-//! - [`alex_workloads`] — YCSB-style workload drivers and the
-//!   [`alex_workloads::OrderedIndex`] trait that all three indexes
-//!   implement.
+//! - [`alex_workloads`] — YCSB-style workload drivers (single- and
+//!   multi-threaded) and the [`alex_workloads::OrderedIndex`] /
+//!   [`alex_workloads::ConcurrentIndex`] traits the indexes implement.
+//! - [`alex_sharded`] — the sharded concurrent front-end: the key space
+//!   range-partitioned across `AlexIndex` shards behind per-shard
+//!   reader-writer locks.
 
 pub use alex_btree;
 pub use alex_core;
 pub use alex_datasets;
 pub use alex_learned_index;
 pub use alex_pma;
+pub use alex_sharded;
 pub use alex_workloads;

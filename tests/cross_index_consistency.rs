@@ -10,6 +10,7 @@ use alex_repro::alex_datasets::{
     lognormal_keys, longitudes_keys, longlat_keys, sorted, ycsb_keys,
 };
 use alex_repro::alex_learned_index::LearnedIndex;
+use alex_repro::alex_sharded::ShardedAlex;
 
 fn alex_variants() -> Vec<AlexConfig> {
     vec![
@@ -28,6 +29,7 @@ fn check_dataset_u64(keys: Vec<u64>, name: &str) {
 
     let btree = BPlusTree::bulk_load(&data, 64, 64, 0.7);
     let li = LearnedIndex::bulk_load(&data, 64);
+    let sharded = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
     for cfg in alex_variants() {
         let alex = AlexIndex::bulk_load(&data, cfg);
         for (i, &k) in init_sorted.iter().enumerate().step_by(7) {
@@ -35,12 +37,14 @@ fn check_dataset_u64(keys: Vec<u64>, name: &str) {
             assert_eq!(alex.get(&k), expect, "{name}/{} key {k} (#{i})", cfg.variant_name());
             assert_eq!(btree.get(&k), expect, "{name}/btree key {k}");
             assert_eq!(li.get(&k), expect, "{name}/li key {k}");
+            assert_eq!(sharded.get(&k), expect.copied(), "{name}/sharded key {k}");
             // A key absent from the dataset must be absent everywhere.
             let miss = k ^ 1;
             if !reference.contains_key(&miss) {
                 assert_eq!(alex.get(&miss), None, "{name}/{}", cfg.variant_name());
                 assert_eq!(btree.get(&miss), None);
                 assert_eq!(li.get(&miss), None);
+                assert_eq!(sharded.get(&miss), None, "{name}/sharded");
             }
         }
         // Full iteration agrees with the reference.

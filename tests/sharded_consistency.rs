@@ -1,0 +1,217 @@
+//! Consistency suite for the sharded concurrent front-end:
+//!
+//! 1. `ShardedAlex` must agree with `std::collections::BTreeMap` (and
+//!    the other indexes, via the shared `OrderedIndex` interface) on
+//!    sequential workloads over the paper's datasets.
+//! 2. Concurrent readers running against per-shard mutating writers
+//!    must never observe a stable key missing, and the final state
+//!    must match a `BTreeMap` that applied the same mutations.
+//! 3. Property tests: the sorted-batch operations (`get_many`,
+//!    `bulk_insert`) are observationally equivalent to their per-key
+//!    counterparts, on both `AlexIndex` and `ShardedAlex`.
+
+use std::collections::BTreeMap;
+
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_datasets::{lognormal_keys, sorted, ycsb_keys};
+use alex_repro::alex_sharded::ShardedAlex;
+use alex_repro::alex_workloads::OrderedIndex;
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// 1. Sequential cross-checks via OrderedIndex
+// ----------------------------------------------------------------------
+
+fn check_against_btreemap(keys: Vec<u64>, num_shards: usize, name: &str) {
+    let init_sorted = sorted(keys);
+    let (init, extra) = init_sorted.split_at(init_sorted.len() * 3 / 4);
+    let data: Vec<(u64, u64)> = init.iter().map(|&k| (k, k ^ 0xF00D)).collect();
+    let mut reference: BTreeMap<u64, u64> = data.iter().copied().collect();
+    let mut index = ShardedAlex::bulk_load(&data, num_shards, AlexConfig::ga_armi());
+
+    // Drive everything through the trait the workload driver uses.
+    let idx: &mut dyn OrderedIndex<u64, u64> = &mut index;
+    assert_eq!(idx.len(), reference.len(), "{name}");
+    for (step, &k) in init.iter().enumerate().step_by(7) {
+        assert_eq!(idx.contains(&k), reference.contains_key(&k), "{name} contains {k}");
+        let miss = k ^ 1;
+        if !reference.contains_key(&miss) {
+            assert!(!idx.contains(&miss), "{name} phantom {miss}");
+        }
+        if step % 3 == 0 {
+            let fresh = extra[(step / 3) % extra.len()];
+            assert_eq!(
+                idx.insert(fresh, fresh ^ 0xF00D),
+                reference.insert(fresh, fresh ^ 0xF00D).is_none(),
+                "{name} insert {fresh}"
+            );
+        }
+        if step % 5 == 0 {
+            let visited = idx.scan_from(&k, 25);
+            let expect = reference.range(k..).take(25).count();
+            assert_eq!(visited, expect, "{name} scan from {k}");
+        }
+    }
+    assert_eq!(idx.len(), reference.len(), "{name} final len");
+    assert!(idx.index_size_bytes() > 0, "{name}");
+    assert!(idx.data_size_bytes() > 0, "{name}");
+}
+
+#[test]
+fn sharded_matches_btreemap_on_lognormal() {
+    for shards in [1, 3, 8] {
+        check_against_btreemap(lognormal_keys(20_000, 21), shards, "lognormal");
+    }
+}
+
+#[test]
+fn sharded_matches_btreemap_on_ycsb() {
+    for shards in [2, 5] {
+        check_against_btreemap(ycsb_keys(20_000, 22), shards, "ycsb");
+    }
+}
+
+#[test]
+fn sharded_label_reports_shard_count() {
+    let data: Vec<(u64, u64)> = (0..1000).map(|k| (k, k)).collect();
+    let index = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+    assert_eq!(OrderedIndex::label(&index), "ShardedAlex[4]");
+}
+
+// ----------------------------------------------------------------------
+// 2. Concurrent readers vs mutating writers
+// ----------------------------------------------------------------------
+
+#[test]
+fn concurrent_readers_see_stable_keys_and_final_state_matches() {
+    const N: u64 = 20_000;
+    const WRITERS: u64 = 4;
+
+    // Evens are loaded; writer t inserts odds with k % 4 == t and
+    // removes evens with k % 8 == t — all write sets disjoint. Evens
+    // with k % 8 >= 4 are never touched: readers assert on those.
+    let data: Vec<(u64, u64)> = (0..N).map(|k| (k * 2, k)).collect();
+    let index = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let index = &index;
+            s.spawn(move || {
+                for k in 0..N {
+                    if k % 4 == t {
+                        assert!(index.insert(k * 2 + 1, k), "fresh odd {k}");
+                    }
+                    if k % 8 == t {
+                        assert_eq!(index.remove(&(k * 2)), Some(k), "stable even {k}");
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let index = &index;
+            s.spawn(move || {
+                for round in 0..3u64 {
+                    for k in (0..N).filter(|k| k % 8 >= 4).step_by(13) {
+                        assert_eq!(index.get(&(k * 2)), Some(k), "stable key {k} round {round}");
+                    }
+                    // Scans under mutation: results must stay sorted.
+                    let mut last = None;
+                    index.scan_from(&(N / 2), 200, |k, _| {
+                        assert!(last.is_none_or(|p| p < *k), "scan out of order");
+                        last = Some(*k);
+                    });
+                }
+            });
+        }
+    });
+
+    // Replay the same mutations on a BTreeMap and compare final state.
+    let mut reference: BTreeMap<u64, u64> = data.iter().copied().collect();
+    for k in 0..N {
+        reference.insert(k * 2 + 1, k);
+        if k % 8 < WRITERS {
+            reference.remove(&(k * 2));
+        }
+    }
+    assert_eq!(index.len(), reference.len());
+    let mut got = Vec::with_capacity(reference.len());
+    index.scan_from(&0, usize::MAX, |k, v| got.push((*k, *v)));
+    let expect: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, expect, "final state diverged from the reference");
+}
+
+// ----------------------------------------------------------------------
+// 3. Batch-op equivalence properties
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn get_many_equals_per_key_get(
+        init in prop::collection::btree_set(0u64..5000, 1..400),
+        queries in prop::collection::vec(0u64..6000, 0..300),
+    ) {
+        let data: Vec<(u64, u64)> = init.iter().map(|&k| (k, k * 3)).collect();
+        let mut queries = queries;
+        queries.sort_unstable();
+        for cfg in [
+            AlexConfig::ga_armi().with_max_node_keys(128),
+            AlexConfig::pma_srmi(8),
+        ] {
+            let index = AlexIndex::bulk_load(&data, cfg);
+            let batch = index.get_many(&queries);
+            prop_assert_eq!(batch.len(), queries.len());
+            for (q, got) in queries.iter().zip(&batch) {
+                prop_assert_eq!(*got, index.get(q), "key {}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_insert_equals_per_key_insert(
+        init in prop::collection::btree_set(0u64..4000, 1..300),
+        incoming in prop::collection::btree_set(0u64..4000, 1..300),
+    ) {
+        let data: Vec<(u64, u64)> = init.iter().map(|&k| (k, k)).collect();
+        let pairs: Vec<(u64, u64)> = incoming.iter().map(|&k| (k, k + 7)).collect();
+        for cfg in [
+            AlexConfig::ga_armi().with_max_node_keys(128),
+            AlexConfig::ga_armi().with_max_node_keys(64).with_splitting(),
+        ] {
+            let mut batch = AlexIndex::bulk_load(&data, cfg);
+            let mut serial = AlexIndex::bulk_load(&data, cfg);
+            let n_batch = batch.bulk_insert(&pairs);
+            let mut n_serial = 0;
+            for (k, v) in &pairs {
+                if serial.insert(*k, *v).is_ok() {
+                    n_serial += 1;
+                }
+            }
+            prop_assert_eq!(n_batch, n_serial);
+            prop_assert_eq!(batch.len(), serial.len());
+            let b: Vec<(u64, u64)> = batch.iter().map(|(k, v)| (*k, *v)).collect();
+            let s: Vec<(u64, u64)> = serial.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(b, s);
+        }
+    }
+
+    #[test]
+    fn sharded_batch_ops_match_per_key(
+        init in prop::collection::btree_set(0u64..4000, 2..300),
+        incoming in prop::collection::btree_set(0u64..5000, 1..200),
+        shards in 1usize..6,
+    ) {
+        let data: Vec<(u64, u64)> = init.iter().map(|&k| (k, k)).collect();
+        let index = ShardedAlex::bulk_load(&data, shards, AlexConfig::ga_armi().with_max_node_keys(256));
+        let queries: Vec<u64> = incoming.iter().copied().collect();
+        for (q, got) in queries.iter().zip(index.get_many(&queries)) {
+            prop_assert_eq!(got, index.get(q), "key {}", q);
+        }
+        let pairs: Vec<(u64, u64)> = incoming.iter().map(|&k| (k, k * 2)).collect();
+        let inserted = index.bulk_insert(&pairs);
+        let expect = incoming.iter().filter(|k| !init.contains(k)).count();
+        prop_assert_eq!(inserted, expect);
+        prop_assert_eq!(index.len(), init.union(&incoming).count());
+    }
+}
