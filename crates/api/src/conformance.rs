@@ -1,0 +1,228 @@
+//! The executable contract: checks every backend must pass, plus the
+//! [`conformance_suite!`](crate::conformance_suite) macro that stamps
+//! them out as `#[test]`s.
+//!
+//! Backends instantiate the suite with a factory that builds an index
+//! from sorted, strictly-increasing `(u64, u64)` pairs:
+//!
+//! ```
+//! use alex_api::LockedBTreeMap;
+//!
+//! alex_api::conformance_suite!(locked_btreemap, |pairs: &[(u64, u64)]| {
+//!     LockedBTreeMap::from_pairs(pairs)
+//! });
+//! # fn main() {} // the macro expands to a module of #[test] fns
+//! ```
+//!
+//! Every check cross-validates against `std::collections::BTreeMap`,
+//! and compares **values**, never just membership.
+
+use std::collections::BTreeMap;
+
+use crate::BatchOps;
+
+/// Deterministic payload for key `k` — a pure function of the key so
+/// reference and backend can be built independently.
+pub fn value_of(k: u64) -> u64 {
+    k.rotate_left(21) ^ 0xC0FF_EE00
+}
+
+/// Sorted, strictly-increasing seed pairs: keys `0, 3, 6, …` so the
+/// gaps (`k + 1`) are guaranteed-absent probe keys.
+pub fn seed_pairs(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i * 3, value_of(i * 3))).collect()
+}
+
+/// `get` returns inserted values; duplicates are rejected and leave the
+/// stored value unchanged.
+pub fn get_after_insert<I: BatchOps<u64, u64>>(make: impl Fn(&[(u64, u64)]) -> I) {
+    let pairs = seed_pairs(500);
+    let mut index = make(&pairs);
+    let label = index.label();
+    assert!(!label.is_empty(), "label must be non-empty");
+    for (k, v) in pairs.iter().step_by(7) {
+        assert_eq!(index.get(k), Some(*v), "{label}: loaded key {k}");
+        assert!(index.contains(k), "{label}: contains {k}");
+        assert_eq!(index.get(&(k + 1)), None, "{label}: absent key {}", k + 1);
+        assert!(!index.contains(&(k + 1)), "{label}: phantom {}", k + 1);
+    }
+    // Fresh inserts land and are immediately readable.
+    for i in 0..200u64 {
+        let k = i * 3 + 1;
+        index.insert(k, value_of(k)).unwrap_or_else(|e| panic!("{label}: insert {k}: {e}"));
+        assert_eq!(index.get(&k), Some(value_of(k)), "{label}: get-after-insert {k}");
+    }
+    // Duplicate inserts fail and must not clobber the stored value.
+    assert_eq!(
+        index.insert(30, 0xDEAD),
+        Err(crate::InsertError::DuplicateKey),
+        "{label}: duplicate of a loaded key"
+    );
+    assert_eq!(index.get(&30), Some(value_of(30)), "{label}: duplicate left value intact");
+    assert_eq!(
+        index.insert(31, 0xDEAD),
+        Err(crate::InsertError::DuplicateKey),
+        "{label}: duplicate of an inserted key"
+    );
+    assert_eq!(index.get(&31), Some(value_of(31)), "{label}: duplicate left value intact");
+    assert_eq!(index.len(), 700, "{label}: len after inserts");
+}
+
+/// `remove` returns the evicted value exactly once, and removed keys
+/// can be re-inserted.
+pub fn remove_returns_value<I: BatchOps<u64, u64>>(make: impl Fn(&[(u64, u64)]) -> I) {
+    let pairs = seed_pairs(400);
+    let mut index = make(&pairs);
+    let label = index.label();
+    let mut reference: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+    for (step, &(k, _)) in pairs.iter().enumerate() {
+        match step % 4 {
+            0 => {
+                assert_eq!(index.remove(&k), reference.remove(&k), "{label}: remove {k}");
+                assert_eq!(index.get(&k), None, "{label}: get after remove {k}");
+                assert_eq!(index.remove(&k), None, "{label}: double remove {k}");
+            }
+            1 => {
+                // Absent keys: remove is a no-op returning None.
+                assert_eq!(index.remove(&(k + 1)), None, "{label}: remove absent {}", k + 1);
+            }
+            2 if step > 4 => {
+                // Re-insert a key removed earlier in the stream.
+                let gone = pairs[step - 2].0;
+                assert_eq!(
+                    index.insert(gone, value_of(gone) ^ 1).is_ok(),
+                    reference.insert(gone, value_of(gone) ^ 1).is_none(),
+                    "{label}: re-insert {gone}"
+                );
+                assert_eq!(index.get(&gone), reference.get(&gone).copied(), "{label}: get {gone}");
+            }
+            _ => {}
+        }
+        assert_eq!(index.len(), reference.len(), "{label}: len at step {step}");
+    }
+    assert!(!index.is_empty(), "{label}");
+}
+
+/// `range_from` yields entries in strictly increasing key order, with
+/// the same keys *and values* as the `BTreeMap` reference, honouring
+/// the limit; `scan_from` visits exactly the same entries.
+pub fn range_from_matches_reference<I: BatchOps<u64, u64>>(make: impl Fn(&[(u64, u64)]) -> I) {
+    let pairs = seed_pairs(600);
+    let index = make(&pairs);
+    let label = index.label();
+    let reference: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+    for start in [0u64, 1, 299, 300, 301, 900, 1797, 1800, u64::MAX] {
+        for limit in [0usize, 1, 17, 1000] {
+            let got: Vec<(u64, u64)> =
+                index.range_from(&start, limit).map(|e| (e.key, e.value)).collect();
+            let expect: Vec<(u64, u64)> =
+                reference.range(start..).take(limit).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, expect, "{label}: range_from({start}, {limit})");
+            assert!(
+                got.windows(2).all(|w| w[0].0 < w[1].0),
+                "{label}: range_from({start}, {limit}) out of order"
+            );
+            let mut scanned = Vec::new();
+            let visited = index.scan_from(&start, limit, &mut |k, v| scanned.push((*k, *v)));
+            assert_eq!(visited, got.len(), "{label}: scan_from({start}, {limit}) count");
+            assert_eq!(scanned, got, "{label}: scan_from({start}, {limit}) entries");
+        }
+    }
+}
+
+/// `get_many` / `bulk_insert` are observationally equivalent to their
+/// per-key counterparts.
+pub fn batch_ops_match_per_key<I: BatchOps<u64, u64>>(make: impl Fn(&[(u64, u64)]) -> I) {
+    let pairs = seed_pairs(500);
+    let mut batch = make(&pairs);
+    let mut serial = make(&pairs);
+    let label = batch.label();
+
+    // Sorted queries mixing hits and misses.
+    let queries: Vec<u64> = (0..2000u64).step_by(2).collect();
+    let got = batch.get_many(&queries);
+    assert_eq!(got.len(), queries.len(), "{label}: get_many length");
+    for (q, v) in queries.iter().zip(&got) {
+        assert_eq!(*v, serial.get(q), "{label}: get_many key {q}");
+    }
+
+    // Sorted incoming batch: half fresh (k*3+2), half duplicates (k*3).
+    let mut incoming: Vec<(u64, u64)> = (0..300u64)
+        .flat_map(|i| [(i * 3, 0xBAD), (i * 3 + 2, value_of(i * 3 + 2))])
+        .collect();
+    incoming.sort_unstable_by_key(|(k, _)| *k);
+    let n_batch = batch.bulk_insert(&incoming);
+    let mut n_serial = 0usize;
+    for (k, v) in &incoming {
+        if serial.insert(*k, *v).is_ok() {
+            n_serial += 1;
+        }
+    }
+    assert_eq!(n_batch, n_serial, "{label}: bulk_insert count");
+    assert_eq!(batch.len(), serial.len(), "{label}: len after bulk_insert");
+    let b: Vec<(u64, u64)> = batch.range_from(&0, usize::MAX).map(|e| (e.key, e.value)).collect();
+    let s: Vec<(u64, u64)> = serial.range_from(&0, usize::MAX).map(|e| (e.key, e.value)).collect();
+    assert_eq!(b, s, "{label}: state after bulk_insert");
+}
+
+/// `bulk_load` on an empty index loads everything; size accounting and
+/// len/is_empty behave.
+pub fn bulk_load_and_accounting<I: BatchOps<u64, u64>>(make: impl Fn(&[(u64, u64)]) -> I) {
+    let mut empty = make(&[]);
+    let label = empty.label();
+    assert_eq!(empty.len(), 0, "{label}");
+    assert!(empty.is_empty(), "{label}");
+    assert_eq!(empty.get(&0), None, "{label}: get on empty");
+    assert_eq!(empty.remove(&0), None, "{label}: remove on empty");
+    assert_eq!(empty.scan_from(&0, 10, &mut |_, _| {}), 0, "{label}: scan on empty");
+
+    let pairs = seed_pairs(800);
+    assert_eq!(empty.bulk_load(&pairs), pairs.len(), "{label}: bulk_load count");
+    assert_eq!(empty.len(), pairs.len(), "{label}: len after bulk_load");
+    for (k, v) in pairs.iter().step_by(13) {
+        assert_eq!(empty.get(k), Some(*v), "{label}: get {k} after bulk_load");
+    }
+    assert!(empty.index_size_bytes() > 0, "{label}: index size");
+    assert!(empty.data_size_bytes() > 0, "{label}: data size");
+}
+
+/// Instantiate the conformance suite for one backend.
+///
+/// `$name` becomes a module of `#[test]`s; `$make` is a factory
+/// expression (`Fn(&[(u64, u64)]) -> I` where
+/// `I: BatchOps<u64, u64>`) building the backend from sorted,
+/// strictly-increasing pairs (possibly empty).
+#[macro_export]
+macro_rules! conformance_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            #[allow(unused_imports)]
+            use super::*;
+
+            #[test]
+            fn get_after_insert() {
+                $crate::conformance::get_after_insert($make);
+            }
+
+            #[test]
+            fn remove_returns_value() {
+                $crate::conformance::remove_returns_value($make);
+            }
+
+            #[test]
+            fn range_from_matches_reference() {
+                $crate::conformance::range_from_matches_reference($make);
+            }
+
+            #[test]
+            fn batch_ops_match_per_key() {
+                $crate::conformance::batch_ops_match_per_key($make);
+            }
+
+            #[test]
+            fn bulk_load_and_accounting() {
+                $crate::conformance::bulk_load_and_accounting($make);
+            }
+        }
+    };
+}

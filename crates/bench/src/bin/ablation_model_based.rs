@@ -15,6 +15,7 @@
 use std::time::Instant;
 
 use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_SEED};
 use alex_core::search::interpolation_search_lower_bound;
 use alex_core::{AlexConfig, AlexIndex};
@@ -25,15 +26,20 @@ fn main() {
     let n = args.usize("keys", DEFAULT_INIT_KEYS);
     let lookups = args.usize("lookups", 500_000);
     let seed = args.u64("seed", DEFAULT_SEED);
+    let csv = args.flag("csv");
 
     let keys = sorted(longitudes_keys(n, seed));
     let data: Vec<(f64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
 
-    println!("Ablation: model-based vs uniform placement ({n} longitudes keys, {lookups} Zipf lookups)\n");
-    println!(
-        "{:<24} {:>10} {:>12} {:>14} {:>12}",
-        "placement", "ns/lookup", "direct hits", "cmp/lookup", "mean |err|"
-    );
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!("Ablation: model-based vs uniform placement ({n} longitudes keys, {lookups} Zipf lookups)\n");
+        println!(
+            "{:<24} {:>10} {:>12} {:>14} {:>12}",
+            "placement", "ns/lookup", "direct hits", "cmp/lookup", "mean |err|"
+        );
+    }
     for (label, cfg) in [
         ("model-based (ALEX)", AlexConfig::ga_armi()),
         ("uniform (ablated)", AlexConfig::ga_armi().without_model_based_inserts()),
@@ -51,14 +57,21 @@ fn main() {
         let (l, cmp, direct) = index.read_stats();
         let errs = index.prediction_errors();
         let mean_err = errs.iter().sum::<usize>() as f64 / errs.len() as f64;
-        println!(
-            "{:<24} {:>10.0} {:>11.1}% {:>14.2} {:>12.2}",
-            label,
-            ns,
-            100.0 * direct as f64 / l as f64,
-            cmp as f64 / l as f64,
-            mean_err
-        );
+        if csv {
+            emit_metric("ablation", label, "ns_per_lookup", format!("{ns:.0}"));
+            emit_metric("ablation", label, "direct_hit_pct", format!("{:.1}", 100.0 * direct as f64 / l as f64));
+            emit_metric("ablation", label, "cmp_per_lookup", format!("{:.2}", cmp as f64 / l as f64));
+            emit_metric("ablation", label, "mean_abs_err", format!("{mean_err:.2}"));
+        } else {
+            println!(
+                "{:<24} {:>10.0} {:>11.1}% {:>14.2} {:>12.2}",
+                label,
+                ns,
+                100.0 * direct as f64 / l as f64,
+                cmp as f64 / l as f64,
+                mean_err
+            );
+        }
     }
 
     // Search-method side of the ablation (§7): pure interpolation
@@ -73,7 +86,11 @@ fn main() {
     }
     core::hint::black_box(acc);
     let interp_ns = t.elapsed().as_nanos() as f64 / lookups as f64;
-    println!("\npure interpolation search over the dense array: {interp_ns:.0} ns/lookup");
-    println!("paper claim (§3.2, §7): model-based placement cuts misprediction error, and");
-    println!("linear models + exponential search beat pure interpolation search");
+    if csv {
+        emit_metric("ablation", "interpolation search", "ns_per_lookup", format!("{interp_ns:.0}"));
+    } else {
+        println!("\npure interpolation search over the dense array: {interp_ns:.0} ns/lookup");
+        println!("paper claim (§3.2, §7): model-based placement cuts misprediction error, and");
+        println!("linear models + exponential search beat pure interpolation search");
+    }
 }

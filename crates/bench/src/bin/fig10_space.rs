@@ -9,7 +9,7 @@
 //! ```
 
 use alex_bench::cli::Args;
-use alex_bench::harness::{run_alex, split_init};
+use alex_bench::harness::{emit_metric, run_alex, split_init, METRIC_CSV_HEADER};
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_OPS, DEFAULT_SEED};
 use alex_core::{AlexConfig, AlexKey, NodeParams};
 use alex_datasets::{lognormal_keys, longitudes_keys, longlat_keys, ycsb_keys, Dataset, Payload};
@@ -20,25 +20,36 @@ fn main() {
     let n = args.usize("keys", DEFAULT_INIT_KEYS);
     let ops = args.usize("ops", DEFAULT_OPS / 2);
     let seed = args.u64("seed", DEFAULT_SEED);
+    let csv = args.flag("csv");
 
-    println!("Figure 10: read-heavy throughput vs data space overhead\n");
-    println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>10}   (ops/sec)",
-        "dataset", "20%", "43%", "2x", "3x"
-    );
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!("Figure 10: read-heavy throughput vs data space overhead\n");
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10}   (ops/sec)",
+            "dataset", "20%", "43%", "2x", "3x"
+        );
+    }
     for ds in Dataset::ALL {
         match ds {
-            Dataset::Longitudes => sweep::<f64, u64>(ds, longitudes_keys(n, seed), ops, |k| k.to_bits()),
-            Dataset::Longlat => sweep::<f64, u64>(ds, longlat_keys(n, seed), ops, |k| k.to_bits()),
-            Dataset::Lognormal => sweep::<u64, u64>(ds, lognormal_keys(n, seed), ops, |&k| k),
-            Dataset::Ycsb => sweep::<u64, Payload<80>>(ds, ycsb_keys(n, seed), ops, |&k| Payload::from_seed(k)),
+            Dataset::Longitudes => {
+                sweep::<f64, u64>(ds, longitudes_keys(n, seed), ops, csv, |k| k.to_bits())
+            }
+            Dataset::Longlat => sweep::<f64, u64>(ds, longlat_keys(n, seed), ops, csv, |k| k.to_bits()),
+            Dataset::Lognormal => sweep::<u64, u64>(ds, lognormal_keys(n, seed), ops, csv, |&k| k),
+            Dataset::Ycsb => {
+                sweep::<u64, Payload<80>>(ds, ycsb_keys(n, seed), ops, csv, |&k| Payload::from_seed(k))
+            }
         }
     }
-    println!("\npaper shape: more space usually helps, with diminishing (or negative, at 3x on");
-    println!("lognormal/YCSB) returns; longlat barely improves (Fig 10, §5.3.1)");
+    if !csv {
+        println!("\npaper shape: more space usually helps, with diminishing (or negative, at 3x on");
+        println!("lognormal/YCSB) returns; longlat barely improves (Fig 10, §5.3.1)");
+    }
 }
 
-fn sweep<K, V>(ds: Dataset, keys: Vec<K>, ops: usize, mv: impl Fn(&K) -> V + Copy)
+fn sweep<K, V>(ds: Dataset, keys: Vec<K>, ops: usize, csv: bool, mv: impl Fn(&K) -> V + Copy)
 where
     K: AlexKey,
     V: Clone + Default,
@@ -47,17 +58,22 @@ where
     let (init_keys, inserts) = split_init(keys, n * 3 / 4);
     let data: Vec<(K, V)> = init_keys.iter().map(|k| (*k, mv(k))).collect();
     let mut cells = Vec::new();
-    for overhead in [0.2, 0.43, 2.0, 3.0] {
+    for (label, overhead) in [("20%", 0.2), ("43%", 0.43), ("2x", 2.0), ("3x", 3.0)] {
         let cfg = AlexConfig::ga_armi().with_node_params(NodeParams::with_space_overhead(overhead));
         let row = run_alex(&data, &init_keys, &inserts, cfg, WorkloadKind::ReadHeavy, ops, mv);
+        if csv {
+            emit_metric("fig10", ds.name(), &format!("ops_per_sec@{label}"), format!("{:.0}", row.throughput));
+        }
         cells.push(row.throughput);
     }
-    println!(
-        "{:<14} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-        ds.name(),
-        cells[0],
-        cells[1],
-        cells[2],
-        cells[3]
-    );
+    if !csv {
+        println!(
+            "{:<14} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            ds.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
 }

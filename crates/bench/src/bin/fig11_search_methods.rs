@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
 use alex_bench::DEFAULT_SEED;
 use alex_core::search::{bounded_binary_lower_bound, exponential_search_lower_bound};
 use alex_datasets::uniform_dense_keys;
@@ -22,19 +23,24 @@ fn main() {
     let n = args.usize("keys", 10_000_000);
     let searches = args.usize("searches", 1_000_000);
     let seed = args.u64("seed", DEFAULT_SEED);
+    let csv = args.flag("csv");
 
     let keys = uniform_dense_keys(n);
     let mut rng = StdRng::seed_from_u64(seed);
     // Pre-draw the target positions.
     let targets: Vec<usize> = (0..searches).map(|_| rng.random_range(0..n)).collect();
 
-    println!(
-        "Figure 11: ns/search vs synthetic prediction error ({n} uniform keys, {searches} searches)\n"
-    );
-    println!(
-        "{:>8} {:>14} {:>16} {:>16} {:>16}",
-        "error", "exponential", "binary(err 64)", "binary(err 1k)", "binary(err 16k)"
-    );
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!(
+            "Figure 11: ns/search vs synthetic prediction error ({n} uniform keys, {searches} searches)\n"
+        );
+        println!(
+            "{:>8} {:>14} {:>16} {:>16} {:>16}",
+            "error", "exponential", "binary(err 64)", "binary(err 1k)", "binary(err 16k)"
+        );
+    }
 
     let mut err = 1usize;
     while err <= 65536 {
@@ -54,11 +60,24 @@ fn main() {
             let hint = displaced(pos, err.min(16384), n);
             bounded_binary_lower_bound(&keys, &keys[pos], hint.saturating_sub(16384), hint + 16384).pos
         });
-        println!("{err:>8} {exp:>14.1} {b64:>16.1} {b1k:>16.1} {b16k:>16.1}");
+        if csv {
+            for (label, ns) in [
+                ("exponential", exp),
+                ("binary-64", b64),
+                ("binary-1k", b1k),
+                ("binary-16k", b16k),
+            ] {
+                emit_metric("fig11", label, &format!("ns_per_search@err{err}"), format!("{ns:.1}"));
+            }
+        } else {
+            println!("{err:>8} {exp:>14.1} {b64:>16.1} {b1k:>16.1} {b16k:>16.1}");
+        }
         err *= 4;
     }
-    println!("\npaper shape: exponential grows with log(error); each bounded binary search is flat");
-    println!("at its window cost, so exponential wins whenever the model error is small (Fig 11)");
+    if !csv {
+        println!("\npaper shape: exponential grows with log(error); each bounded binary search is flat");
+        println!("at its window cost, so exponential wins whenever the model error is small (Fig 11)");
+    }
 }
 
 #[inline]

@@ -9,6 +9,7 @@
 //! ```
 
 use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_SEED};
 use alex_core::{AlexConfig, AlexIndex};
 use alex_datasets::{longitudes_keys, sorted};
@@ -18,6 +19,10 @@ fn main() {
     let n = args.usize("keys", DEFAULT_INIT_KEYS);
     let seed = args.u64("seed", DEFAULT_SEED);
     let max_keys = args.usize("max-node-keys", 8192);
+    let csv = args.flag("csv");
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    }
 
     let keys = sorted(longitudes_keys(n, seed));
     let data: Vec<(f64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
@@ -29,16 +34,25 @@ fn main() {
     ] {
         let index = AlexIndex::bulk_load(&data, cfg);
         let sizes = index.leaf_sizes();
-        print_distribution(label, &sizes, max_keys);
+        print_distribution(label, &sizes, max_keys, csv);
     }
-    println!("\npaper shape: static RMI has both wasted (tiny) and oversized leaves; adaptive RMI");
-    println!("caps every leaf at max-keys with far fewer wasted leaves (Fig 12, App. B)");
+    if !csv {
+        println!("\npaper shape: static RMI has both wasted (tiny) and oversized leaves; adaptive RMI");
+        println!("caps every leaf at max-keys with far fewer wasted leaves (Fig 12, App. B)");
+    }
 }
 
-fn print_distribution(label: &str, sizes: &[usize], max_keys: usize) {
+fn print_distribution(label: &str, sizes: &[usize], max_keys: usize, csv: bool) {
     let wasted = sizes.iter().filter(|&&s| s < max_keys / 64).count();
     let oversized = sizes.iter().filter(|&&s| s > max_keys).count();
     let max = sizes.iter().copied().max().unwrap_or(0);
+    if csv {
+        emit_metric("fig12", label, "leaves", sizes.len());
+        emit_metric("fig12", label, "wasted", wasted);
+        emit_metric("fig12", label, "oversized", oversized);
+        emit_metric("fig12", label, "largest", max);
+        return;
+    }
     println!(
         "\n{label}: {} leaves, {} wasted (<{} keys), {} over the {}-key bound, largest {}",
         sizes.len(),

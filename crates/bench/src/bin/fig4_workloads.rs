@@ -6,8 +6,9 @@
 //! cargo run -p alex-bench --release --bin fig4_workloads -- \
 //!     --workload read-heavy --keys 1000000 --ops 500000
 //! ```
-//! `--workload all` runs all four mixes; `--csv` emits machine-readable
-//! rows for diffing across PRs.
+//! `--workload all` runs the paper's four mixes, `--workload extended`
+//! adds the remove-heavy mix; `--csv` emits machine-readable rows for
+//! diffing across PRs.
 
 use alex_bench::cli::Args;
 use alex_bench::harness::{
@@ -27,14 +28,7 @@ fn main() {
     let workload = args.string("workload", "all");
     let format = ReportFormat::from_flag(args.flag("csv"));
 
-    let kinds: Vec<WorkloadKind> = match workload.as_str() {
-        "read-only" => vec![WorkloadKind::ReadOnly],
-        "read-heavy" => vec![WorkloadKind::ReadHeavy],
-        "write-heavy" => vec![WorkloadKind::WriteHeavy],
-        "range-scan" => vec![WorkloadKind::RangeScan],
-        "all" => WorkloadKind::ALL.to_vec(),
-        other => panic!("unknown --workload {other:?}"),
-    };
+    let kinds: Vec<WorkloadKind> = WorkloadKind::parse_selection(&workload);
 
     if format == ReportFormat::Csv {
         println!("{CSV_HEADER}");

@@ -8,7 +8,7 @@
 //! ```
 
 use alex_bench::cli::Args;
-use alex_bench::harness::{print_rows, run_alex, run_btree_grid, split_init};
+use alex_bench::harness::{emit_rows, run_alex, run_btree_grid, split_init, ReportFormat, CSV_HEADER};
 use alex_bench::{DEFAULT_OPS, DEFAULT_SEED};
 use alex_core::AlexConfig;
 use alex_datasets::sequential_keys;
@@ -19,6 +19,10 @@ fn main() {
     let n = args.usize("keys", 500_000);
     let ops = args.usize("ops", DEFAULT_OPS);
     let _ = args.u64("seed", DEFAULT_SEED);
+    let format = ReportFormat::from_flag(args.flag("csv"));
+    if format == ReportFormat::Csv {
+        println!("{CSV_HEADER}");
+    }
 
     // Init on the first quarter; the insert stream continues the strict
     // ascent.
@@ -48,10 +52,14 @@ fn main() {
         ),
         run_btree_grid(&data, &init_keys, &inserts, &[64, 128], kind, ops, |&k| k),
     ];
-    print_rows(
-        &format!("Figure 5c sequential inserts / write-heavy ({} init keys)", n / 4),
-        &rows,
-        "B+Tree",
-    );
-    println!("\npaper shape: B+Tree wins decisively; ALEX-PMA-ARMI is the best ALEX variant (Fig 5c)");
+    let title = match format {
+        ReportFormat::Table => {
+            format!("Figure 5c sequential inserts / write-heavy ({} init keys)", n / 4)
+        }
+        ReportFormat::Csv => "fig5_sequential/write-heavy".to_string(),
+    };
+    emit_rows(&title, &rows, "B+Tree", format);
+    if format == ReportFormat::Table {
+        println!("\npaper shape: B+Tree wins decisively; ALEX-PMA-ARMI is the best ALEX variant (Fig 5c)");
+    }
 }

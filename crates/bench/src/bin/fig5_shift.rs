@@ -7,7 +7,7 @@
 //! ```
 
 use alex_bench::cli::Args;
-use alex_bench::harness::{print_rows, run_alex, run_btree_grid};
+use alex_bench::harness::{emit_rows, run_alex, run_btree_grid, ReportFormat, CSV_HEADER};
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_OPS, DEFAULT_SEED};
 use alex_core::AlexConfig;
 use alex_datasets::{longitudes_keys, sorted};
@@ -20,6 +20,10 @@ fn main() {
     let n = args.usize("keys", DEFAULT_INIT_KEYS);
     let ops = args.usize("ops", DEFAULT_OPS);
     let seed = args.u64("seed", DEFAULT_SEED);
+    let format = ReportFormat::from_flag(args.flag("csv"));
+    if format == ReportFormat::Csv {
+        println!("{CSV_HEADER}");
+    }
 
     // Paper: sort the keys, shuffle the first half and the rest
     // separately; init on the first half, insert the rest. Init and
@@ -47,11 +51,15 @@ fn main() {
             ),
             run_btree_grid(&data, &init_sorted, &high, &[64, 128], kind, ops, |k| k.to_bits()),
         ];
-        print_rows(
-            &format!("Figure 5b distribution shift / {} ({} init keys)", kind.name(), half),
-            &rows,
-            "B+Tree",
-        );
+        let title = match format {
+            ReportFormat::Table => {
+                format!("Figure 5b distribution shift / {} ({} init keys)", kind.name(), half)
+            }
+            ReportFormat::Csv => format!("fig5_shift/{}", kind.name()),
+        };
+        emit_rows(&title, &rows, "B+Tree", format);
     }
-    println!("\npaper shape: ALEX stays competitive with B+Tree under moderate shift (Fig 5b)");
+    if format == ReportFormat::Table {
+        println!("\npaper shape: ALEX stays competitive with B+Tree under moderate shift (Fig 5b)");
+    }
 }

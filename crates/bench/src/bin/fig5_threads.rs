@@ -31,14 +31,7 @@ fn main() {
     let workload = args.string("workload", "read-only");
     let format = ReportFormat::from_flag(args.flag("csv"));
 
-    let kinds: Vec<WorkloadKind> = match workload.as_str() {
-        "read-only" => vec![WorkloadKind::ReadOnly],
-        "read-heavy" => vec![WorkloadKind::ReadHeavy],
-        "write-heavy" => vec![WorkloadKind::WriteHeavy],
-        "range-scan" => vec![WorkloadKind::RangeScan],
-        "all" => WorkloadKind::ALL.to_vec(),
-        other => panic!("unknown --workload {other:?}"),
-    };
+    let kinds: Vec<WorkloadKind> = WorkloadKind::parse_selection(&workload);
 
     if format == ReportFormat::Csv {
         println!("{CSV_HEADER}");

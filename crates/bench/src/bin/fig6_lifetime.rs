@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
 use alex_bench::DEFAULT_SEED;
 use alex_btree::BPlusTree;
 use alex_core::{AlexConfig, AlexIndex};
@@ -49,6 +50,7 @@ fn main() {
     let seed = args.u64("seed", DEFAULT_SEED);
     let dataset = args.string("dataset", "longitudes");
     let batches = args.usize("batches", 10);
+    let csv = args.flag("csv");
 
     let keys = match dataset.as_str() {
         "longitudes" => longitudes_keys(n, seed),
@@ -64,10 +66,14 @@ fn main() {
     let data: Vec<(f64, u64)> = init_keys.iter().map(|&k| (k, k.to_bits())).collect();
     let batch = (inserts.len() / batches).max(1);
 
-    println!(
-        "Figure 6 lifetime study on {dataset}: init {init} keys, {} inserts in {batches} batches\n",
-        inserts.len()
-    );
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!(
+            "Figure 6 lifetime study on {dataset}: init {init} keys, {} inserts in {batches} batches\n",
+            inserts.len()
+        );
+    }
 
     for (label, cfg) in [
         ("ALEX-GA-ARMI", Some(AlexConfig::ga_armi().with_splitting())),
@@ -75,26 +81,43 @@ fn main() {
         ("ALEX-PMA-ARMI", Some(AlexConfig::pma_armi().with_splitting())),
         ("B+Tree", None),
     ] {
-        println!("{label}:");
-        println!("  {:>10} {:>16} {:>16}", "keys", "ns/insert", "ns/lookup");
+        let run = format!("fig6/{dataset}");
+        if !csv {
+            println!("{label}:");
+            println!("  {:>10} {:>16} {:>16}", "keys", "ns/insert", "ns/lookup");
+        }
         match cfg {
             Some(cfg) => {
                 let mut index = AlexIndex::bulk_load(&data, cfg);
-                run_lifetime(&mut index, &inserts, batch, &init_keys, seed);
+                run_lifetime(&mut index, &inserts, batch, &init_keys, seed, &run, label, csv);
             }
             None => {
                 let mut tree = BPlusTree::bulk_load(&data, 128, 128, 0.7);
-                run_lifetime(&mut tree, &inserts, batch, &init_keys, seed);
+                run_lifetime(&mut tree, &inserts, batch, &init_keys, seed, &run, label, csv);
             }
         }
-        println!();
+        if !csv {
+            println!();
+        }
     }
-    println!("paper shape (longitudes): ALEX-GA-ARMI lookups ~4x faster than B+Tree and flat over");
-    println!("time; ALEX-PMA-ARMI fluctuates periodically (nodes expand in unison). On longlat no");
-    println!("ALEX variant matches B+Tree insert time (Fig 6, §5.2.6).");
+    if !csv {
+        println!("paper shape (longitudes): ALEX-GA-ARMI lookups ~4x faster than B+Tree and flat over");
+        println!("time; ALEX-PMA-ARMI fluctuates periodically (nodes expand in unison). On longlat no");
+        println!("ALEX variant matches B+Tree insert time (Fig 6, §5.2.6).");
+    }
 }
 
-fn run_lifetime<I: LifetimeIndex>(index: &mut I, inserts: &[f64], batch: usize, init_keys: &[f64], seed: u64) {
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the table columns
+fn run_lifetime<I: LifetimeIndex>(
+    index: &mut I,
+    inserts: &[f64],
+    batch: usize,
+    init_keys: &[f64],
+    seed: u64,
+    run: &str,
+    label: &str,
+    csv: bool,
+) {
     let mut pool: Vec<f64> = init_keys.to_vec();
     let mut zipf = ScrambledZipf::new(pool.len(), seed);
     let lookups_per_pause = 10_000;
@@ -114,6 +137,11 @@ fn run_lifetime<I: LifetimeIndex>(index: &mut I, inserts: &[f64], batch: usize, 
         }
         let lookup_ns = t1.elapsed().as_nanos() as f64 / lookups_per_pause as f64;
         assert_eq!(hits, lookups_per_pause, "every sampled key must be present");
-        println!("  {:>10} {:>16.0} {:>16.0}", pool.len(), insert_ns, lookup_ns);
+        if csv {
+            emit_metric(run, label, &format!("ns_insert@{}", pool.len()), format!("{insert_ns:.0}"));
+            emit_metric(run, label, &format!("ns_lookup@{}", pool.len()), format!("{lookup_ns:.0}"));
+        } else {
+            println!("  {:>10} {:>16.0} {:>16.0}", pool.len(), insert_ns, lookup_ns);
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! ```
 
 use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_SEED};
 use alex_core::{AlexConfig, AlexIndex};
 use alex_datasets::{longitudes_keys, sorted};
@@ -18,6 +19,10 @@ fn main() {
     let n = args.usize("keys", DEFAULT_INIT_KEYS);
     let seed = args.u64("seed", DEFAULT_SEED);
     let insert_extra = n / 5; // "after 20M inserts" on a 100M init, scaled
+    let csv = args.flag("csv");
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    }
 
     let keys = longitudes_keys(n + insert_extra, seed);
     let (init, extra) = keys.split_at(n);
@@ -26,11 +31,11 @@ fn main() {
 
     // (a) Learned Index after initialization.
     let li = LearnedIndex::bulk_load(&data, (n / 1000).max(16));
-    print_histogram("Learned Index (after init)", &li.prediction_errors());
+    print_histogram("Learned Index (after init)", &li.prediction_errors(), csv);
 
     // (b) ALEX after initialization.
     let mut alex = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
-    print_histogram("ALEX-GA-ARMI (after init)", &alex.prediction_errors());
+    print_histogram("ALEX-GA-ARMI (after init)", &alex.prediction_errors(), csv);
 
     // (c) ALEX after 20% more inserts.
     for &k in extra {
@@ -39,13 +44,16 @@ fn main() {
     print_histogram(
         &format!("ALEX-GA-ARMI (after {insert_extra} inserts)"),
         &alex.prediction_errors(),
+        csv,
     );
 
-    println!("\npaper shape: LI mode at 8-32 with a long tail; ALEX mode at 0, tail gone (Fig 7)");
+    if !csv {
+        println!("\npaper shape: LI mode at 8-32 with a long tail; ALEX mode at 0, tail gone (Fig 7)");
+    }
 }
 
 /// Log-scale buckets: 0, 1, 2, 3-4, 5-8, ..., like the paper's x-axis.
-fn print_histogram(label: &str, errors: &[usize]) {
+fn print_histogram(label: &str, errors: &[usize], csv: bool) {
     let mut buckets = [0usize; 24];
     for &e in errors {
         let b = match e {
@@ -54,7 +62,11 @@ fn print_histogram(label: &str, errors: &[usize]) {
         };
         buckets[b.min(23)] += 1;
     }
-    println!("\n{label}: {} keys, mean error {:.2}", errors.len(), mean(errors));
+    if csv {
+        emit_metric("fig7", label, "mean_err", format!("{:.2}", mean(errors)));
+    } else {
+        println!("\n{label}: {} keys, mean error {:.2}", errors.len(), mean(errors));
+    }
     for (b, &count) in buckets.iter().enumerate() {
         if count == 0 {
             continue;
@@ -65,7 +77,11 @@ fn print_histogram(label: &str, errors: &[usize]) {
             _ => format!("{}-{}", (1usize << (b - 1)) + 1, 1usize << b),
         };
         let pct = 100.0 * count as f64 / errors.len() as f64;
-        println!("  err {:>12}: {:>8} ({:>5.1}%) {}", range, count, pct, bar(pct));
+        if csv {
+            emit_metric("fig7", label, &format!("err_{range}"), count);
+        } else {
+            println!("  err {:>12}: {:>8} ({:>5.1}%) {}", range, count, pct, bar(pct));
+        }
     }
 }
 

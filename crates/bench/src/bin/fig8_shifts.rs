@@ -8,7 +8,7 @@
 //! ```
 
 use alex_bench::cli::Args;
-use alex_bench::harness::split_init;
+use alex_bench::harness::{emit_metric, split_init, METRIC_CSV_HEADER};
 use alex_bench::DEFAULT_SEED;
 use alex_core::{AlexConfig, AlexIndex};
 use alex_datasets::longitudes_keys;
@@ -18,20 +18,25 @@ fn main() {
     let args = Args::parse();
     let n = args.usize("keys", 400_000);
     let seed = args.u64("seed", DEFAULT_SEED);
+    let csv = args.flag("csv");
 
     let keys = longitudes_keys(n, seed);
     let (init_keys, inserts) = split_init(keys, n / 2);
     let data: Vec<(f64, u64)> = init_keys.iter().map(|&k| (k, 0)).collect();
 
-    println!(
-        "Figure 8: average shifts per insert ({} init keys, {} inserts, longitudes)\n",
-        init_keys.len(),
-        inserts.len()
-    );
-    println!(
-        "{:<16} {:>14} {:>18} {:>14}",
-        "index", "shifts/insert", "rebalance moves", "expansions"
-    );
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!(
+            "Figure 8: average shifts per insert ({} init keys, {} inserts, longitudes)\n",
+            init_keys.len(),
+            inserts.len()
+        );
+        println!(
+            "{:<16} {:>14} {:>18} {:>14}",
+            "index", "shifts/insert", "rebalance moves", "expansions"
+        );
+    }
 
     // Learned Index: one dense sorted array, naive shifting inserts.
     let mut li = LearnedIndex::bulk_load(&data, (init_keys.len() / 1000).max(16));
@@ -39,13 +44,22 @@ fn main() {
         li.insert(k, 0);
     }
     let li_stats = li.stats();
-    println!(
-        "{:<16} {:>14.1} {:>18} {:>14}",
-        "Learned Index",
-        li_stats.shifts as f64 / li_stats.inserts as f64,
-        "-",
-        "-"
-    );
+    if csv {
+        emit_metric(
+            "fig8",
+            "Learned Index",
+            "shifts_per_insert",
+            format!("{:.1}", li_stats.shifts as f64 / li_stats.inserts as f64),
+        );
+    } else {
+        println!(
+            "{:<16} {:>14.1} {:>18} {:>14}",
+            "Learned Index",
+            li_stats.shifts as f64 / li_stats.inserts as f64,
+            "-",
+            "-"
+        );
+    }
 
     // Static RMI with coarse partitions (large, skew-prone leaves) vs
     // adaptive RMI with a tight per-leaf bound — the §5.3 comparison.
@@ -56,13 +70,23 @@ fn main() {
         dli.insert(k, 0);
     }
     let (merges, moves) = dli.merge_stats();
-    println!(
-        "{:<16} {:>14.1} {:>18} {:>14}",
-        "LI + delta",
-        moves as f64 / inserts.len() as f64,
-        format!("{merges} merges"),
-        "-"
-    );
+    if csv {
+        emit_metric(
+            "fig8",
+            "LI + delta",
+            "shifts_per_insert",
+            format!("{:.1}", moves as f64 / inserts.len() as f64),
+        );
+        emit_metric("fig8", "LI + delta", "merges", merges);
+    } else {
+        println!(
+            "{:<16} {:>14.1} {:>18} {:>14}",
+            "LI + delta",
+            moves as f64 / inserts.len() as f64,
+            format!("{merges} merges"),
+            "-"
+        );
+    }
 
     let srmi_leaves = (init_keys.len() / 16384).max(4);
     for cfg in [
@@ -76,15 +100,24 @@ fn main() {
             alex.insert(k, 0).expect("unique keys");
         }
         let w = alex.write_stats();
-        println!(
-            "{:<16} {:>14.2} {:>18} {:>14}",
-            cfg.variant_name(),
-            w.shifts_per_insert(),
-            w.rebalance_moves,
-            w.expansions
-        );
+        if csv {
+            let label = cfg.variant_name();
+            emit_metric("fig8", &label, "shifts_per_insert", format!("{:.2}", w.shifts_per_insert()));
+            emit_metric("fig8", &label, "rebalance_moves", w.rebalance_moves);
+            emit_metric("fig8", &label, "expansions", w.expansions);
+        } else {
+            println!(
+                "{:<16} {:>14.2} {:>18} {:>14}",
+                cfg.variant_name(),
+                w.shifts_per_insert(),
+                w.rebalance_moves,
+                w.expansions
+            );
+        }
     }
 
-    println!("\npaper shape: LI worst by orders of magnitude; PMA cuts GA-SRMI shifts ~45x;");
-    println!("ARMI cuts GA shifts ~37x; with ARMI the GA/PMA gap closes (Fig 8, §5.3)");
+    if !csv {
+        println!("\npaper shape: LI worst by orders of magnitude; PMA cuts GA-SRMI shifts ~45x;");
+        println!("ARMI cuts GA shifts ~37x; with ARMI the GA/PMA gap closes (Fig 8, §5.3)");
+    }
 }

@@ -5,6 +5,7 @@
 //! ```
 
 use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
 use alex_bench::DEFAULT_SEED;
 use alex_datasets::{lognormal_keys, longitudes_keys, longlat_keys, ycsb_keys, Dataset};
 
@@ -12,12 +13,17 @@ fn main() {
     let args = Args::parse();
     let n = args.usize("keys", 200_000);
     let seed = args.u64("seed", DEFAULT_SEED);
+    let csv = args.flag("csv");
 
-    println!("Table 1: Dataset Characteristics (scaled to {n} keys; paper used 190M-1B)\n");
-    println!(
-        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>14}",
-        "dataset", "num keys", "key type", "payload", "total MiB", "key range"
-    );
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!("Table 1: Dataset Characteristics (scaled to {n} keys; paper used 190M-1B)\n");
+        println!(
+            "{:<14} {:>10} {:>12} {:>10} {:>12} {:>14}",
+            "dataset", "num keys", "key type", "payload", "total MiB", "key range"
+        );
+    }
     for ds in Dataset::ALL {
         let (min, max, count) = match ds {
             Dataset::Longitudes => min_max_f64(&longitudes_keys(n, seed)),
@@ -26,17 +32,27 @@ fn main() {
             Dataset::Ycsb => min_max_u64(&ycsb_keys(n, seed)),
         };
         let total_bytes = count * (8 + ds.payload_size());
-        println!(
-            "{:<14} {:>10} {:>12} {:>9}B {:>12.1} {:>14}",
-            ds.name(),
-            count,
-            ds.key_type(),
-            ds.payload_size(),
-            total_bytes as f64 / (1 << 20) as f64,
-            format!("[{min:.3e}, {max:.3e}]"),
-        );
+        if csv {
+            emit_metric("table1", ds.name(), "num_keys", count);
+            emit_metric("table1", ds.name(), "payload_bytes", ds.payload_size());
+            emit_metric("table1", ds.name(), "total_bytes", total_bytes);
+            emit_metric("table1", ds.name(), "key_min", format!("{min:.6e}"));
+            emit_metric("table1", ds.name(), "key_max", format!("{max:.6e}"));
+        } else {
+            println!(
+                "{:<14} {:>10} {:>12} {:>9}B {:>12.1} {:>14}",
+                ds.name(),
+                count,
+                ds.key_type(),
+                ds.payload_size(),
+                total_bytes as f64 / (1 << 20) as f64,
+                format!("[{min:.3e}, {max:.3e}]"),
+            );
+        }
     }
-    println!("\nread-only init size = full dataset; read-write init size = 1/4 (paper: 50M of 200M)");
+    if !csv {
+        println!("\nread-only init size = full dataset; read-write init size = 1/4 (paper: 50M of 200M)");
+    }
 }
 
 fn min_max_f64(keys: &[f64]) -> (f64, f64, usize) {

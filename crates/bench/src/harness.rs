@@ -4,7 +4,6 @@
 use alex_btree::BPlusTree;
 use alex_core::{AlexConfig, AlexIndex, AlexKey};
 use alex_learned_index::LearnedIndex;
-use alex_workloads::adapters::{AlexAdapter, BTreeAdapter, LearnedIndexAdapter};
 use alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
 
 /// One result row: a competitor's throughput and sizes.
@@ -58,6 +57,24 @@ impl ReportFormat {
 /// The CSV column header matching [`emit_rows`]' CSV mode. Binaries
 /// print it once before their first data line.
 pub const CSV_HEADER: &str = "run,label,ops_per_sec,vs_baseline,index_bytes,data_bytes";
+
+/// Header for the long-format metric CSV emitted by [`emit_metric`] —
+/// the machine-readable mode of the figure binaries whose outputs are
+/// not throughput rows (histograms, percentiles, counters). One metric
+/// per line keeps whole-paper runs diffable with plain `diff`.
+pub const METRIC_CSV_HEADER: &str = "run,label,metric,value";
+
+/// Emit one long-format metric line (`--csv` mode of the non-throughput
+/// figure binaries). Commas in identifiers are sanitized so the row
+/// count always matches the header.
+pub fn emit_metric(run: &str, label: &str, metric: &str, value: impl std::fmt::Display) {
+    println!(
+        "{},{},{},{value}",
+        run.replace(',', ";"),
+        label.replace(',', ";"),
+        metric.replace(',', ";")
+    );
+}
 
 /// Emit rows in the requested format. `title` identifies the run (CSV
 /// mode embeds it in the first column, with commas sanitized);
@@ -136,7 +153,7 @@ where
     K: AlexKey,
     V: Clone + Default,
 {
-    let mut idx = AlexAdapter(AlexIndex::bulk_load(data, cfg));
+    let mut idx = AlexIndex::bulk_load(data, cfg);
     let spec = WorkloadSpec::new(kind, ops);
     let report = run_workload(&mut idx, init_keys, inserts, &spec, make_value);
     Row::from_report(&report, None)
@@ -160,7 +177,7 @@ where
 {
     let mut best: Option<Row> = None;
     for &fanout in fanouts {
-        let mut idx = BTreeAdapter(BPlusTree::bulk_load(data, fanout, fanout, 0.7));
+        let mut idx = BPlusTree::bulk_load(data, fanout, fanout, 0.7);
         let spec = WorkloadSpec::new(kind, ops);
         let report = run_workload(&mut idx, init_keys, inserts, &spec, &mut make_value);
         let row = Row::from_report(&report, Some("B+Tree".to_string()));
@@ -186,7 +203,7 @@ where
 {
     let mut best: Option<Row> = None;
     for &m in model_counts {
-        let mut idx = LearnedIndexAdapter(LearnedIndex::bulk_load(data, m));
+        let mut idx = LearnedIndex::bulk_load(data, m);
         let spec = WorkloadSpec::new(WorkloadKind::ReadOnly, ops);
         let report = run_workload(&mut idx, init_keys, &[], &spec, |_| V::default());
         let row = Row::from_report(&report, Some("Learned Index".to_string()));

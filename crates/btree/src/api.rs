@@ -1,0 +1,80 @@
+//! [`alex_api`] trait impls for [`BPlusTree`].
+//!
+//! The inherent `insert` is insert-or-overwrite (like
+//! `BTreeMap::insert`); the trait contract rejects duplicates and
+//! leaves the stored value unchanged, so the [`IndexWrite`] impl
+//! restores the previous value when the inherent call reports one —
+//! the cost is only paid on the duplicate path.
+
+use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError};
+
+use crate::BPlusTree;
+
+impl<K: PartialOrd + Clone, V: Clone> IndexRead<K, V> for BPlusTree<K, V> {
+    fn get(&self, key: &K) -> Option<V> {
+        BPlusTree::get(self, key).cloned()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        BPlusTree::get(self, key).is_some()
+    }
+
+    fn scan_from(&self, key: &K, limit: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        let mut visited = 0usize;
+        for (k, v) in BPlusTree::range_from(self, key, limit) {
+            visit(k, v);
+            visited += 1;
+        }
+        visited
+    }
+
+    fn len(&self) -> usize {
+        BPlusTree::len(self)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        BPlusTree::index_size_bytes(self)
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        BPlusTree::data_size_bytes(self)
+    }
+
+    fn label(&self) -> String {
+        "B+Tree".to_string()
+    }
+}
+
+impl<K: PartialOrd + Clone, V: Clone> IndexWrite<K, V> for BPlusTree<K, V> {
+    fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        if let Some(previous) = BPlusTree::insert(self, key.clone(), value) {
+            BPlusTree::insert(self, key, previous);
+            return Err(InsertError::DuplicateKey);
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        BPlusTree::remove(self, key)
+    }
+}
+
+impl<K: PartialOrd + Clone, V: Clone> BatchOps<K, V> for BPlusTree<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_insert_keeps_stored_value() {
+        let mut tree: BPlusTree<u64, u64> = BPlusTree::new(16, 16);
+        assert_eq!(IndexWrite::insert(&mut tree, 7, 70), Ok(()));
+        assert_eq!(
+            IndexWrite::insert(&mut tree, 7, 71),
+            Err(InsertError::DuplicateKey)
+        );
+        assert_eq!(IndexRead::get(&tree, &7), Some(70));
+        assert_eq!(IndexWrite::remove(&mut tree, &7), Some(70));
+        assert!(tree.is_empty());
+    }
+}

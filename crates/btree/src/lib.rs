@@ -23,6 +23,7 @@
 //! assert_eq!(scan.len(), 5);
 //! ```
 
+mod api;
 mod node;
 mod tree;
 

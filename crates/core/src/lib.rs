@@ -45,8 +45,13 @@
 //! - [`model`], [`search`], [`bitmap`] — the primitives (linear models,
 //!   exponential search, occupancy bitmaps).
 //! - [`analysis`] — the direct-hit bounds of §4 (Theorems 1–3).
+//! - `api_impl` — [`alex_api`] trait impls ([`alex_api::IndexRead`] /
+//!   [`alex_api::IndexWrite`] / [`alex_api::BatchOps`]), the surface
+//!   the workload drivers and conformance suite consume.
 //! - [`stats`] — the instrumentation behind the paper's drilldown
 //!   figures (prediction error, shifts per insert, sizes).
+
+mod api_impl;
 
 pub mod analysis;
 pub mod bitmap;

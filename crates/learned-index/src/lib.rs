@@ -22,6 +22,7 @@
 //! assert_eq!(idx.get(&1001), None);
 //! ```
 
+mod api;
 mod delta;
 mod model;
 
@@ -47,6 +48,8 @@ pub struct LearnedIndexStats {
     pub shifts: u64,
     /// Number of inserts.
     pub inserts: u64,
+    /// Number of removes.
+    pub removes: u64,
     /// Number of full model retrains.
     pub retrains: u64,
 }
@@ -61,6 +64,8 @@ pub struct LearnedIndex<K, V> {
     leaves: Vec<LeafModel>,
     /// Extra slack added to `err_hi` by un-retrained inserts.
     staleness: i64,
+    /// Extra slack subtracted from `err_lo` by un-retrained removes.
+    removed_slack: i64,
     stats: LearnedIndexStats,
 }
 
@@ -85,6 +90,7 @@ impl<K: Key, V: Clone> LearnedIndex<K, V> {
             root: LinearModel::default(),
             leaves: Vec::new(),
             staleness: 0,
+            removed_slack: 0,
             stats: LearnedIndexStats::default(),
         };
         idx.train(num_models);
@@ -95,6 +101,7 @@ impl<K: Key, V: Clone> LearnedIndex<K, V> {
     pub fn train(&mut self, num_models: usize) {
         self.stats.retrains += 1;
         self.staleness = 0;
+        self.removed_slack = 0;
         let n = self.keys.len();
         if n == 0 {
             self.root = LinearModel::default();
@@ -191,7 +198,7 @@ impl<K: Key, V: Clone> LearnedIndex<K, V> {
         }
         let leaf = &self.leaves[self.leaf_for(key)];
         let predicted = leaf.model.predict_clamped(key.as_f64(), self.keys.len()) as i64;
-        let lo = (predicted + leaf.err_lo).clamp(0, self.keys.len() as i64) as usize;
+        let lo = (predicted + leaf.err_lo - self.removed_slack).clamp(0, self.keys.len() as i64) as usize;
         let hi = (predicted + leaf.err_hi + self.staleness + 1).clamp(0, self.keys.len() as i64) as usize;
         let window = &self.keys[lo..hi];
         match window.binary_search_by(|k| k.partial_cmp(key).expect("keys are totally ordered")) {
@@ -225,6 +232,22 @@ impl<K: Key, V: Clone> LearnedIndex<K, V> {
         // predictions are now stale by one more slot at the top end.
         self.staleness += 1;
         true
+    }
+
+    /// Naive remove, the mirror of [`LearnedIndex::insert`]: shift the
+    /// dense array left over the removed slot (counting the shifts) and
+    /// widen the low end of the affected search windows so lookups stay
+    /// correct. Returns the evicted value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let pos = self.position_of(key)?;
+        self.keys.remove(pos);
+        let value = self.values.remove(pos);
+        self.stats.shifts += (self.keys.len() - pos) as u64;
+        self.stats.removes += 1;
+        // Every key right of `pos` moved one slot left; predictions are
+        // now stale by one more slot at the bottom end.
+        self.removed_slack += 1;
+        Some(value)
     }
 
     /// First position with key `>= key` (exact binary search; used for

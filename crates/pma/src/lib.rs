@@ -43,5 +43,7 @@
 pub mod layout;
 
 mod classic;
+mod map;
 
 pub use classic::{Pma, PmaStats};
+pub use map::PmaMap;

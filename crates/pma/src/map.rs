@@ -1,0 +1,247 @@
+//! [`PmaMap`]: a key/value map facade over the classic [`Pma`]
+//! container, plus its [`alex_api`] trait impls.
+//!
+//! [`Pma`] stores plain ordered elements; the map wraps each pair in an
+//! entry whose ordering and equality look at the **key only**, so
+//! duplicate detection, removal, and range scans all work by key while
+//! payloads ride along. This makes the uniform-redistribution PMA a
+//! first-class backend in the cross-index comparison — the reference
+//! point for ALEX's model-placed PMA node layout (§3.3.2).
+
+use core::cmp::Ordering;
+use core::mem::size_of;
+
+use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError};
+
+use crate::layout::DensityBounds;
+use crate::{Pma, PmaStats};
+
+/// A pair ordered and compared by key alone.
+#[derive(Debug, Clone)]
+struct MapEntry<K, V> {
+    key: K,
+    value: V,
+}
+
+impl<K: Ord, V> PartialEq for MapEntry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<K: Ord, V> Eq for MapEntry<K, V> {}
+
+impl<K: Ord, V> PartialOrd for MapEntry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, V> Ord for MapEntry<K, V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// An ordered key/value map on a classic Packed Memory Array.
+///
+/// # Examples
+/// ```
+/// use alex_pma::PmaMap;
+///
+/// let mut map: PmaMap<u64, u64> = PmaMap::new();
+/// assert!(map.insert(7, 70));
+/// assert!(!map.insert(7, 71), "duplicate keys rejected");
+/// assert_eq!(map.get(&7), Some(70));
+/// assert_eq!(map.remove(&7), Some(70));
+/// assert_eq!(map.get(&7), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PmaMap<K, V> {
+    inner: Pma<MapEntry<K, V>>,
+}
+
+impl<K: Ord + Clone, V: Clone + Default> Default for PmaMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Default> PmaMap<K, V> {
+    /// An empty map with default density bounds.
+    pub fn new() -> Self {
+        Self { inner: Pma::new() }
+    }
+
+    /// Bulk-load from sorted, strictly-increasing-by-key pairs.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not strictly increasing by
+    /// key.
+    pub fn from_sorted(pairs: &[(K, V)]) -> Self {
+        let entries: Vec<MapEntry<K, V>> = pairs
+            .iter()
+            .map(|(k, v)| MapEntry {
+                key: k.clone(),
+                value: v.clone(),
+            })
+            .collect();
+        Self {
+            inner: Pma::from_sorted(&entries, DensityBounds::default()),
+        }
+    }
+
+    /// A key-only probe: ordering ignores the value.
+    fn probe(key: &K) -> MapEntry<K, V> {
+        MapEntry {
+            key: key.clone(),
+            value: V::default(),
+        }
+    }
+
+    /// Look up `key`, cloning the payload out.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner
+            .range_from(&Self::probe(key))
+            .next()
+            .filter(|e| e.key == *key)
+            .map(|e| e.value.clone())
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.contains(&Self::probe(key))
+    }
+
+    /// Insert a pair; `false` on duplicate key (the stored value is
+    /// left unchanged).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.inner.insert(MapEntry { key, value })
+    }
+
+    /// Remove `key`, returning its payload.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let evicted = self.get(key)?;
+        let removed = self.inner.remove(&Self::probe(key));
+        debug_assert!(removed, "get saw the key, remove must too");
+        Some(evicted)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Work counters of the underlying PMA.
+    pub fn stats(&self) -> PmaStats {
+        self.inner.stats()
+    }
+
+    /// In-order iterator over `(key, value)` pairs with key `>= key`.
+    pub fn range_from<'a>(&'a self, key: &K) -> impl Iterator<Item = (&'a K, &'a V)> {
+        let start = Self::probe(key);
+        RangeFromIter {
+            inner: self.inner.range_from(&start),
+        }
+    }
+}
+
+/// Borrow-splitting adapter: `Pma::range_from` takes its probe by
+/// reference, so the probe must outlive the call, not the iterator.
+struct RangeFromIter<I> {
+    inner: I,
+}
+
+impl<'a, K: 'a, V: 'a, I: Iterator<Item = &'a MapEntry<K, V>>> Iterator for RangeFromIter<I> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|e| (&e.key, &e.value))
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Default> IndexRead<K, V> for PmaMap<K, V> {
+    fn get(&self, key: &K) -> Option<V> {
+        PmaMap::get(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.contains_key(key)
+    }
+
+    fn scan_from(&self, key: &K, limit: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        let mut visited = 0usize;
+        for (k, v) in PmaMap::range_from(self, key).take(limit) {
+            visit(k, v);
+            visited += 1;
+        }
+        visited
+    }
+
+    fn len(&self) -> usize {
+        PmaMap::len(self)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        // Geometry + bounds + counters; the PMA keeps no model or tree.
+        size_of::<Self>()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.inner.capacity() * size_of::<Option<MapEntry<K, V>>>()
+    }
+
+    fn label(&self) -> String {
+        "PMA".to_string()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Default> IndexWrite<K, V> for PmaMap<K, V> {
+    fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        if PmaMap::insert(self, key, value) {
+            Ok(())
+        } else {
+            Err(InsertError::DuplicateKey)
+        }
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        PmaMap::remove(self, key)
+    }
+
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+        debug_assert!(self.is_empty(), "bulk_load expects an empty map");
+        *self = PmaMap::from_sorted(pairs);
+        pairs.len()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Default> BatchOps<K, V> for PmaMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_semantics_over_set_storage() {
+        let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k * 2, k + 1)).collect();
+        let mut map = PmaMap::from_sorted(&pairs);
+        assert_eq!(map.len(), 500);
+        assert_eq!(map.get(&10), Some(6));
+        assert_eq!(map.get(&11), None);
+        // Duplicate keys with different values are rejected, value kept.
+        assert!(!map.insert(10, 999));
+        assert_eq!(map.get(&10), Some(6));
+        assert_eq!(map.remove(&10), Some(6));
+        assert_eq!(map.remove(&10), None);
+        assert!(map.insert(10, 999));
+        assert_eq!(map.get(&10), Some(999));
+        let run: Vec<u64> = map.range_from(&7).take(3).map(|(k, _)| *k).collect();
+        assert_eq!(run, vec![8, 10, 12]);
+    }
+}

@@ -14,11 +14,13 @@
 //! not an equal slice of the key domain, so skewed datasets (lognormal,
 //! longlat) still balance.
 //!
-//! The type implements both index interfaces of `alex-workloads`:
-//! [`OrderedIndex`] (exclusive access, used by the single-threaded
-//! driver and the cross-index consistency suite) and
-//! [`ConcurrentIndex`] (shared access, used by the multi-threaded
-//! driver `run_workload_mt`).
+//! The type implements the full `alex-api` trait family:
+//! [`IndexRead`] plus [`ConcurrentIndex`] (shared access, used by the
+//! multi-threaded driver `run_workload_mt`), with [`IndexWrite`]
+//! delegating `&mut self` calls to the `&self` surface (exclusive
+//! access, used by the single-threaded driver and the cross-index
+//! consistency suite) and [`BatchOps`] routed to the native per-shard
+//! sorted-run paths.
 //!
 //! ## Consistency model
 //! Every individual operation is atomic with respect to its shard.
@@ -56,10 +58,10 @@
 
 use std::sync::RwLock;
 
+use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};
 use alex_core::stats::SizeReport;
 use alex_core::{AlexConfig, AlexIndex, AlexKey};
 use alex_datasets::cdf_points;
-use alex_workloads::{ConcurrentIndex, OrderedIndex};
 
 /// Range-partitioned ALEX shards behind reader-writer locks.
 ///
@@ -341,19 +343,17 @@ fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize) -> 
     boundaries
 }
 
-impl<K: AlexKey, V: Clone + Default> OrderedIndex<K, V> for ShardedAlex<K, V> {
+impl<K: AlexKey, V: Clone + Default> IndexRead<K, V> for ShardedAlex<K, V> {
+    fn get(&self, key: &K) -> Option<V> {
+        ShardedAlex::get(self, key)
+    }
+
     fn contains(&self, key: &K) -> bool {
         ShardedAlex::contains(self, key)
     }
 
-    fn insert(&mut self, key: K, value: V) -> bool {
-        ShardedAlex::insert(self, key, value)
-    }
-
-    fn scan_from(&self, key: &K, limit: usize) -> usize {
-        ShardedAlex::scan_from(self, key, limit, |k, v| {
-            core::hint::black_box((k, v));
-        })
+    fn scan_from(&self, key: &K, limit: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        ShardedAlex::scan_from(self, key, limit, |k, v| visit(k, v))
     }
 
     fn len(&self) -> usize {
@@ -373,37 +373,57 @@ impl<K: AlexKey, V: Clone + Default> OrderedIndex<K, V> for ShardedAlex<K, V> {
     }
 }
 
-impl<K: AlexKey + Sync + Send, V: Clone + Default + Sync + Send> ConcurrentIndex<K, V>
-    for ShardedAlex<K, V>
+impl<K, V> ConcurrentIndex<K, V> for ShardedAlex<K, V>
+where
+    K: AlexKey + Send + Sync,
+    V: Clone + Default + Send + Sync,
 {
-    fn contains(&self, key: &K) -> bool {
-        ShardedAlex::contains(self, key)
+    fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+        if ShardedAlex::insert(self, key, value) {
+            Ok(())
+        } else {
+            Err(InsertError::DuplicateKey)
+        }
     }
 
-    fn insert(&self, key: K, value: V) -> bool {
-        ShardedAlex::insert(self, key, value)
+    fn remove(&self, key: &K) -> Option<V> {
+        ShardedAlex::remove(self, key)
+    }
+}
+
+// Exclusive-access delegation (see `alex-api`'s crate docs for why a
+// blanket impl cannot provide this): `&mut self` writes route through
+// the internally synchronized `&self` paths.
+impl<K, V> IndexWrite<K, V> for ShardedAlex<K, V>
+where
+    K: AlexKey + Send + Sync,
+    V: Clone + Default + Send + Sync,
+{
+    fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        ConcurrentIndex::insert(self, key, value)
     }
 
-    fn scan_from(&self, key: &K, limit: usize) -> usize {
-        ShardedAlex::scan_from(self, key, limit, |k, v| {
-            core::hint::black_box((k, v));
-        })
+    fn remove(&mut self, key: &K) -> Option<V> {
+        ConcurrentIndex::remove(self, key)
     }
 
-    fn len(&self) -> usize {
-        ShardedAlex::len(self)
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+        debug_assert!(ShardedAlex::is_empty(self), "bulk_load expects an empty index");
+        ShardedAlex::bulk_insert(self, pairs)
+    }
+}
+
+impl<K, V> BatchOps<K, V> for ShardedAlex<K, V>
+where
+    K: AlexKey + Send + Sync,
+    V: Clone + Default + Send + Sync,
+{
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        ShardedAlex::get_many(self, keys)
     }
 
-    fn index_size_bytes(&self) -> usize {
-        self.size_report().index_bytes
-    }
-
-    fn data_size_bytes(&self) -> usize {
-        self.size_report().data_bytes
-    }
-
-    fn label(&self) -> String {
-        format!("ShardedAlex[{}]", self.num_shards())
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+        ShardedAlex::bulk_insert(self, pairs)
     }
 }
 

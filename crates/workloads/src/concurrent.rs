@@ -1,55 +1,28 @@
 //! Multi-threaded workload execution.
 //!
-//! [`run_workload_mt`] serves the same four YCSB mixes as
-//! [`crate::run_workload`], but from `N` worker threads inside a
-//! `std::thread::scope`, against any [`ConcurrentIndex`] — an index
-//! whose operations (including inserts) take `&self` and are safe
-//! under concurrent callers, like `alex_sharded::ShardedAlex`.
+//! [`run_workload_mt`] serves the same mixes as [`crate::run_workload`]
+//! — including the remove-heavy mix — but from `N` worker threads
+//! inside a `std::thread::scope`, against any [`ConcurrentIndex`] — an
+//! index whose operations (including inserts and removes) take `&self`
+//! and are safe under concurrent callers, like
+//! `alex_sharded::ShardedAlex` or the reference
+//! [`LockedBTreeMap`](alex_api::LockedBTreeMap).
 //!
 //! The op budget is split evenly across threads; the insert-key pool is
 //! partitioned so threads never race on the same key. Each thread draws
 //! lookup keys Zipf-style from its own view of the key pool (the initial
 //! keys plus the keys *it* inserted), so every lookup targets a key
 //! guaranteed to be present — the same always-hit property the
-//! single-threaded driver has.
+//! single-threaded driver has. Removes likewise evict only keys the
+//! same thread inserted, so no two threads ever contend on one key's
+//! lifecycle and every remove must succeed.
 
 use std::time::Instant;
 
+use alex_api::ConcurrentIndex;
+
 use crate::driver::{drive_mix, IndexOp, IndexOpResult};
 use crate::{WorkloadReport, WorkloadSpec};
-
-/// An ordered index whose operations are `&self` and safe to call from
-/// multiple threads concurrently (reads *and* writes — implementations
-/// provide their own synchronization, e.g. per-shard locks).
-pub trait ConcurrentIndex<K, V>: Sync {
-    /// Point lookup; `true` when the key was found.
-    fn contains(&self, key: &K) -> bool;
-
-    /// Insert; `false` on duplicate.
-    fn insert(&self, key: K, value: V) -> bool;
-
-    /// Scan up to `limit` entries with key `>= key`; returns the number
-    /// of entries visited.
-    fn scan_from(&self, key: &K, limit: usize) -> usize;
-
-    /// Number of stored entries.
-    fn len(&self) -> usize;
-
-    /// Whether the index is empty.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The paper's *index size* (models/inner nodes + pointers +
-    /// metadata).
-    fn index_size_bytes(&self) -> usize;
-
-    /// The paper's *data size* (leaf/data storage including gaps).
-    fn data_size_bytes(&self) -> usize;
-
-    /// Display name for reports.
-    fn label(&self) -> String;
-}
 
 /// Per-thread slice of the run: the shared mix loop of
 /// [`crate::run_workload`], executed through `&self` operations.
@@ -75,8 +48,13 @@ where
         index.label(),
         |op| match op {
             IndexOp::Contains(k) => IndexOpResult::Hit(index.contains(k)),
-            IndexOp::Scan(k, len) => IndexOpResult::Scanned(index.scan_from(k, len)),
-            IndexOp::Insert(k) => IndexOpResult::Inserted(index.insert(k, make_value(&k))),
+            IndexOp::Scan(k, len) => IndexOpResult::Scanned(index.scan_from(k, len, &mut |k, v| {
+                core::hint::black_box((k, v));
+            })),
+            IndexOp::Insert(k) => {
+                IndexOpResult::Inserted(index.insert(k, make_value(&k)).is_ok())
+            }
+            IndexOp::Remove(k) => IndexOpResult::Removed(index.remove(k).is_some()),
         },
     )
 }
@@ -139,8 +117,10 @@ where
         total.ops += r.ops;
         total.reads += r.reads;
         total.inserts += r.inserts;
+        total.removes += r.removes;
         total.scanned += r.scanned;
         total.hits += r.hits;
+        total.evictions += r.evictions;
     }
     total.elapsed = elapsed;
     total.index_size_bytes = index.index_size_bytes();
@@ -152,54 +132,13 @@ where
 mod tests {
     use super::*;
     use crate::WorkloadKind;
-    use std::sync::RwLock;
+    use alex_api::{IndexRead, LockedBTreeMap};
 
-    /// A trivially correct concurrent index: one big lock around a
-    /// `BTreeMap`. Used to test the driver, not to be fast.
-    struct LockedBTree(RwLock<std::collections::BTreeMap<u64, u64>>);
-
-    impl ConcurrentIndex<u64, u64> for LockedBTree {
-        fn contains(&self, key: &u64) -> bool {
-            self.0.read().unwrap().contains_key(key)
-        }
-
-        fn insert(&self, key: u64, value: u64) -> bool {
-            let mut map = self.0.write().unwrap();
-            match map.entry(key) {
-                std::collections::btree_map::Entry::Occupied(_) => false,
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(value);
-                    true
-                }
-            }
-        }
-
-        fn scan_from(&self, key: &u64, limit: usize) -> usize {
-            self.0.read().unwrap().range(*key..).take(limit).count()
-        }
-
-        fn len(&self) -> usize {
-            self.0.read().unwrap().len()
-        }
-
-        fn index_size_bytes(&self) -> usize {
-            1
-        }
-
-        fn data_size_bytes(&self) -> usize {
-            self.0.read().unwrap().len() * 16
-        }
-
-        fn label(&self) -> String {
-            "locked-btreemap".into()
-        }
-    }
-
-    fn setup() -> (LockedBTree, Vec<u64>, Vec<u64>) {
+    fn setup() -> (LockedBTreeMap<u64, u64>, Vec<u64>, Vec<u64>) {
         let existing: Vec<u64> = (0..2000u64).map(|k| k * 2).collect();
         let inserts: Vec<u64> = (0..2000u64).map(|k| k * 2 + 1).collect();
-        let index = LockedBTree(RwLock::new(existing.iter().map(|&k| (k, k)).collect()));
-        (index, existing, inserts)
+        let pairs: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        (LockedBTreeMap::from_pairs(&pairs), existing, inserts)
     }
 
     #[test]
@@ -233,6 +172,18 @@ mod tests {
         let report = run_workload_mt(&index, &existing, &inserts, &spec, 2, |&k| k);
         assert!(report.scanned > 0);
         assert!(report.scanned as f64 / report.reads as f64 > 10.0, "mean scan length ~50");
+    }
+
+    #[test]
+    fn remove_heavy_runs_under_the_mt_driver() {
+        let (index, existing, inserts) = setup();
+        let spec = WorkloadSpec::new(WorkloadKind::RemoveHeavy, 4000);
+        let report = run_workload_mt(&index, &existing, &inserts, &spec, 4, |&k| k);
+        assert!(report.removes > 0, "MT driver must execute remove ops");
+        assert_eq!(report.evictions, report.removes, "thread-local evictions always hit");
+        assert_eq!(report.hits, report.reads, "reads never target evicted keys");
+        // Per-thread LIFO eviction drains every insert.
+        assert_eq!(index.len(), existing.len());
     }
 
     #[test]

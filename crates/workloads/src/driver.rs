@@ -1,15 +1,14 @@
-//! Workload execution: interleaved read/insert/scan loops with Zipfian
-//! key selection and throughput measurement.
+//! Workload execution: interleaved read/insert/remove loops with
+//! Zipfian key selection and throughput measurement.
 
 use std::time::{Duration, Instant};
 
+use alex_api::IndexWrite;
 use alex_datasets::ScrambledZipf;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::OrderedIndex;
-
-/// The four workload mixes of §5.1.2.
+/// The four workload mixes of §5.1.2, plus the remove-heavy mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadKind {
     /// 100% point reads (YCSB C).
@@ -20,15 +19,29 @@ pub enum WorkloadKind {
     WriteHeavy,
     /// 95% scans / 5% inserts, scan length uniform in 1..=100 (YCSB E).
     RangeScan,
+    /// 50% reads / 25% inserts / 25% removes, interleaved 2:1:1 —
+    /// removes evict keys inserted earlier in the run, so the index
+    /// size stays near its initial value while the delete path gets
+    /// exercised under both drivers.
+    RemoveHeavy,
 }
 
 impl WorkloadKind {
-    /// All four, in the paper's order.
+    /// The paper's four mixes, in the paper's order.
     pub const ALL: [WorkloadKind; 4] = [
         WorkloadKind::ReadOnly,
         WorkloadKind::ReadHeavy,
         WorkloadKind::WriteHeavy,
         WorkloadKind::RangeScan,
+    ];
+
+    /// All five mixes: the paper's four plus the remove-heavy mix.
+    pub const EXTENDED: [WorkloadKind; 5] = [
+        WorkloadKind::ReadOnly,
+        WorkloadKind::ReadHeavy,
+        WorkloadKind::WriteHeavy,
+        WorkloadKind::RangeScan,
+        WorkloadKind::RemoveHeavy,
     ];
 
     /// Display name.
@@ -38,15 +51,39 @@ impl WorkloadKind {
             WorkloadKind::ReadHeavy => "read-heavy",
             WorkloadKind::WriteHeavy => "write-heavy",
             WorkloadKind::RangeScan => "range-scan",
+            WorkloadKind::RemoveHeavy => "remove-heavy",
         }
     }
 
-    /// `(reads, inserts)` per interleave cycle.
-    pub(crate) fn cycle(self) -> (usize, usize) {
+    /// Parse a display name (as accepted by the bench binaries'
+    /// `--workload` flag).
+    pub fn from_name(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::EXTENDED.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Parse a `--workload` flag value into the mixes to run: a single
+    /// mix by name, `"all"` for the paper's four, or `"extended"` for
+    /// all five.
+    ///
+    /// # Panics
+    /// Panics on an unknown name (flag validation in the bench
+    /// binaries).
+    pub fn parse_selection(selection: &str) -> Vec<WorkloadKind> {
+        match selection {
+            "all" => WorkloadKind::ALL.to_vec(),
+            "extended" => WorkloadKind::EXTENDED.to_vec(),
+            name => vec![WorkloadKind::from_name(name)
+                .unwrap_or_else(|| panic!("unknown --workload {name:?}"))],
+        }
+    }
+
+    /// `(reads, inserts, removes)` per interleave cycle.
+    pub(crate) fn cycle(self) -> (usize, usize, usize) {
         match self {
-            WorkloadKind::ReadOnly => (1, 0),
-            WorkloadKind::ReadHeavy | WorkloadKind::RangeScan => (19, 1),
-            WorkloadKind::WriteHeavy => (1, 1),
+            WorkloadKind::ReadOnly => (1, 0, 0),
+            WorkloadKind::ReadHeavy | WorkloadKind::RangeScan => (19, 1, 0),
+            WorkloadKind::WriteHeavy => (1, 1, 0),
+            WorkloadKind::RemoveHeavy => (2, 1, 1),
         }
     }
 
@@ -61,8 +98,8 @@ impl WorkloadKind {
 pub struct WorkloadSpec {
     /// Which mix to run.
     pub kind: WorkloadKind,
-    /// Total operations (reads + inserts) to perform. The run ends
-    /// early if the insert pool is exhausted.
+    /// Total operations (reads + inserts + removes) to perform. The
+    /// run ends early if the insert pool is exhausted.
     pub ops: usize,
     /// Maximum range-scan length (paper: 100).
     pub max_scan_len: usize,
@@ -91,10 +128,14 @@ pub struct WorkloadReport {
     pub reads: u64,
     /// Inserts performed.
     pub inserts: u64,
+    /// Removes performed.
+    pub removes: u64,
     /// Total entries visited by scans.
     pub scanned: u64,
     /// Reads that found their key (should equal `reads`).
     pub hits: u64,
+    /// Removes that evicted a value (should equal `removes`).
+    pub evictions: u64,
     /// Wall-clock time of the measured loop.
     pub elapsed: Duration,
     /// Index label.
@@ -127,6 +168,8 @@ pub(crate) enum IndexOp<'a, K> {
     Scan(&'a K, usize),
     /// Insert (the executor produces the payload).
     Insert(K),
+    /// Remove a key inserted earlier in the run.
+    Remove(&'a K),
 }
 
 /// Outcome of an [`IndexOp`], mirrored variant-for-variant.
@@ -134,13 +177,19 @@ pub(crate) enum IndexOpResult {
     Hit(bool),
     Scanned(usize),
     Inserted(bool),
+    Removed(bool),
 }
 
-/// The interleaved read/insert mix loop shared by [`run_workload`] and
-/// the multi-threaded driver: Zipf key selection over a growing pool,
-/// cycle interleaving per [`WorkloadKind`], early exit on insert-pool
-/// exhaustion. `exec` performs each operation against the index; size
-/// accounting is left to the caller.
+/// The interleaved read/insert/remove mix loop shared by
+/// [`run_workload`] and the multi-threaded driver: Zipf key selection
+/// over a growing pool, cycle interleaving per [`WorkloadKind`], early
+/// exit on insert-pool exhaustion. `exec` performs each operation
+/// against the index; size accounting is left to the caller.
+///
+/// Remove-bearing mixes route freshly inserted keys into a thread-local
+/// eviction stack instead of the Zipf pool: reads keep their always-hit
+/// property and removes always evict, while the index size stays near
+/// its initial value.
 pub(crate) fn drive_mix<K: Copy>(
     existing_keys: &[K],
     insert_keys: &[K],
@@ -155,13 +204,17 @@ pub(crate) fn drive_mix<K: Copy>(
     pool.reserve(insert_keys.len());
     let mut zipf = ScrambledZipf::new(pool.len(), seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
-    let (reads_per_cycle, inserts_per_cycle) = spec.kind.cycle();
+    let (reads_per_cycle, inserts_per_cycle, removes_per_cycle) = spec.kind.cycle();
+    // Keys inserted by a remove-bearing mix, awaiting eviction (LIFO).
+    let mut removable: Vec<K> = Vec::new();
     let mut report = WorkloadReport {
         ops: 0,
         reads: 0,
         inserts: 0,
+        removes: 0,
         scanned: 0,
         hits: 0,
+        evictions: 0,
         elapsed: Duration::ZERO,
         label,
         index_size_bytes: 0,
@@ -202,9 +255,30 @@ pub(crate) fn drive_mix<K: Copy>(
                 unreachable!("Insert must yield Inserted");
             };
             if fresh {
-                pool.push(key);
+                if removes_per_cycle > 0 {
+                    removable.push(key);
+                } else {
+                    pool.push(key);
+                }
             }
             report.inserts += 1;
+            report.ops += 1;
+        }
+        for _ in 0..removes_per_cycle {
+            if report.ops as usize >= ops_budget {
+                break;
+            }
+            // Nothing to evict this cycle (a duplicate insert didn't
+            // land): skip the remove; reads and inserts keep the run
+            // progressing, and insert-pool exhaustion still ends it.
+            let Some(key) = removable.pop() else {
+                break;
+            };
+            let IndexOpResult::Removed(evicted) = exec(IndexOp::Remove(&key)) else {
+                unreachable!("Remove must yield Removed");
+            };
+            report.evictions += u64::from(evicted);
+            report.removes += 1;
             report.ops += 1;
         }
         if inserts_per_cycle > 0 {
@@ -219,8 +293,9 @@ pub(crate) fn drive_mix<K: Copy>(
 ///
 /// `existing_keys` must list the keys already loaded into the index (in
 /// any order); lookups Zipf-select from this pool, which grows as
-/// inserts drain `insert_keys`. `make_value` produces the payload for
-/// an inserted key.
+/// inserts drain `insert_keys` (except in remove-bearing mixes, where
+/// inserted keys feed the eviction stack instead). `make_value`
+/// produces the payload for an inserted key.
 pub fn run_workload<K, V, I>(
     index: &mut I,
     existing_keys: &[K],
@@ -230,7 +305,7 @@ pub fn run_workload<K, V, I>(
 ) -> WorkloadReport
 where
     K: Copy,
-    I: OrderedIndex<K, V> + ?Sized,
+    I: IndexWrite<K, V> + ?Sized,
 {
     let label = index.label();
     let mut report = drive_mix(
@@ -242,8 +317,13 @@ where
         label,
         |op| match op {
             IndexOp::Contains(k) => IndexOpResult::Hit(index.contains(k)),
-            IndexOp::Scan(k, len) => IndexOpResult::Scanned(index.scan_from(k, len)),
-            IndexOp::Insert(k) => IndexOpResult::Inserted(index.insert(k, make_value(&k))),
+            IndexOp::Scan(k, len) => IndexOpResult::Scanned(index.scan_from(k, len, &mut |k, v| {
+                core::hint::black_box((k, v));
+            })),
+            IndexOp::Insert(k) => {
+                IndexOpResult::Inserted(index.insert(k, make_value(&k)).is_ok())
+            }
+            IndexOp::Remove(k) => IndexOpResult::Removed(index.remove(k).is_some()),
         },
     );
     report.index_size_bytes = index.index_size_bytes();
@@ -254,7 +334,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adapters::{AlexAdapter, BTreeAdapter};
     use alex_btree::BPlusTree;
     use alex_core::{AlexConfig, AlexIndex};
 
@@ -268,7 +347,7 @@ mod tests {
     fn read_only_always_hits() {
         let (existing, _) = setup();
         let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
-        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_srmi(16)));
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_srmi(16));
         let spec = WorkloadSpec::new(WorkloadKind::ReadOnly, 2000);
         let report = run_workload(&mut idx, &existing, &[], &spec, |&k| k);
         assert_eq!(report.ops, 2000);
@@ -282,21 +361,21 @@ mod tests {
     fn read_heavy_interleaves_19_to_1() {
         let (existing, inserts) = setup();
         let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
-        let mut idx = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+        let mut idx = BPlusTree::bulk_load(&data, 64, 64, 0.7);
         let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, 2000);
         let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
         assert_eq!(report.ops, 2000);
         assert_eq!(report.inserts, 100, "5% of 2000");
         assert_eq!(report.reads, 1900);
         assert_eq!(report.hits, 1900);
-        assert_eq!(idx.0.len(), 5100);
+        assert_eq!(idx.len(), 5100);
     }
 
     #[test]
     fn write_heavy_is_half_inserts() {
         let (existing, inserts) = setup();
         let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
-        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
         let spec = WorkloadSpec::new(WorkloadKind::WriteHeavy, 3000);
         let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
         assert_eq!(report.inserts, 1500);
@@ -308,7 +387,7 @@ mod tests {
     fn range_scan_visits_entries() {
         let (existing, inserts) = setup();
         let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
-        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
         let spec = WorkloadSpec::new(WorkloadKind::RangeScan, 1000);
         let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
         assert!(report.scanned > 0);
@@ -317,11 +396,45 @@ mod tests {
     }
 
     #[test]
+    fn remove_heavy_evicts_what_it_inserts() {
+        let (existing, inserts) = setup();
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+        let spec = WorkloadSpec::new(WorkloadKind::RemoveHeavy, 4000);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        assert_eq!(report.ops, 4000);
+        assert_eq!(report.reads, 2000, "50% reads");
+        assert_eq!(report.inserts, 1000, "25% inserts");
+        assert_eq!(report.removes, 1000, "25% removes");
+        assert_eq!(report.hits, report.reads, "reads never target evicted keys");
+        assert_eq!(report.evictions, report.removes, "removes always evict");
+        // LIFO eviction drains every insert: the index is back to its
+        // initial contents.
+        assert_eq!(idx.len(), existing.len());
+    }
+
+    #[test]
+    fn remove_mix_tolerates_duplicate_inserts() {
+        // The insert pool overlaps the loaded keys: duplicate inserts
+        // leave nothing to evict that cycle. The run must skip those
+        // removes and keep going, not abort.
+        let existing: Vec<u64> = (0..200u64).collect();
+        let inserts: Vec<u64> = (100..400u64).collect(); // first 100 are dups
+        let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+        let spec = WorkloadSpec::new(WorkloadKind::RemoveHeavy, 600);
+        let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
+        assert_eq!(report.ops, 600, "duplicate inserts must not end the run");
+        assert!(report.removes < report.inserts, "dup cycles skip their remove");
+        assert_eq!(report.evictions, report.removes);
+    }
+
+    #[test]
     fn run_stops_when_insert_pool_exhausted() {
         let existing: Vec<u64> = (0..100u64).collect();
         let inserts: Vec<u64> = (1000..1010u64).collect();
         let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
-        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
         let spec = WorkloadSpec::new(WorkloadKind::WriteHeavy, 10_000);
         let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
         assert_eq!(report.inserts, 10);
@@ -333,11 +446,19 @@ mod tests {
         let existing: Vec<u64> = (0..50u64).map(|k| k * 2).collect();
         let inserts: Vec<u64> = (0..5000u64).map(|k| 100 + k).collect();
         let data: Vec<(u64, u64)> = existing.iter().map(|&k| (k, k)).collect();
-        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
+        let mut idx = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
         let spec = WorkloadSpec::new(WorkloadKind::WriteHeavy, 6000);
         let report = run_workload(&mut idx, &existing, &inserts, &spec, |&k| k);
         // Every read must hit even though most of the pool was inserted
         // during the run.
         assert_eq!(report.hits, report.reads);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in WorkloadKind::EXTENDED {
+            assert_eq!(WorkloadKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::from_name("nonsense"), None);
     }
 }

@@ -1,7 +1,8 @@
 //! YCSB-style workload drivers reproducing §5.1.2 of the ALEX paper.
 //!
 //! Four workloads, "roughly corresponding to Workloads C, B, A, and E
-//! from the YCSB benchmark":
+//! from the YCSB benchmark", plus a remove-heavy mix exercising the
+//! delete path the paper calls "strictly easier than inserts" (§3.2):
 //!
 //! | Workload | Mix | Interleave |
 //! |---|---|---|
@@ -9,22 +10,27 @@
 //! | read-heavy | 95% reads / 5% inserts | 19 reads, 1 insert |
 //! | write-heavy | 50% reads / 50% inserts | 1 read, 1 insert |
 //! | range scan | 95% scans / 5% inserts | 19 scans, 1 insert |
+//! | remove-heavy | 50% reads / 25% inserts / 25% removes | 2 reads, 1 insert, 1 remove |
 //!
 //! Lookup keys are drawn from the *existing* keys with a Zipfian
 //! distribution (so lookups always hit); scan lengths are uniform in
-//! `1..=100`. The driver works against any [`OrderedIndex`] — adapters
-//! for ALEX, the B+Tree baseline, and the Learned Index baseline are in
-//! [`adapters`].
+//! `1..=100`; removes target keys previously inserted by the same run,
+//! so they always evict. The drivers work against the [`alex_api`]
+//! trait family — [`run_workload`] takes any [`IndexWrite`],
+//! [`run_workload_mt`] any [`ConcurrentIndex`] — and both share one mix
+//! loop, so a backend's numbers are comparable across drivers by
+//! construction. This crate defines **no index traits of its own**; it
+//! consumes `alex-api` like every backend does.
 //!
 //! # Examples
 //! ```
-//! use alex_btree::BPlusTree;
-//! use alex_workloads::adapters::BTreeAdapter;
+//! use alex_api::LockedBTreeMap;
 //! use alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
 //!
 //! let keys: Vec<u64> = (0..1000).collect();
-//! let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 2)).collect();
-//! let mut index = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+//! let mut index = LockedBTreeMap::from_pairs(
+//!     &keys.iter().map(|&k| (k, k * 2)).collect::<Vec<_>>(),
+//! );
 //!
 //! let inserts: Vec<u64> = (1000..1100).collect();
 //! let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, 500);
@@ -35,41 +41,14 @@
 //! assert_eq!(report.hits, report.reads);
 //! ```
 
-pub mod adapters;
 pub mod concurrent;
 mod driver;
 
-pub use concurrent::{run_workload_mt, ConcurrentIndex};
+// The index contract the drivers consume, re-exported so downstream
+// code can keep importing the surface from one place.
+pub use alex_api::{
+    BatchOps, ConcurrentIndex, Entry, IndexRead, IndexWrite, InsertError, LockedBTreeMap,
+    RangeScan,
+};
+pub use concurrent::run_workload_mt;
 pub use driver::{run_workload, WorkloadKind, WorkloadReport, WorkloadSpec};
-
-/// The index interface the workload driver exercises — the operations
-/// §5.1.2 measures, plus the §5.1 size accounting.
-pub trait OrderedIndex<K, V> {
-    /// Point lookup; `true` when the key was found.
-    fn contains(&self, key: &K) -> bool;
-
-    /// Insert; `false` on duplicate.
-    fn insert(&mut self, key: K, value: V) -> bool;
-
-    /// Scan up to `limit` entries with key `>= key`; returns the number
-    /// of entries visited.
-    fn scan_from(&self, key: &K, limit: usize) -> usize;
-
-    /// Number of stored entries.
-    fn len(&self) -> usize;
-
-    /// Whether the index is empty.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The paper's *index size* (models/inner nodes + pointers +
-    /// metadata).
-    fn index_size_bytes(&self) -> usize;
-
-    /// The paper's *data size* (leaf/data storage including gaps).
-    fn data_size_bytes(&self) -> usize;
-
-    /// Display name for reports.
-    fn label(&self) -> String;
-}

@@ -10,7 +10,6 @@
 use alex_repro::alex_btree::BPlusTree;
 use alex_repro::alex_core::{AlexConfig, AlexIndex};
 use alex_repro::alex_datasets::{longitudes_keys, sorted};
-use alex_repro::alex_workloads::adapters::{AlexAdapter, BTreeAdapter};
 use alex_repro::alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
 
 const INIT_KEYS: usize = 400_000;
@@ -36,7 +35,7 @@ fn main() {
         "index", "ops/sec", "index bytes", "data MiB"
     );
     for cfg in configs {
-        let mut idx = AlexAdapter(AlexIndex::bulk_load(&data, cfg));
+        let mut idx = AlexIndex::bulk_load(&data, cfg);
         let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, OPS);
         let report = run_workload(&mut idx, &init_sorted, inserts, &spec, |k| k.to_bits());
         println!(
@@ -48,7 +47,7 @@ fn main() {
         );
     }
 
-    let mut btree = BTreeAdapter(BPlusTree::bulk_load(&data, 128, 128, 0.7));
+    let mut btree = BPlusTree::bulk_load(&data, 128, 128, 0.7);
     let spec = WorkloadSpec::new(WorkloadKind::ReadHeavy, OPS);
     let report = run_workload(&mut btree, &init_sorted, inserts, &spec, |k| k.to_bits());
     println!(

@@ -1,28 +1,38 @@
-//! Run the four YCSB-style workloads (§5.1.2) on the YCSB dataset —
-//! uniform 64-bit user IDs with 80-byte payloads — comparing ALEX with
-//! the B+Tree baseline.
+//! Run the YCSB-style workloads (§5.1.2) — the paper's four mixes plus
+//! the remove-heavy mix — on the YCSB dataset (uniform 64-bit user IDs
+//! with 80-byte payloads), comparing ALEX against the B+Tree baseline
+//! through the shared `alex-api` surface.
 //!
 //! Run with:
 //! ```sh
 //! cargo run --release --example ycsb_workload
 //! ```
+//! Scale with env vars (used by the CI smoke run):
+//! `YCSB_KEYS` (init keys, default 200000) and `YCSB_OPS`
+//! (ops per workload, default 200000).
 
 use alex_repro::alex_btree::BPlusTree;
 use alex_repro::alex_core::{AlexConfig, AlexIndex};
 use alex_repro::alex_datasets::{sorted, ycsb_keys, Payload};
-use alex_repro::alex_workloads::adapters::{AlexAdapter, BTreeAdapter};
 use alex_repro::alex_workloads::{run_workload, WorkloadKind, WorkloadSpec};
 
 type Value = Payload<80>;
 
-const INIT_KEYS: usize = 200_000;
-const INSERT_KEYS: usize = 200_000;
-const OPS: usize = 200_000;
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name} expects an integer, got {v:?}")))
+        .unwrap_or(default)
+}
 
 fn main() {
-    println!("generating {} YCSB keys…", INIT_KEYS + INSERT_KEYS);
-    let keys = ycsb_keys(INIT_KEYS + INSERT_KEYS, 7);
-    let (init, inserts) = keys.split_at(INIT_KEYS);
+    let init_keys = env_usize("YCSB_KEYS", 200_000);
+    let ops = env_usize("YCSB_OPS", 200_000);
+    let insert_keys = init_keys;
+
+    println!("generating {} YCSB keys…", init_keys + insert_keys);
+    let keys = ycsb_keys(init_keys + insert_keys, 7);
+    let (init, inserts) = keys.split_at(init_keys);
     let init_sorted = sorted(init.to_vec());
     let data: Vec<(u64, Value)> = init_sorted.iter().map(|&k| (k, Value::from_seed(k))).collect();
 
@@ -30,13 +40,20 @@ fn main() {
         "{:<12} {:>14} {:>14}",
         "workload", "ALEX ops/s", "B+Tree ops/s"
     );
-    for kind in WorkloadKind::ALL {
-        let mut alex = AlexAdapter(AlexIndex::bulk_load(&data, AlexConfig::ga_armi()));
-        let spec = WorkloadSpec::new(kind, OPS);
+    for kind in WorkloadKind::EXTENDED {
+        let mut alex = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+        let spec = WorkloadSpec::new(kind, ops);
         let alex_report = run_workload(&mut alex, &init_sorted, inserts, &spec, |&k| Value::from_seed(k));
 
-        let mut btree = BTreeAdapter(BPlusTree::bulk_load(&data, 64, 64, 0.7));
+        let mut btree = BPlusTree::bulk_load(&data, 64, 64, 0.7);
         let btree_report = run_workload(&mut btree, &init_sorted, inserts, &spec, |&k| Value::from_seed(k));
+
+        // The drivers promise every read hits and every remove evicts;
+        // the smoke run asserts it so CI catches contract drift.
+        for report in [&alex_report, &btree_report] {
+            assert_eq!(report.hits, report.reads, "{}: reads must hit", report.label);
+            assert_eq!(report.evictions, report.removes, "{}: removes must evict", report.label);
+        }
 
         println!(
             "{:<12} {:>14.0} {:>14.0}   (index size: {} vs {} bytes)",

@@ -4,6 +4,11 @@
 //! that examples and integration tests can use a single dependency. The
 //! actual implementations live in the `crates/` members:
 //!
+//! - [`alex_api`] — the index contract: the `IndexRead` /
+//!   `IndexWrite` / `ConcurrentIndex` / `BatchOps` trait family, the
+//!   `Entry`/`InsertError` types, the `LockedBTreeMap` reference
+//!   baseline, and the `conformance_suite!` macro every backend
+//!   instantiates.
 //! - [`alex_core`] — the ALEX index itself (the paper's contribution).
 //! - [`alex_pma`] — a standalone Packed Memory Array (Bender & Hu), the
 //!   substrate behind ALEX's PMA node layout.
@@ -14,12 +19,12 @@
 //! - [`alex_datasets`] — generators for the paper's four datasets plus
 //!   Zipfian key selection.
 //! - [`alex_workloads`] — YCSB-style workload drivers (single- and
-//!   multi-threaded) and the [`alex_workloads::OrderedIndex`] /
-//!   [`alex_workloads::ConcurrentIndex`] traits the indexes implement.
+//!   multi-threaded), generic over the [`alex_api`] traits.
 //! - [`alex_sharded`] — the sharded concurrent front-end: the key space
 //!   range-partitioned across `AlexIndex` shards behind per-shard
 //!   reader-writer locks.
 
+pub use alex_api;
 pub use alex_btree;
 pub use alex_core;
 pub use alex_datasets;

@@ -1,0 +1,49 @@
+//! The `alex-api` conformance suite, instantiated for every backend in
+//! the workspace: all ALEX variants' representative (GA-ARMI with a
+//! tight leaf bound, so batches cross leaves), the B+Tree and Learned
+//! Index baselines, the classic-PMA map, the sharded concurrent
+//! front-end, and the locked-`BTreeMap` reference.
+//!
+//! Each instantiation stamps out the same five `#[test]`s
+//! (get-after-insert, remove-returns-value, range order vs. a
+//! `BTreeMap` reference, batch ≡ per-key equivalence, bulk-load +
+//! accounting) — see `alex_api::conformance` for what the contract
+//! demands.
+
+use alex_repro::alex_api;
+use alex_repro::alex_btree::BPlusTree;
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_learned_index::LearnedIndex;
+use alex_repro::alex_pma::PmaMap;
+use alex_repro::alex_sharded::ShardedAlex;
+use alex_repro::alex_workloads::LockedBTreeMap;
+
+alex_api::conformance_suite!(alex_ga_armi, |pairs: &[(u64, u64)]| {
+    AlexIndex::bulk_load(pairs, AlexConfig::ga_armi().with_max_node_keys(256))
+});
+
+alex_api::conformance_suite!(alex_pma_srmi, |pairs: &[(u64, u64)]| {
+    AlexIndex::bulk_load(pairs, AlexConfig::pma_srmi(8))
+});
+
+alex_api::conformance_suite!(alex_split_on_insert, |pairs: &[(u64, u64)]| {
+    AlexIndex::bulk_load(pairs, AlexConfig::ga_armi().with_max_node_keys(128).with_splitting())
+});
+
+alex_api::conformance_suite!(btree, |pairs: &[(u64, u64)]| {
+    BPlusTree::bulk_load(pairs, 32, 32, 0.7)
+});
+
+alex_api::conformance_suite!(learned_index, |pairs: &[(u64, u64)]| {
+    LearnedIndex::bulk_load(pairs, 16)
+});
+
+alex_api::conformance_suite!(pma_map, |pairs: &[(u64, u64)]| PmaMap::from_sorted(pairs));
+
+alex_api::conformance_suite!(sharded_alex, |pairs: &[(u64, u64)]| {
+    ShardedAlex::bulk_load(pairs, 4, AlexConfig::ga_armi().with_max_node_keys(256))
+});
+
+alex_api::conformance_suite!(locked_btreemap, |pairs: &[(u64, u64)]| {
+    LockedBTreeMap::from_pairs(pairs)
+});

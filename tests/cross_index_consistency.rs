@@ -1,16 +1,21 @@
-//! Cross-crate integration tests: the three index implementations must
-//! agree with each other (and with `std::collections::BTreeMap`) on
-//! every workload the paper runs.
+//! Cross-crate integration tests: every backend must agree with
+//! `std::collections::BTreeMap` — on **values**, not just membership —
+//! on every workload the paper runs. All backends are driven through
+//! the shared `alex-api` surface, so this suite also pins down that the
+//! trait impls (not just the inherent APIs) are consistent.
 
 use std::collections::BTreeMap;
 
+use alex_repro::alex_api::IndexRead;
 use alex_repro::alex_btree::BPlusTree;
 use alex_repro::alex_core::{AlexConfig, AlexIndex};
 use alex_repro::alex_datasets::{
     lognormal_keys, longitudes_keys, longlat_keys, sorted, ycsb_keys,
 };
 use alex_repro::alex_learned_index::LearnedIndex;
+use alex_repro::alex_pma::PmaMap;
 use alex_repro::alex_sharded::ShardedAlex;
+use alex_repro::alex_workloads::LockedBTreeMap;
 
 fn alex_variants() -> Vec<AlexConfig> {
     vec![
@@ -27,30 +32,51 @@ fn check_dataset_u64(keys: Vec<u64>, name: &str) {
     let data: Vec<(u64, u64)> = init_sorted.iter().map(|&k| (k, k ^ 0xABCD)).collect();
     let reference: BTreeMap<u64, u64> = data.iter().copied().collect();
 
-    let btree = BPlusTree::bulk_load(&data, 64, 64, 0.7);
-    let li = LearnedIndex::bulk_load(&data, 64);
-    let sharded = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+    // Every non-ALEX backend, driven through the shared trait surface.
+    let baselines: Vec<Box<dyn IndexRead<u64, u64>>> = vec![
+        Box::new(BPlusTree::bulk_load(&data, 64, 64, 0.7)),
+        Box::new(LearnedIndex::bulk_load(&data, 64)),
+        Box::new(PmaMap::from_sorted(&data)),
+        Box::new(ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi())),
+        Box::new(LockedBTreeMap::from_pairs(&data)),
+    ];
     for cfg in alex_variants() {
         let alex = AlexIndex::bulk_load(&data, cfg);
         for (i, &k) in init_sorted.iter().enumerate().step_by(7) {
-            let expect = reference.get(&k);
-            assert_eq!(alex.get(&k), expect, "{name}/{} key {k} (#{i})", cfg.variant_name());
-            assert_eq!(btree.get(&k), expect, "{name}/btree key {k}");
-            assert_eq!(li.get(&k), expect, "{name}/li key {k}");
-            assert_eq!(sharded.get(&k), expect.copied(), "{name}/sharded key {k}");
+            // Values, not membership: the payload must round-trip
+            // through every backend.
+            let expect = reference.get(&k).copied();
+            assert_eq!(
+                IndexRead::get(&alex, &k),
+                expect,
+                "{name}/{} key {k} (#{i})",
+                cfg.variant_name()
+            );
+            for b in &baselines {
+                assert_eq!(b.get(&k), expect, "{name}/{} key {k}", b.label());
+            }
             // A key absent from the dataset must be absent everywhere.
             let miss = k ^ 1;
             if !reference.contains_key(&miss) {
-                assert_eq!(alex.get(&miss), None, "{name}/{}", cfg.variant_name());
-                assert_eq!(btree.get(&miss), None);
-                assert_eq!(li.get(&miss), None);
-                assert_eq!(sharded.get(&miss), None, "{name}/sharded");
+                assert_eq!(IndexRead::get(&alex, &miss), None, "{name}/{}", cfg.variant_name());
+                for b in &baselines {
+                    assert_eq!(b.get(&miss), None, "{name}/{} miss {miss}", b.label());
+                }
             }
         }
-        // Full iteration agrees with the reference.
-        let alex_keys: Vec<u64> = alex.iter().map(|(k, _)| *k).collect();
-        let ref_keys: Vec<u64> = reference.keys().copied().collect();
-        assert_eq!(alex_keys, ref_keys, "{name}/{} iteration", cfg.variant_name());
+        // Full iteration agrees with the reference, values included.
+        let alex_pairs: Vec<(u64, u64)> = alex.iter().map(|(k, v)| (*k, *v)).collect();
+        let ref_pairs: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(alex_pairs, ref_pairs, "{name}/{} iteration", cfg.variant_name());
+    }
+    // Trait range scans agree with the reference across all backends.
+    for b in &baselines {
+        for &start in init_sorted.iter().step_by(997) {
+            let got: Vec<(u64, u64)> = b.range_from(&start, 25).map(|e| (e.key, e.value)).collect();
+            let expect: Vec<(u64, u64)> =
+                reference.range(start..).take(25).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, expect, "{name}/{} scan from {start}", b.label());
+        }
     }
 }
 
@@ -110,15 +136,20 @@ fn interleaved_workload_agreement() {
         assert!(btree.insert(k, k).is_none());
         reference.insert(k, k);
         if i % 97 == 0 {
-            // Point reads of an existing and a missing key.
+            // Point reads of an existing and a missing key — compared
+            // by value, through the trait surface.
             let probe = inserts[i / 2];
-            assert_eq!(alex.get(&probe).is_some(), reference.contains_key(&probe));
-            assert_eq!(btree.get(&probe).is_some(), reference.contains_key(&probe));
-            // Short range scan from a random spot.
+            let expect = reference.get(&probe).copied();
+            assert_eq!(IndexRead::get(&alex, &probe), expect);
+            assert_eq!(IndexRead::get(&btree, &probe), expect);
+            // Short range scan from a random spot, keys and values.
             let start = init_sorted[(i * 31) % init_sorted.len()];
-            let a: Vec<u64> = alex.range_from(&start, 20).map(|(k, _)| *k).collect();
-            let b: Vec<u64> = btree.range_from(&start, 20).map(|(k, _)| *k).collect();
-            let r: Vec<u64> = reference.range(start..).take(20).map(|(k, _)| *k).collect();
+            let a: Vec<(u64, u64)> =
+                IndexRead::range_from(&alex, &start, 20).map(|e| (e.key, e.value)).collect();
+            let b: Vec<(u64, u64)> =
+                IndexRead::range_from(&btree, &start, 20).map(|e| (e.key, e.value)).collect();
+            let r: Vec<(u64, u64)> =
+                reference.range(start..).take(20).map(|(k, v)| (*k, *v)).collect();
             assert_eq!(a, r, "alex scan from {start}");
             assert_eq!(b, r, "btree scan from {start}");
         }
@@ -137,6 +168,7 @@ fn deletes_agree_with_reference() {
 
     for (i, &k) in keys.iter().enumerate() {
         if i % 3 == 0 {
+            // Removes must return the evicted value on every backend.
             assert_eq!(alex.remove(&k), Some(k));
             assert_eq!(btree.remove(&k), Some(k));
             reference.remove(&k);
@@ -144,8 +176,8 @@ fn deletes_agree_with_reference() {
     }
     assert_eq!(alex.len(), reference.len());
     for &k in keys.iter().step_by(13) {
-        assert_eq!(alex.get(&k).is_some(), reference.contains_key(&k));
-        assert_eq!(btree.get(&k).is_some(), reference.contains_key(&k));
+        assert_eq!(alex.get(&k).copied(), reference.get(&k).copied());
+        assert_eq!(btree.get(&k).copied(), reference.get(&k).copied());
     }
     let alex_keys: Vec<u64> = alex.iter().map(|(k, _)| *k).collect();
     let ref_keys: Vec<u64> = reference.keys().copied().collect();

@@ -1,7 +1,7 @@
 //! Consistency suite for the sharded concurrent front-end:
 //!
 //! 1. `ShardedAlex` must agree with `std::collections::BTreeMap` (and
-//!    the other indexes, via the shared `OrderedIndex` interface) on
+//!    the other indexes, via the shared `alex-api` interface) on
 //!    sequential workloads over the paper's datasets.
 //! 2. Concurrent readers running against per-shard mutating writers
 //!    must never observe a stable key missing, and the final state
@@ -14,12 +14,12 @@ use std::collections::BTreeMap;
 
 use alex_repro::alex_core::{AlexConfig, AlexIndex};
 use alex_repro::alex_datasets::{lognormal_keys, sorted, ycsb_keys};
+use alex_repro::alex_api::{IndexRead, IndexWrite};
 use alex_repro::alex_sharded::ShardedAlex;
-use alex_repro::alex_workloads::OrderedIndex;
 use proptest::prelude::*;
 
 // ----------------------------------------------------------------------
-// 1. Sequential cross-checks via OrderedIndex
+// 1. Sequential cross-checks via the alex-api write surface
 // ----------------------------------------------------------------------
 
 fn check_against_btreemap(keys: Vec<u64>, num_shards: usize, name: &str) {
@@ -29,27 +29,33 @@ fn check_against_btreemap(keys: Vec<u64>, num_shards: usize, name: &str) {
     let mut reference: BTreeMap<u64, u64> = data.iter().copied().collect();
     let mut index = ShardedAlex::bulk_load(&data, num_shards, AlexConfig::ga_armi());
 
-    // Drive everything through the trait the workload driver uses.
-    let idx: &mut dyn OrderedIndex<u64, u64> = &mut index;
+    // Drive everything through the trait the workload driver uses —
+    // value-returning `get`, not membership bools.
+    let idx: &mut dyn IndexWrite<u64, u64> = &mut index;
     assert_eq!(idx.len(), reference.len(), "{name}");
     for (step, &k) in init.iter().enumerate().step_by(7) {
-        assert_eq!(idx.contains(&k), reference.contains_key(&k), "{name} contains {k}");
+        assert_eq!(idx.get(&k), reference.get(&k).copied(), "{name} get {k}");
         let miss = k ^ 1;
         if !reference.contains_key(&miss) {
-            assert!(!idx.contains(&miss), "{name} phantom {miss}");
+            assert_eq!(idx.get(&miss), None, "{name} phantom {miss}");
         }
         if step % 3 == 0 {
             let fresh = extra[(step / 3) % extra.len()];
             assert_eq!(
-                idx.insert(fresh, fresh ^ 0xF00D),
+                idx.insert(fresh, fresh ^ 0xF00D).is_ok(),
                 reference.insert(fresh, fresh ^ 0xF00D).is_none(),
                 "{name} insert {fresh}"
             );
         }
         if step % 5 == 0 {
-            let visited = idx.scan_from(&k, 25);
-            let expect = reference.range(k..).take(25).count();
-            assert_eq!(visited, expect, "{name} scan from {k}");
+            let got: Vec<(u64, u64)> = idx.range_from(&k, 25).map(|e| (e.key, e.value)).collect();
+            let expect: Vec<(u64, u64)> =
+                reference.range(k..).take(25).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, expect, "{name} scan from {k}");
+        }
+        if step % 11 == 0 {
+            // Removes through the trait return the evicted value.
+            assert_eq!(idx.remove(&k), reference.remove(&k), "{name} remove {k}");
         }
     }
     assert_eq!(idx.len(), reference.len(), "{name} final len");
@@ -75,7 +81,7 @@ fn sharded_matches_btreemap_on_ycsb() {
 fn sharded_label_reports_shard_count() {
     let data: Vec<(u64, u64)> = (0..1000).map(|k| (k, k)).collect();
     let index = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
-    assert_eq!(OrderedIndex::label(&index), "ShardedAlex[4]");
+    assert_eq!(IndexRead::<u64, u64>::label(&index), "ShardedAlex[4]");
 }
 
 // ----------------------------------------------------------------------
