@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::BatchOps;
+use crate::{BatchOps, ConcurrentIndex};
 
 /// Deterministic payload for key `k` — a pure function of the key so
 /// reference and backend can be built independently.
@@ -186,12 +186,177 @@ pub fn bulk_load_and_accounting<I: BatchOps<u64, u64>>(make: impl Fn(&[(u64, u64
     assert!(empty.data_size_bytes() > 0, "{label}: data size");
 }
 
+// ----------------------------------------------------------------------
+// Concurrent checks (`conformance_suite!(…, concurrent)`)
+// ----------------------------------------------------------------------
+
+/// Concurrent-section seed: keys `0, 3, 6, …` like [`seed_pairs`].
+/// Even multiples of 3 stay untouched for the whole run ("stable"),
+/// odd multiples are removed by the writer, and `k + 1` keys are
+/// freshly inserted — so readers always know what a correct payload
+/// looks like ([`value_of`]).
+const CONCURRENT_KEYS: u64 = 4000;
+
+/// Scoped readers run `get`/`scan_from` continuously while one writer
+/// inserts fresh keys and removes loaded ones. Every observed payload
+/// must be *exactly* the value some write made live — a reader must
+/// never see a torn, stale-garbage, or phantom payload, even while the
+/// backend splits nodes under it.
+pub fn concurrent_readers_see_live_payloads<I: ConcurrentIndex<u64, u64>>(
+    make: impl Fn(&[(u64, u64)]) -> I,
+) {
+    let pairs = seed_pairs(CONCURRENT_KEYS);
+    let index = make(&pairs);
+    let label = index.label();
+    std::thread::scope(|s| {
+        let idx = &index;
+        // One writer: inserts every k*3+1, removes odd multiples of 3.
+        s.spawn(move || {
+            for i in 0..CONCURRENT_KEYS {
+                let fresh = i * 3 + 1;
+                idx.insert(fresh, value_of(fresh))
+                    .unwrap_or_else(|e| panic!("fresh insert {fresh}: {e}"));
+                if i % 2 == 1 {
+                    let gone = i * 3;
+                    assert_eq!(idx.remove(&gone), Some(value_of(gone)), "remove {gone}");
+                }
+            }
+        });
+        // Scoped readers racing the writer.
+        for reader in 0..3u64 {
+            let label = &label;
+            s.spawn(move || {
+                for round in 0..2 {
+                    // Stable keys must always be present with the exact payload.
+                    for i in (0..CONCURRENT_KEYS).step_by(2) {
+                        let k = i * 3;
+                        assert_eq!(
+                            idx.get(&k),
+                            Some(value_of(k)),
+                            "{label}: reader {reader} round {round}: stable key {k}"
+                        );
+                    }
+                    // Churning keys: present or absent, never a wrong payload.
+                    for i in (0..CONCURRENT_KEYS).step_by(5) {
+                        let k = i * 3 + 1;
+                        if let Some(v) = idx.get(&k) {
+                            assert_eq!(v, value_of(k), "{label}: phantom payload at {k}");
+                        }
+                    }
+                    // Scans under mutation: strictly increasing keys,
+                    // every payload the live one for its key.
+                    let mut last = None;
+                    idx.scan_from(&(CONCURRENT_KEYS / 2), 512, &mut |k, v| {
+                        assert!(
+                            last.is_none_or(|p| p < *k),
+                            "{label}: scan out of order at {k}"
+                        );
+                        assert_eq!(*v, value_of(*k), "{label}: scan payload at {k}");
+                        last = Some(*k);
+                    });
+                }
+            });
+        }
+    });
+}
+
+/// After scoped readers and one writer quiesce, the surviving entries
+/// — keys *and payloads* — must match a `BTreeMap` that applied the
+/// same mutations.
+pub fn concurrent_quiescence_matches_reference<I: ConcurrentIndex<u64, u64>>(
+    make: impl Fn(&[(u64, u64)]) -> I,
+) {
+    let pairs = seed_pairs(CONCURRENT_KEYS);
+    let index = make(&pairs);
+    let label = index.label();
+    std::thread::scope(|s| {
+        let idx = &index;
+        s.spawn(move || {
+            for i in 0..CONCURRENT_KEYS {
+                let fresh = i * 3 + 1;
+                idx.insert(fresh, value_of(fresh)).expect("fresh insert");
+                if i % 2 == 1 {
+                    idx.remove(&(i * 3));
+                }
+            }
+        });
+        for _ in 0..2 {
+            s.spawn(move || {
+                for i in (0..CONCURRENT_KEYS).step_by(3) {
+                    let _ = idx.get(&(i * 3));
+                    idx.scan_from(&(i * 3), 32, &mut |_, _| {});
+                }
+            });
+        }
+    });
+
+    let mut reference: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+    for i in 0..CONCURRENT_KEYS {
+        let fresh = i * 3 + 1;
+        reference.insert(fresh, value_of(fresh));
+        if i % 2 == 1 {
+            reference.remove(&(i * 3));
+        }
+    }
+    assert_eq!(index.len(), reference.len(), "{label}: len at quiescence");
+    let mut got = Vec::with_capacity(reference.len());
+    index.scan_from(&0, usize::MAX, &mut |k, v| got.push((*k, *v)));
+    let expect: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, expect, "{label}: state diverged from the reference");
+}
+
+/// The shared block of `#[test]` functions both
+/// [`conformance_suite!`](crate::conformance_suite) arms stamp out.
+/// Not intended for direct use.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! conformance_tests {
+    ($make:expr) => {
+        #[test]
+        fn get_after_insert() {
+            $crate::conformance::get_after_insert($make);
+        }
+
+        #[test]
+        fn remove_returns_value() {
+            $crate::conformance::remove_returns_value($make);
+        }
+
+        #[test]
+        fn range_from_matches_reference() {
+            $crate::conformance::range_from_matches_reference($make);
+        }
+
+        #[test]
+        fn batch_ops_match_per_key() {
+            $crate::conformance::batch_ops_match_per_key($make);
+        }
+
+        #[test]
+        fn bulk_load_and_accounting() {
+            $crate::conformance::bulk_load_and_accounting($make);
+        }
+    };
+}
+
 /// Instantiate the conformance suite for one backend.
 ///
 /// `$name` becomes a module of `#[test]`s; `$make` is a factory
 /// expression (`Fn(&[(u64, u64)]) -> I` where
 /// `I: BatchOps<u64, u64>`) building the backend from sorted,
 /// strictly-increasing pairs (possibly empty).
+///
+/// Appending the `concurrent` marker adds a `concurrent` submodule of
+/// checks for internally synchronized backends (`I` must additionally
+/// implement [`ConcurrentIndex`](crate::ConcurrentIndex), whose
+/// `Sync` bound is what lets the suite share the index across scoped
+/// threads): spawn-scoped readers race one writer asserting every
+/// observed payload is live, and the final state is compared against
+/// a `BTreeMap` at quiescence.
+///
+/// ```ignore
+/// alex_api::conformance_suite!(sharded, |pairs| build(pairs), concurrent);
+/// ```
 #[macro_export]
 macro_rules! conformance_suite {
     ($name:ident, $make:expr) => {
@@ -199,29 +364,29 @@ macro_rules! conformance_suite {
             #[allow(unused_imports)]
             use super::*;
 
-            #[test]
-            fn get_after_insert() {
-                $crate::conformance::get_after_insert($make);
-            }
+            $crate::conformance_tests!($make);
+        }
+    };
+    ($name:ident, $make:expr, concurrent) => {
+        mod $name {
+            #[allow(unused_imports)]
+            use super::*;
 
-            #[test]
-            fn remove_returns_value() {
-                $crate::conformance::remove_returns_value($make);
-            }
+            $crate::conformance_tests!($make);
 
-            #[test]
-            fn range_from_matches_reference() {
-                $crate::conformance::range_from_matches_reference($make);
-            }
+            mod concurrent {
+                #[allow(unused_imports)]
+                use super::super::*;
 
-            #[test]
-            fn batch_ops_match_per_key() {
-                $crate::conformance::batch_ops_match_per_key($make);
-            }
+                #[test]
+                fn readers_see_live_payloads() {
+                    $crate::conformance::concurrent_readers_see_live_payloads($make);
+                }
 
-            #[test]
-            fn bulk_load_and_accounting() {
-                $crate::conformance::bulk_load_and_accounting($make);
+                #[test]
+                fn quiescence_matches_reference() {
+                    $crate::conformance::concurrent_quiescence_matches_reference($make);
+                }
             }
         }
     };

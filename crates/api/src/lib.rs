@@ -229,7 +229,24 @@ pub trait IndexWrite<K, V>: IndexRead<K, V> {
 
 /// The shared-access write surface: operations take `&self` and are
 /// safe under concurrent callers (implementations provide their own
-/// synchronization, e.g. per-shard locks).
+/// synchronization — per-shard locks, or lock-free schemes like
+/// `alex-core`'s epoch-based `EpochAlex`).
+///
+/// ## The `Sync` bound
+///
+/// `Sync` is the *whole* concurrency contract on the read side: the
+/// multi-threaded driver shares one `&I` across scoped workers and
+/// calls [`IndexRead`] methods plus these `&self` writes with no
+/// external locking. Nothing in this trait requires reads to block —
+/// an implementation may serve [`IndexRead::get`]/
+/// [`IndexRead::scan_from`] wait-free (epoch-pinned snapshot reads)
+/// while only writers serialize among themselves. Callers therefore
+/// must not assume reads and writes are mutually atomic beyond the
+/// per-operation guarantees: a scan concurrent with writes may observe
+/// different leaves/shards at different instants, but every observed
+/// entry must have been live at some point, and quiescent state must
+/// equal a sequential replay (the `concurrent` section of
+/// [`conformance_suite!`] checks exactly this).
 ///
 /// Concurrent backends should also implement [`IndexWrite`] by
 /// delegating `&mut self` calls to these `&self` methods, so the

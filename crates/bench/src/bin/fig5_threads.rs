@@ -6,9 +6,15 @@
 //! denominator); the gap between those two is the locking/routing
 //! overhead the sharding layer costs.
 //!
+//! `--read-path epoch` (default) serves shards through the lock-free
+//! epoch-protected readers; `--read-path locked` uses the per-shard
+//! `RwLock` baseline; `--read-path both` sweeps the two side by side
+//! (the gap is the price readers pay for the lock during splits).
+//!
 //! ```sh
 //! cargo run -p alex-bench --release --bin fig5_threads -- \
-//!     --max-threads 8 --keys 1000000 --ops 1000000 --workload read-only
+//!     --max-threads 8 --keys 1000000 --ops 1000000 --workload read-only \
+//!     --read-path both
 //! # machine-readable, diffable across PRs:
 //! cargo run -p alex-bench --release --bin fig5_threads -- --csv
 //! ```
@@ -18,8 +24,17 @@ use alex_bench::harness::{emit_rows, run_alex, split_init, ReportFormat, Row, CS
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_OPS, DEFAULT_SEED};
 use alex_core::AlexConfig;
 use alex_datasets::longitudes_keys;
-use alex_sharded::ShardedAlex;
+use alex_sharded::{ReadPath, ShardedAlex};
 use alex_workloads::{run_workload_mt, WorkloadKind, WorkloadSpec};
+
+fn parse_read_paths(flag: &str) -> Vec<(ReadPath, &'static str)> {
+    match flag {
+        "epoch" => vec![(ReadPath::Epoch, "")],
+        "locked" => vec![(ReadPath::Locked, " locked")],
+        "both" => vec![(ReadPath::Epoch, ""), (ReadPath::Locked, " locked")],
+        other => panic!("unknown --read-path {other:?} (expected epoch|locked|both)"),
+    }
+}
 
 fn main() {
     let args = Args::parse();
@@ -29,14 +44,18 @@ fn main() {
     let max_threads = args.usize("max-threads", 8);
     let shards = args.usize("shards", max_threads.max(2));
     let workload = args.string("workload", "read-only");
+    let read_path = args.string("read-path", "epoch");
     let format = ReportFormat::from_flag(args.flag("csv"));
 
     let kinds: Vec<WorkloadKind> = WorkloadKind::parse_selection(&workload);
+    let paths = parse_read_paths(&read_path);
 
     if format == ReportFormat::Csv {
         println!("{CSV_HEADER}");
     } else {
-        println!("Thread scalability: ShardedAlex[{shards}] on longitudes ({n} init keys, {ops} ops/run)");
+        println!(
+            "Thread scalability: ShardedAlex[{shards}] ({read_path} read path) on longitudes ({n} init keys, {ops} ops/run)"
+        );
     }
 
     for kind in kinds {
@@ -60,16 +79,18 @@ fn main() {
         );
         st.label = "AlexIndex st".to_string();
         rows.push(st);
-        let mut threads = 1usize;
-        while threads <= max_threads {
-            // Fresh index per run: insert-bearing mixes mutate it.
-            let index = ShardedAlex::bulk_load(&data, shards, AlexConfig::ga_armi());
-            let spec = WorkloadSpec::new(kind, ops);
-            let report = run_workload_mt(&index, &init_keys, &inserts, &spec, threads, |k| {
-                k.to_bits()
-            });
-            rows.push(Row::from_report(&report, Some(format!("{threads} threads"))));
-            threads *= 2;
+        for &(path, suffix) in &paths {
+            let mut threads = 1usize;
+            while threads <= max_threads {
+                // Fresh index per run: insert-bearing mixes mutate it.
+                let index = ShardedAlex::bulk_load_in(path, &data, shards, AlexConfig::ga_armi());
+                let spec = WorkloadSpec::new(kind, ops);
+                let report = run_workload_mt(&index, &init_keys, &inserts, &spec, threads, |k| {
+                    k.to_bits()
+                });
+                rows.push(Row::from_report(&report, Some(format!("{threads} threads{suffix}"))));
+                threads *= 2;
+            }
         }
         emit_rows(
             &format!("fig5_threads/{}", kind.name()),

@@ -1,0 +1,481 @@
+//! [`EpochAlex`]: an internally synchronized ALEX whose readers never
+//! block.
+//!
+//! The wrapper pairs the plain [`AlexIndex`] with the epoch machinery
+//! the storage layer grew ([`crate::epoch`]):
+//!
+//! - **Reads** (`get`, `get_many`, `scan_from`, stats) pin an epoch
+//!   and descend the RMI on loaded snapshots. They take no lock, are
+//!   wait-free with respect to splits, and return **owned** values
+//!   (cloned out while pinned — a reference must never outlive its
+//!   guard).
+//! - **Writes** (`insert`, `remove`, `update`, `bulk_insert`)
+//!   serialize on an internal mutex — mutual exclusion among writers
+//!   only — and never mutate a reachable node: every change clones the
+//!   owning leaf, applies the edit, and *publishes* the replacement at
+//!   the same id, retiring the old node to the epoch garbage list.
+//!   Splits publish a routing inner node at the old leaf's id as a
+//!   single atomic step (see [`super::split`]).
+//!
+//! ## Why a pinned reader can never observe a freed node
+//!
+//! A reader pins the global epoch `e` before loading any pointer, and
+//! every pointer it loads was reachable at some instant while pinned.
+//! A writer retires a node at the epoch current at replacement, and
+//! the node is freed only once the global epoch has advanced **two**
+//! steps past that — each advance requiring every pinned reader to
+//! have observed the epoch being left. Any reader that could have
+//! loaded the pointer is therefore unpinned before the free; any
+//! reader pinned later can only load the replacement. The full
+//! argument lives in the [`crate::epoch`] module docs; the
+//! `tests/epoch_concurrency.rs` suite stresses it and checks that the
+//! retire lists drain to zero at quiescence.
+//!
+//! ## Consistency model
+//!
+//! Point reads are atomic (a leaf snapshot is immutable). Scans walk
+//! one leaf snapshot at a time, so a scan concurrent with writes sees
+//! each leaf at a possibly different instant — keys stay strictly
+//! increasing, and every observed payload was live at some point. This
+//! is the same relaxation `ShardedAlex` already documents across
+//! shards.
+//!
+//! ```
+//! use alex_core::{AlexConfig, EpochAlex};
+//!
+//! let data: Vec<(u64, u64)> = (0..10_000).map(|k| (k * 2, k)).collect();
+//! let index = EpochAlex::bulk_load(&data, AlexConfig::ga_armi().with_splitting());
+//!
+//! // Reads and writes both take &self: share freely across threads.
+//! std::thread::scope(|s| {
+//!     s.spawn(|| assert_eq!(index.get(&4000), Some(2000)));
+//!     s.spawn(|| assert!(index.insert(4001, 99).is_ok()));
+//! });
+//! assert_eq!(index.get(&4001), Some(99));
+//! // At quiescence every retired node can be reclaimed.
+//! assert_eq!(index.flush_retired(), 0);
+//! ```
+
+use std::sync::{Mutex, MutexGuard};
+
+use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};
+
+use crate::config::{AlexConfig, RmiMode};
+use crate::gapped::InsertOutcome;
+use crate::key::AlexKey;
+use crate::stats::SizeReport;
+
+use super::store::Node;
+use super::{AlexIndex, DuplicateKey};
+use core::sync::atomic::Ordering;
+
+/// An [`AlexIndex`] with lock-free, epoch-protected readers and
+/// mutex-serialized copy-on-write writers. The protocol and
+/// consistency model are documented on this type's source module and
+/// in [`crate::epoch`].
+///
+/// The wrapped index is never exposed by reference: unprotected
+/// `&AlexIndex` reads racing this type's writers would be unsound.
+/// Use [`EpochAlex::into_inner`] to get the index back once
+/// concurrency is over.
+#[derive(Debug)]
+pub struct EpochAlex<K, V> {
+    index: AlexIndex<K, V>,
+    /// Mutual exclusion among writers only; readers never touch it.
+    writer: Mutex<()>,
+}
+
+/// Reclamation diagnostics for one [`EpochAlex`] (or one shard).
+///
+/// At quiescence, after [`EpochAlex::flush_retired`], `pending == 0`
+/// and `retired_total == freed_total`: every retired node was freed
+/// exactly once (no leak, no double-retire).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Current global epoch of the index's collector.
+    pub global_epoch: u64,
+    /// Retired-but-not-yet-freed nodes.
+    pub pending: usize,
+    /// Nodes ever retired.
+    pub retired_total: u64,
+    /// Nodes ever freed.
+    pub freed_total: u64,
+}
+
+impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
+    /// An empty index (cold start; grows by inserts/splits).
+    pub fn new(config: AlexConfig) -> Self {
+        Self::from_index(AlexIndex::new(config))
+    }
+
+    /// Bulk-load from sorted, strictly-increasing pairs.
+    pub fn bulk_load(pairs: &[(K, V)], config: AlexConfig) -> Self {
+        Self::from_index(AlexIndex::bulk_load(pairs, config))
+    }
+
+    /// Wrap an existing index (built exclusively, e.g. by
+    /// [`AlexIndex::bulk_load`]) for shared use.
+    pub fn from_index(index: AlexIndex<K, V>) -> Self {
+        Self {
+            index,
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Unwrap back into the exclusive index (consumes `self`, so no
+    /// reader or writer can still be active).
+    pub fn into_inner(self) -> AlexIndex<K, V> {
+        self.index
+    }
+
+    fn write_lock(&self) -> MutexGuard<'_, ()> {
+        self.writer.lock().expect("writer mutex poisoned")
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-free reads
+    // ------------------------------------------------------------------
+
+    /// Look up `key`, cloning the payload out while pinned. Never
+    /// blocks, even while a writer splits the owning leaf.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let _guard = self.index.store.pin();
+        self.index.get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let _guard = self.index.store.pin();
+        self.index.get(key).is_some()
+    }
+
+    /// Visit up to `limit` entries with key `>= key` in order. The
+    /// walk reads one leaf snapshot at a time (see the module docs'
+    /// consistency model). Returns the number of entries visited.
+    pub fn scan_from(&self, key: &K, limit: usize, f: impl FnMut(&K, &V)) -> usize {
+        let _guard = self.index.store.pin();
+        self.index.scan_from(key, limit, f)
+    }
+
+    /// Sorted-batch lookup (one epoch pin for the whole batch),
+    /// cloning payloads out.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `keys` is not sorted non-decreasing.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        let _guard = self.index.store.pin();
+        self.index.get_many(keys).into_iter().map(|v| v.cloned()).collect()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configuration the wrapped index was built with.
+    pub fn config(&self) -> &AlexConfig {
+        self.index.config()
+    }
+
+    /// §5.1 size accounting. Pinned like any other read; counts may be
+    /// transiently off by one node while a concurrent split publishes.
+    pub fn size_report(&self) -> SizeReport {
+        let _guard = self.index.store.pin();
+        self.index.size_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Serialized copy-on-write writes
+    // ------------------------------------------------------------------
+
+    /// Insert a pair. Errors on duplicates; the stored value is left
+    /// unchanged.
+    pub fn insert(&self, key: K, value: V) -> Result<(), DuplicateKey> {
+        let _writer = self.write_lock();
+        self.insert_locked(key, value)
+    }
+
+    /// Remove `key`, returning its payload.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let _writer = self.write_lock();
+        let _guard = self.index.store.pin();
+        let (id, leaf) = self.index.route_to_leaf(key);
+        // Absent keys need no copy-on-write round trip.
+        leaf.data.get(key)?;
+        let mut fresh = leaf.clone();
+        let evicted = fresh.data.remove(key)?;
+        self.index.store.publish(id, Node::Leaf(fresh));
+        self.index.len.fetch_sub(1, Ordering::Relaxed);
+        Some(evicted)
+    }
+
+    /// Replace the payload of an existing key, returning the old
+    /// value.
+    pub fn update(&self, key: &K, value: V) -> Option<V> {
+        let _writer = self.write_lock();
+        let _guard = self.index.store.pin();
+        let (id, leaf) = self.index.route_to_leaf(key);
+        leaf.data.get(key)?;
+        let mut fresh = leaf.clone();
+        let slot = fresh.data.get_mut(key)?;
+        let old = core::mem::replace(slot, value);
+        self.index.store.publish(id, Node::Leaf(fresh));
+        Some(old)
+    }
+
+    /// Sorted-batch insert (one writer-lock acquisition for the whole
+    /// batch). Duplicates are skipped; returns the number inserted.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not sorted by key.
+    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_insert input must be sorted by key"
+        );
+        let _writer = self.write_lock();
+        pairs
+            .iter()
+            .filter(|(k, v)| self.insert_locked(*k, v.clone()).is_ok())
+            .count()
+    }
+
+    /// The insert core; caller holds the writer mutex.
+    fn insert_locked(&self, key: K, value: V) -> Result<(), DuplicateKey> {
+        let _guard = self.index.store.pin();
+        loop {
+            let (id, leaf) = self.index.route_to_leaf(&key);
+            if leaf.data.get(&key).is_some() {
+                return Err(DuplicateKey);
+            }
+            // Split-on-insert, published atomically; re-route after.
+            if let RmiMode::Adaptive {
+                max_node_keys,
+                split_on_insert: true,
+                split_fanout,
+                ..
+            } = self.index.config().rmi
+            {
+                if leaf.data.num_keys() + 1 > max_node_keys
+                    && self.index.split_leaf_shared(id, split_fanout.max(2))
+                {
+                    continue;
+                }
+            }
+            // Copy-on-write: readers see the old leaf or the new one,
+            // never an intermediate state.
+            let mut fresh = leaf.clone();
+            return match fresh.data.insert(key, value) {
+                InsertOutcome::Inserted { .. } => {
+                    self.index.store.publish(id, Node::Leaf(fresh));
+                    self.index.len.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                InsertOutcome::Duplicate => Err(DuplicateKey),
+            };
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reclamation diagnostics
+    // ------------------------------------------------------------------
+
+    /// Current reclamation counters (see [`EpochStats`]).
+    pub fn epoch_stats(&self) -> EpochStats {
+        let (retired_total, freed_total) = self.index.store.reclamation_totals();
+        EpochStats {
+            global_epoch: self.index.store.collector().global_epoch(),
+            pending: self.index.store.retired(),
+            retired_total,
+            freed_total,
+        }
+    }
+
+    /// Drive epochs forward until the retire list drains (or a pinned
+    /// reader blocks progress); returns the nodes still pending. At
+    /// quiescence this reaches 0 — asserted by the concurrency suite.
+    pub fn flush_retired(&self) -> usize {
+        let _writer = self.write_lock();
+        self.index.store.flush()
+    }
+}
+
+// ----------------------------------------------------------------------
+// alex-api surface
+// ----------------------------------------------------------------------
+
+impl<K: AlexKey, V: Clone + Default> IndexRead<K, V> for EpochAlex<K, V> {
+    fn get(&self, key: &K) -> Option<V> {
+        EpochAlex::get(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        EpochAlex::contains(self, key)
+    }
+
+    fn scan_from(&self, key: &K, limit: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        EpochAlex::scan_from(self, key, limit, |k, v| visit(k, v))
+    }
+
+    fn len(&self) -> usize {
+        EpochAlex::len(self)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.size_report().index_bytes
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.size_report().data_bytes
+    }
+
+    fn label(&self) -> String {
+        format!("{}+epoch", self.config().variant_name())
+    }
+}
+
+impl<K, V> ConcurrentIndex<K, V> for EpochAlex<K, V>
+where
+    K: AlexKey + Send + Sync,
+    V: Clone + Default + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+        EpochAlex::insert(self, key, value).map_err(InsertError::from)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        EpochAlex::remove(self, key)
+    }
+}
+
+// Exclusive-access delegation (see `alex-api`'s crate docs for why a
+// blanket impl cannot provide this).
+impl<K, V> IndexWrite<K, V> for EpochAlex<K, V>
+where
+    K: AlexKey + Send + Sync,
+    V: Clone + Default + Send + Sync,
+{
+    fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        ConcurrentIndex::insert(self, key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        ConcurrentIndex::remove(self, key)
+    }
+
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+        debug_assert!(self.is_empty(), "bulk_load expects an empty index");
+        // Exclusive access: rebuild via Algorithm 4 with the same
+        // config (fresh arena, empty retire lists).
+        self.index = AlexIndex::bulk_load(pairs, *self.index.config());
+        pairs.len()
+    }
+}
+
+impl<K, V> BatchOps<K, V> for EpochAlex<K, V>
+where
+    K: AlexKey + Send + Sync,
+    V: Clone + Default + Send + Sync,
+{
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        EpochAlex::get_many(self, keys)
+    }
+
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+        // Exclusive access: take the native in-place sorted-run path.
+        self.index.bulk_insert(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|k| (k * stride, k)).collect()
+    }
+
+    fn splitting_config() -> AlexConfig {
+        AlexConfig::ga_armi().with_max_node_keys(128).with_splitting()
+    }
+
+    #[test]
+    fn shared_writes_round_trip() {
+        let index = EpochAlex::bulk_load(&pairs(2000, 2), splitting_config());
+        assert_eq!(index.get(&200), Some(100));
+        assert!(index.insert(201, 7).is_ok());
+        assert!(index.insert(201, 8).is_err(), "duplicate must be rejected");
+        assert_eq!(index.get(&201), Some(7));
+        assert_eq!(index.update(&201, 9), Some(7));
+        assert_eq!(index.remove(&201), Some(9));
+        assert_eq!(index.remove(&201), None);
+        assert_eq!(index.len(), 2000);
+        assert_eq!(index.flush_retired(), 0);
+    }
+
+    #[test]
+    fn shared_inserts_trigger_published_splits() {
+        let index: EpochAlex<u64, u64> = EpochAlex::new(splitting_config());
+        for k in 0..5000u64 {
+            index.insert(k, k * 3).unwrap();
+        }
+        assert_eq!(index.len(), 5000);
+        for k in (0..5000u64).step_by(13) {
+            assert_eq!(index.get(&k), Some(k * 3), "key {k}");
+        }
+        let mut seen = Vec::new();
+        index.scan_from(&0, usize::MAX, |k, _| seen.push(*k));
+        assert_eq!(seen, (0..5000).collect::<Vec<_>>());
+        let stats = index.epoch_stats();
+        assert!(stats.retired_total > 0, "splits must retire replaced nodes");
+        assert_eq!(index.flush_retired(), 0);
+        let stats = index.epoch_stats();
+        assert_eq!(stats.retired_total, stats.freed_total);
+    }
+
+    #[test]
+    fn readers_race_split_inducing_writers() {
+        let index = EpochAlex::bulk_load(&pairs(8000, 2), splitting_config());
+        std::thread::scope(|s| {
+            let idx = &index;
+            s.spawn(move || {
+                for k in 0..8000u64 {
+                    idx.insert(k * 2 + 1, k).unwrap();
+                }
+            });
+            for _ in 0..2 {
+                s.spawn(move || {
+                    for round in 0..3 {
+                        for k in (0..8000u64).step_by(7) {
+                            assert_eq!(idx.get(&(k * 2)), Some(k), "stable key {k} round {round}");
+                        }
+                        let mut last = None;
+                        idx.scan_from(&4000, 300, |k, _| {
+                            assert!(last.is_none_or(|p| p < *k), "scan out of order");
+                            last = Some(*k);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(index.len(), 16_000);
+        assert_eq!(index.flush_retired(), 0, "retire lists must drain at quiescence");
+        let stats = index.epoch_stats();
+        assert_eq!(stats.retired_total, stats.freed_total);
+    }
+
+    #[test]
+    fn get_many_matches_point_gets_under_shared_use() {
+        let index = EpochAlex::bulk_load(&pairs(3000, 3), splitting_config());
+        let queries: Vec<u64> = (0..9000u64).step_by(2).collect();
+        let batch = index.get_many(&queries);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(*got, index.get(q), "key {q}");
+        }
+    }
+}

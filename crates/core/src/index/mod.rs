@@ -9,13 +9,18 @@
 //! The implementation is stratified into submodules with a strict
 //! layering — only `store` touches the node arena:
 //!
-//! - `store` — `NodeStore`: arena storage, `NodeId` allocation, and
-//!   the doubly-linked leaf chain.
+//! - `store` — `NodeStore`: epoch-protected arena storage, `NodeId`
+//!   allocation, publication/retirement, and the doubly-linked leaf
+//!   chain.
 //! - `build` — static/adaptive RMI construction (Algorithm 4).
 //! - `ops` — point, range, and sorted-batch operations.
-//! - `split` — node splitting on inserts (§3.4.2).
+//! - `split` — node splitting on inserts (§3.4.2), published as a
+//!   single atomic replacement so concurrent readers never block.
+//! - `concurrent` — [`EpochAlex`], the internally synchronized wrapper
+//!   whose readers pin an epoch instead of taking any lock.
 
 mod build;
+mod concurrent;
 mod ops;
 mod split;
 mod store;
@@ -24,12 +29,14 @@ mod store;
 mod tests;
 
 use core::mem::size_of;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::config::AlexConfig;
 use crate::data_node::DataNode;
 use crate::key::AlexKey;
 use crate::stats::{SizeReport, WriteStats};
 
+pub use concurrent::{EpochAlex, EpochStats};
 pub(crate) use store::{LeafNode, Node, NodeId};
 use store::{InnerNode, NodeStore};
 
@@ -47,17 +54,33 @@ use store::{InnerNode, NodeStore};
 /// let scan: Vec<u64> = index.range_from(&3999, 3).map(|(k, _)| *k).collect();
 /// assert_eq!(scan, vec![4000, 4001, 4002]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AlexIndex<K, V> {
     /// Storage layer: node arena + leaf chain. Only `store.rs` indexes
     /// the arena directly.
     store: NodeStore<K, V>,
     root: NodeId,
     config: AlexConfig,
-    len: usize,
+    /// Entry count. Atomic so the shared-write path ([`EpochAlex`])
+    /// can maintain it through `&self`; the exclusive path uses plain
+    /// relaxed updates.
+    len: AtomicUsize,
     /// Index-level write counters (splits; node counters are summed on
     /// demand).
-    splits: u64,
+    splits: AtomicU64,
+}
+
+impl<K: Clone, V: Clone> Clone for AlexIndex<K, V> {
+    /// Deep copy (exclusive regime: fresh arena, empty retire lists).
+    fn clone(&self) -> Self {
+        Self {
+            store: self.store.clone(),
+            root: self.root,
+            config: self.config,
+            len: AtomicUsize::new(self.len.load(Ordering::Relaxed)),
+            splits: AtomicU64::new(self.splits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Error returned by [`AlexIndex::insert`] on a duplicate key.
@@ -76,7 +99,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// An empty index ("cold start": a single empty data node that
     /// grows by splitting, §3.4.2).
     pub fn new(config: AlexConfig) -> Self {
-        let mut store = NodeStore::new();
+        let store = NodeStore::new();
         store.push(Node::Leaf(LeafNode {
             data: DataNode::empty(config.layout, config.node),
             prev: None,
@@ -86,8 +109,8 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             store,
             root: 0,
             config,
-            len: 0,
-            splits: 0,
+            len: AtomicUsize::new(0),
+            splits: AtomicU64::new(0),
         }
     }
 
@@ -105,8 +128,8 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             store: NodeStore::new(),
             root: 0,
             config,
-            len: pairs.len(),
-            splits: 0,
+            len: AtomicUsize::new(pairs.len()),
+            splits: AtomicU64::new(0),
         };
         index.build(pairs);
         index
@@ -115,13 +138,13 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Number of keys stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the index is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// The configuration this index was built with.
@@ -168,7 +191,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         for leaf in self.store.leaves() {
             total.absorb(leaf.data.write_stats());
         }
-        total.splits += self.splits;
+        total.splits += self.splits.load(Ordering::Relaxed);
         total
     }
 
@@ -188,7 +211,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
 
     /// |predicted − actual| for every stored key (Figure 7).
     pub fn prediction_errors(&self) -> Vec<usize> {
-        let mut errs = Vec::with_capacity(self.len);
+        let mut errs = Vec::with_capacity(self.len());
         for leaf in self.store.leaves() {
             errs.extend(leaf.data.prediction_errors());
         }
@@ -226,10 +249,10 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             leaf.data.debug_assert_invariants();
             total += leaf.data.num_keys();
         }
-        assert_eq!(total, self.len, "len must equal sum of leaf key counts");
+        assert_eq!(total, self.len(), "len must equal sum of leaf key counts");
         // The chain must visit every key in order.
         let visited: Vec<K> = self.iter().map(|(k, _)| *k).collect();
-        assert_eq!(visited.len(), self.len, "chain must cover all keys");
+        assert_eq!(visited.len(), self.len(), "chain must cover all keys");
         for w in visited.windows(2) {
             assert!(w[0] < w[1], "chain out of order");
         }

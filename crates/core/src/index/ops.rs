@@ -11,6 +11,8 @@
 //! safe on a shared `&AlexIndex`, which the sharded front-end
 //! (`alex-sharded`) relies on.
 
+use core::sync::atomic::Ordering;
+
 use crate::config::RmiMode;
 use crate::gapped::InsertOutcome;
 use crate::iter::RangeIter;
@@ -43,6 +45,33 @@ impl<K: AlexKey> LeafRun<K> {
     }
 }
 
+/// Snapshot flavour of [`LeafRun`] for the read-only batch path: the
+/// loaded leaf reference itself is cached, so the run survives a
+/// concurrent republication of the slot (shared regime).
+struct LeafRunRef<'a, K, V> {
+    leaf: &'a LeafNode<K, V>,
+    max_key: Option<K>,
+    is_tail: bool,
+}
+
+impl<'a, K: AlexKey, V> LeafRunRef<'a, K, V> {
+    fn new(leaf: &'a LeafNode<K, V>) -> Self
+    where
+        V: Clone + Default,
+    {
+        Self {
+            leaf,
+            max_key: leaf.data.max_key().copied(),
+            is_tail: leaf.next.is_none(),
+        }
+    }
+
+    #[inline]
+    fn owns(&self, key: &K) -> bool {
+        self.is_tail || self.max_key.as_ref().is_some_and(|max| key <= max)
+    }
+}
+
 impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     // ------------------------------------------------------------------
     // Traversal
@@ -52,6 +81,18 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// multiplications and additions only, no comparisons).
     #[inline]
     pub(crate) fn find_leaf(&self, key: &K) -> NodeId {
+        self.route_to_leaf(key).0
+    }
+
+    /// Descend to the leaf owning `key`, returning the id **and the
+    /// loaded leaf snapshot**. Every node along the path is loaded
+    /// exactly once, so under the shared regime (pinned readers racing
+    /// a publishing writer) the returned reference is a consistent
+    /// snapshot even if the slot is republished immediately after —
+    /// callers must never re-load the id and assume it is still a
+    /// leaf.
+    #[inline]
+    pub(crate) fn route_to_leaf(&self, key: &K) -> (NodeId, &LeafNode<K, V>) {
         let x = key.as_f64();
         let mut id = self.root;
         loop {
@@ -60,15 +101,39 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                     let idx = inner.model.predict_clamped(x, inner.children.len());
                     id = inner.children[idx];
                 }
-                Node::Leaf(_) => return id,
+                Node::Leaf(l) => return (id, l),
             }
         }
     }
 
-    /// The leaf at `id` (used by [`RangeIter`]).
+    /// Normalize a chain pointer: if the slot at `id` has been
+    /// replaced by a split's routing inner node, descend to its
+    /// leftmost leaf. The replacement covers exactly the old leaf's
+    /// key range, so the leftmost leaf is the correct continuation of
+    /// any forward walk that was about to enter `id`.
     #[inline]
-    pub(crate) fn leaf(&self, id: NodeId) -> &LeafNode<K, V> {
-        self.store.leaf(id)
+    pub(crate) fn descend_first_leaf(&self, mut id: NodeId) -> (NodeId, &LeafNode<K, V>) {
+        loop {
+            match self.store.node(id) {
+                Node::Inner(inner) => id = inner.children[0],
+                Node::Leaf(l) => return (id, l),
+            }
+        }
+    }
+
+    /// Mirror of [`AlexIndex::descend_first_leaf`] for the write-side
+    /// chain heal: the rightmost leaf under `id`, i.e. the live chain
+    /// predecessor of whatever `id`'s old occupant pointed at.
+    #[inline]
+    pub(crate) fn descend_last_leaf(&self, mut id: NodeId) -> (NodeId, &LeafNode<K, V>) {
+        loop {
+            match self.store.node(id) {
+                Node::Inner(inner) => {
+                    id = *inner.children.last().expect("inner nodes always have children");
+                }
+                Node::Leaf(l) => return (id, l),
+            }
+        }
     }
 
     /// Route `key` and capture the run cache for subsequent keys.
@@ -88,8 +153,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
 
     /// Look up `key`.
     pub fn get(&self, key: &K) -> Option<&V> {
-        let leaf = self.find_leaf(key);
-        self.store.leaf(leaf).data.get(key)
+        self.route_to_leaf(key).1.data.get(key)
     }
 
     /// Whether `key` is present.
@@ -113,7 +177,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         }
         match self.store.leaf_mut(leaf).data.insert(key, value) {
             InsertOutcome::Inserted { .. } => {
-                self.len += 1;
+                self.len.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             InsertOutcome::Duplicate => Err(DuplicateKey),
@@ -142,7 +206,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let leaf = self.find_leaf(key);
         let v = self.store.leaf_mut(leaf).data.remove(key)?;
-        self.len -= 1;
+        self.len.fetch_sub(1, Ordering::Relaxed);
         Some(v)
     }
 
@@ -168,18 +232,18 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             "get_many input must be sorted"
         );
         let mut out = Vec::with_capacity(keys.len());
-        let mut run: Option<LeafRun<K>> = None;
+        let mut run: Option<LeafRunRef<'_, K, V>> = None;
         for key in keys {
-            let id = match &run {
-                Some(r) if r.owns(key) => r.id,
+            let leaf = match &run {
+                Some(r) if r.owns(key) => r.leaf,
                 _ => {
-                    let fresh = self.start_run(key);
-                    let id = fresh.id;
+                    let fresh = LeafRunRef::new(self.route_to_leaf(key).1);
+                    let leaf = fresh.leaf;
                     run = Some(fresh);
-                    id
+                    leaf
                 }
             };
-            out.push(self.store.leaf(id).data.get(key));
+            out.push(leaf.data.get(key));
         }
         out
     }
@@ -222,7 +286,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             }
             match self.store.leaf_mut(id).data.insert(*key, value.clone()) {
                 InsertOutcome::Inserted { .. } => {
-                    self.len += 1;
+                    self.len.fetch_add(1, Ordering::Relaxed);
                     inserted += 1;
                 }
                 InsertOutcome::Duplicate => {}
@@ -238,28 +302,33 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Iterate entries with key `>= key` in order, across leaves, at
     /// most `limit` of them.
     pub fn range_from<'a>(&'a self, key: &K, limit: usize) -> RangeIter<'a, K, V> {
-        let leaf = self.find_leaf(key);
-        let slot = self.store.leaf(leaf).data.lower_bound_slot(key);
-        RangeIter::new(self, leaf, slot, limit)
+        let (id, leaf) = self.route_to_leaf(key);
+        let slot = leaf.data.lower_bound_slot(key);
+        RangeIter::new(self, id, slot, limit)
     }
 
     /// Visit up to `limit` entries with key `>= key` in order via a
     /// callback — the fast path for range scans (avoids per-item
     /// iterator dispatch; used by the Figure 4d/4h benchmarks). Returns
     /// the number of entries visited.
+    ///
+    /// The walk works on loaded snapshots: each leaf is read once, and
+    /// a `next` pointer landing on a slot that a concurrent split has
+    /// replaced with an inner node is normalized by descending to its
+    /// leftmost leaf. Keys therefore stay strictly increasing even
+    /// while writers publish.
     pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
-        let mut leaf_id = self.find_leaf(key);
-        let mut slot = self.store.leaf(leaf_id).data.lower_bound_slot(key);
+        let (_, mut leaf) = self.route_to_leaf(key);
+        let mut slot = leaf.data.lower_bound_slot(key);
         let mut visited = 0usize;
         loop {
-            let leaf = self.store.leaf(leaf_id);
             visited += leaf.data.scan_from_slot(slot, limit - visited, &mut f);
             if visited >= limit {
                 return visited;
             }
             match leaf.next {
                 Some(next) => {
-                    leaf_id = next;
+                    leaf = self.descend_first_leaf(next).1;
                     slot = 0;
                 }
                 None => return visited,
@@ -269,13 +338,9 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
 
     /// Iterate all entries in key order.
     pub fn iter(&self) -> RangeIter<'_, K, V> {
-        let head = self.store.head_leaf();
-        let slot = self.store.leaf(head).data.first_occupied();
-        RangeIter::new(
-            self,
-            head,
-            slot.unwrap_or_else(|| self.store.leaf(head).data.capacity()),
-            usize::MAX,
-        )
+        // The stored head may predate a head split: normalize.
+        let (head, leaf) = self.descend_first_leaf(self.store.head_leaf());
+        let slot = leaf.data.first_occupied();
+        RangeIter::new(self, head, slot.unwrap_or_else(|| leaf.data.capacity()), usize::MAX)
     }
 }

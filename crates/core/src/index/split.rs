@@ -1,22 +1,91 @@
-//! Node splitting on inserts (§3.4.2).
+//! Node splitting on inserts (§3.4.2), published atomically.
 //!
 //! A full leaf's model becomes an inner model routing to `fanout`
 //! fresh leaves; data is redistributed by the original model; no
-//! rebalancing. Chain surgery goes through
-//! [`super::store::NodeStore::splice_chain`], and the old leaf is
-//! replaced *in place* so parent child-pointers stay valid.
+//! rebalancing. Since the epoch rework the split is a *publication*,
+//! not an in-place rewrite:
+//!
+//! 1. The fresh leaves are pushed **fully linked** (their `prev`/`next`
+//!    pointers are computed from pre-reserved ids before they enter
+//!    the arena), so no node is ever mutated while reachable.
+//! 2. The routing inner node is then [`NodeStore::publish`]ed at the
+//!    old leaf's id — the **single atomic publication point**. One
+//!    atomic store flips every reader from the old leaf to the new
+//!    subtree; the old leaf is retired to the epoch garbage list.
+//! 3. Neighbour chain pointers are *healed* afterwards (in place when
+//!    exclusive, copy-on-write when shared). Readers that raced the
+//!    heal and walked into the old id simply find the inner node and
+//!    descend to its leftmost leaf — the replacement covers the same
+//!    key range, so ordered scans stay ordered.
+//!
+//! [`NodeStore::publish`]: super::store::NodeStore::publish
 
+use core::sync::atomic::Ordering;
+
+use crate::data_node::DataNode;
 use crate::key::AlexKey;
 
 use super::build::{partition_by_model, root_partition_model};
-use super::store::{InnerNode, Node, NodeId};
+use super::store::{InnerNode, LeafNode, Node, NodeId};
 use super::AlexIndex;
 
 impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
-    /// Split the leaf at `id` into `fanout` children. Returns `false`
-    /// when no linear model can separate the keys (the split would make
-    /// no progress).
+    /// Split the leaf at `id` into `fanout` children (exclusive
+    /// regime). Returns `false` when no linear model can separate the
+    /// keys (the split would make no progress).
     pub(super) fn split_leaf(&mut self, id: NodeId, fanout: usize) -> bool {
+        let Some((first, last, prev, next)) = self.split_leaf_publish(id, fanout) else {
+            return false;
+        };
+        // Heal neighbour chain pointers in place — exclusive access
+        // means no reader can observe the intermediate state.
+        if let Some(p) = prev {
+            let (pid, _) = self.descend_last_leaf(p);
+            self.store.leaf_mut(pid).next = Some(first);
+        }
+        if let Some(n) = next {
+            let (nid, _) = self.descend_first_leaf(n);
+            self.store.leaf_mut(nid).prev = Some(last);
+        }
+        true
+    }
+
+    /// Split the leaf at `id` under the shared regime: the caller is
+    /// the single serialized writer; readers may be descending
+    /// concurrently. Chain healing goes copy-on-write.
+    pub(crate) fn split_leaf_shared(&self, id: NodeId, fanout: usize) -> bool {
+        let Some((first, _last, prev, _next)) = self.split_leaf_publish(id, fanout) else {
+            return false;
+        };
+        // Heal the predecessor's forward pointer so scans reach the
+        // new leaves directly instead of descending through the
+        // retired slot's inner node. Readers holding the old
+        // predecessor snapshot still work: they walk into `id`, find
+        // the inner node, and descend. `prev` pointers are write-side
+        // hints only, so the successor is left untouched (saves a
+        // whole-leaf clone per split).
+        if let Some(p) = prev {
+            let (pid, pleaf) = self.descend_last_leaf(p);
+            debug_assert_eq!(pleaf.next, Some(id), "chain predecessor must point at the split leaf");
+            let mut healed = pleaf.clone();
+            healed.next = Some(first);
+            self.store.publish(pid, Node::Leaf(healed));
+        }
+        true
+    }
+
+    /// The shared split core: plan the partition, push fully-linked
+    /// children, and publish the routing inner node at `id`. Returns
+    /// `(first_child, last_child, old_prev, old_next)`, or `None` if
+    /// no model separates the keys.
+    ///
+    /// Callers must be the single writer (exclusive `&mut` access, or
+    /// holding the shared wrapper's writer mutex).
+    fn split_leaf_publish(
+        &self,
+        id: NodeId,
+        fanout: usize,
+    ) -> Option<(NodeId, NodeId, Option<NodeId>, Option<NodeId>)> {
         let (pairs, old_model, capacity, prev, next) = {
             let l = self.store.leaf(id);
             (
@@ -37,25 +106,40 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             route = root_partition_model(&pairs, fanout);
             parts = partition_by_model(&pairs, &route, fanout);
             if parts.iter().any(|r| r.len() == pairs.len()) {
-                return false;
+                return None;
             }
         }
-        let mut children = Vec::with_capacity(fanout);
-        for range in parts {
-            children.push(self.push_leaf(&pairs[range]));
+        // Reserve ids so each child enters the arena already wired
+        // into the chain (single writer ⇒ `next_id` is stable).
+        let base = self.store.next_id();
+        let count = parts.len();
+        let child_id = |i: usize| base + i as NodeId;
+        for (i, range) in parts.iter().enumerate() {
+            let leaf = LeafNode {
+                data: DataNode::bulk_load(&pairs[range.clone()], self.config.layout, self.config.node),
+                prev: if i == 0 { prev } else { Some(child_id(i - 1)) },
+                next: if i + 1 == count { next } else { Some(child_id(i + 1)) },
+            };
+            let got = self.store.push(Node::Leaf(leaf));
+            debug_assert_eq!(got, child_id(i));
         }
-        // Splice the new leaves into the chain where the old leaf was.
-        self.store.splice_chain(prev, next, &children);
-        // The old leaf becomes the routing inner node in place, so all
-        // parent child-pointers stay valid.
-        self.store.replace(
+        let children: Vec<NodeId> = (0..count).map(child_id).collect();
+        let (first, last) = (children[0], children[count - 1]);
+        if prev.is_none() {
+            // Head split: repoint before publication so fresh scans
+            // starting at the head never miss the low keys.
+            self.store.set_head(first);
+        }
+        // The publication point: one atomic store makes the whole
+        // subtree visible and retires the old leaf.
+        self.store.publish(
             id,
             Node::Inner(InnerNode {
                 model: route,
                 children,
             }),
         );
-        self.splits += 1;
-        true
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        Some((first, last, prev, next))
     }
 }

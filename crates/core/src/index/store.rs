@@ -1,26 +1,43 @@
-//! The storage layer: an arena of RMI nodes plus the doubly-linked
-//! leaf chain.
+//! The storage layer: an epoch-protected arena of RMI nodes plus the
+//! doubly-linked leaf chain.
 //!
-//! [`NodeStore`] is the *only* module that touches the arena `Vec`
+//! [`NodeStore`] is the *only* module that touches the node arena
 //! directly. Everything above it — construction ([`super::build`]),
 //! point/range operations ([`super::ops`]), and node splitting
 //! ([`super::split`]) — goes through this narrow API, so storage
-//! concerns (id allocation, chain maintenance, in-place replacement)
-//! stay in one place. That boundary is what lets the sharded front-end
-//! (`alex-sharded`) treat a whole index as a sealed unit, and is the
-//! seam where an epoch-based reclamation scheme would slot in later.
+//! concerns (id allocation, publication, chain maintenance,
+//! reclamation) stay in one place.
+//!
+//! Since the epoch rework, nodes live behind atomic pointers in an
+//! [`AtomicSlots`] arena and are **never overwritten in place** on the
+//! shared path: [`NodeStore::publish`] installs a replacement node at
+//! the same id and *retires* the old one to the arena's epoch garbage
+//! list. Two access regimes share this storage:
+//!
+//! - **Exclusive** (`&mut AlexIndex`): the classic single-threaded
+//!   index. No concurrent writer can exist, so in-place mutation
+//!   ([`NodeStore::leaf_mut`]) and unguarded reads are sound.
+//! - **Shared** (`EpochAlex` / the sharded epoch read path): writers
+//!   serialize on a mutex and replace nodes only via
+//!   [`NodeStore::publish`]; readers pin an epoch
+//!   ([`NodeStore::pin`]) and descend wait-free. The slot at a given
+//!   id only ever changes to a node covering the *same key range*
+//!   (copy-on-write leaf, or the routing inner node a split leaves
+//!   behind), so ids held in old snapshots always remain meaningful.
 
 use crate::data_node::DataNode;
+use crate::epoch::{AtomicSlots, Collector, Guard};
 use crate::model::LinearModel;
+use core::sync::atomic::{AtomicU32, Ordering};
 
 /// Node id in the arena.
 pub(crate) type NodeId = u32;
 
 /// An RMI node: inner model node or leaf data node.
 ///
-/// Leaves are much larger than inner nodes, but nodes live in one arena
-/// `Vec` and are never moved after creation, so the size difference
-/// costs only a little slack on inner-node slots.
+/// Leaves are much larger than inner nodes, but each node is its own
+/// heap allocation behind the arena's atomic slot, so the size
+/// difference costs nothing beyond the allocation itself.
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)]
 pub(crate) enum Node<K, V> {
@@ -39,6 +56,12 @@ pub(crate) struct InnerNode {
 
 /// A leaf: a data node plus its position in the doubly-linked leaf
 /// chain used by range scans.
+///
+/// Chain pointers may be *stale* after a concurrent split: the
+/// forward walk handles a `next` id whose slot now holds an inner node
+/// by descending to its leftmost leaf (same key range, so the walk
+/// stays ordered). `prev` is a write-side hint only — no read path
+/// follows it.
 #[derive(Debug, Clone)]
 pub(crate) struct LeafNode<K, V> {
     pub data: DataNode<K, V>,
@@ -46,15 +69,20 @@ pub(crate) struct LeafNode<K, V> {
     pub next: Option<NodeId>,
 }
 
-/// Arena storage for RMI nodes: id allocation, node access, and the
-/// doubly-linked leaf chain. Nodes are never moved or freed once
-/// pushed (splits replace a leaf with an inner node *in place*, so
-/// parent child-pointers stay valid).
-#[derive(Debug, Clone)]
+/// Arena storage for RMI nodes: id allocation, publication, the
+/// doubly-linked leaf chain, and epoch-based reclamation.
+///
+/// Writers (whether `&mut`-exclusive or mutex-serialized `&self`)
+/// allocate with [`NodeStore::push`] and replace with
+/// [`NodeStore::publish`]; ids are never reused, and a published
+/// replacement always covers the same key range as its predecessor.
 pub(crate) struct NodeStore<K, V> {
-    nodes: Vec<Node<K, V>>,
-    /// First leaf in key order (entry point for full iteration).
-    head_leaf: NodeId,
+    slots: AtomicSlots<Node<K, V>>,
+    /// First leaf in key order (entry point for full iteration). May
+    /// lag behind a head split; readers normalize by descending.
+    head_leaf: AtomicU32,
+    /// Epoch clock for this arena's readers and retire lists.
+    collector: Collector,
 }
 
 impl<K, V> NodeStore<K, V> {
@@ -62,34 +90,60 @@ impl<K, V> NodeStore<K, V> {
     /// push at least one leaf (or link a chain) before reading it.
     pub fn new() -> Self {
         Self {
-            nodes: Vec::new(),
-            head_leaf: 0,
+            slots: AtomicSlots::new(),
+            head_leaf: AtomicU32::new(0),
+            collector: Collector::new(),
         }
     }
 
-    /// Allocate a node, returning its id.
-    pub fn push(&mut self, node: Node<K, V>) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(node);
-        id
+    /// Pin the arena's epoch. Shared readers hold the returned guard
+    /// across their whole descent; see the [`crate::epoch`] docs.
+    #[inline]
+    pub fn pin(&self) -> Guard<'_> {
+        self.collector.pin()
     }
 
-    /// Replace the node at `id` in place (used by splits: the leaf
-    /// becomes the routing inner node under the same id).
-    pub fn replace(&mut self, id: NodeId, node: Node<K, V>) {
-        self.nodes[id as usize] = node;
+    /// The arena's epoch collector (diagnostics).
+    #[inline]
+    pub fn collector(&self) -> &Collector {
+        &self.collector
     }
 
-    /// Immutable node access.
+    /// Allocate a node, returning its id. Writers only (exclusive, or
+    /// holding the index's writer mutex).
+    pub fn push(&self, node: Node<K, V>) -> NodeId {
+        self.slots.push(node)
+    }
+
+    /// The id the next [`NodeStore::push`] will return. With a single
+    /// writer this lets splits pre-compute child ids so fresh leaves
+    /// can be pushed fully linked (no post-publication fix-up).
+    #[inline]
+    pub fn next_id(&self) -> NodeId {
+        self.slots.len()
+    }
+
+    /// Replace the node at `id`, retiring the old node to the epoch
+    /// garbage list. Writers only. The single atomic publication
+    /// point: a split becomes visible to readers exactly when the
+    /// routing inner node lands here.
+    pub fn publish(&self, id: NodeId, node: Node<K, V>) {
+        self.slots.publish(id, node, &self.collector);
+    }
+
+    /// Node access (shared regime: caller must be pinned; exclusive
+    /// regime: always sound).
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node<K, V> {
-        &self.nodes[id as usize]
+        self.slots.get(id)
     }
 
     /// The leaf at `id`.
     ///
     /// # Panics
-    /// Panics if `id` refers to an inner node.
+    /// Panics if `id` refers to an inner node — only call where the
+    /// caller *knows* the slot holds a leaf (exclusive regime, or the
+    /// shared writer that is the only one publishing).
     #[inline]
     pub fn leaf(&self, id: NodeId) -> &LeafNode<K, V> {
         match self.node(id) {
@@ -98,33 +152,42 @@ impl<K, V> NodeStore<K, V> {
         }
     }
 
-    /// The leaf at `id`, mutably.
+    /// The leaf at `id`, mutably (exclusive regime only — `&mut self`
+    /// proves no concurrent reader or writer).
     ///
     /// # Panics
     /// Panics if `id` refers to an inner node.
     #[inline]
     pub fn leaf_mut(&mut self, id: NodeId) -> &mut LeafNode<K, V> {
-        match &mut self.nodes[id as usize] {
+        match self.slots.get_mut(id) {
             Node::Leaf(l) => l,
             Node::Inner(_) => unreachable!("expected leaf node"),
         }
     }
 
-    /// First leaf in key order.
+    /// First leaf in key order. After a head split this may
+    /// transiently (shared regime) name a slot that now holds an inner
+    /// node; callers descend to its leftmost leaf.
     #[inline]
     pub fn head_leaf(&self) -> NodeId {
-        self.head_leaf
+        self.head_leaf.load(Ordering::Acquire)
+    }
+
+    /// Move the chain head (writers only).
+    #[inline]
+    pub fn set_head(&self, id: NodeId) {
+        self.head_leaf.store(id, Ordering::Release);
     }
 
     /// Iterate every node in the arena (allocation order).
     pub fn iter(&self) -> impl Iterator<Item = &Node<K, V>> {
-        self.nodes.iter()
+        self.slots.iter()
     }
 
     /// Iterate every leaf in the arena (allocation order, *not* key
     /// order — use the chain for ordered traversal).
     pub fn leaves(&self) -> impl Iterator<Item = &LeafNode<K, V>> {
-        self.nodes.iter().filter_map(|n| match n {
+        self.slots.iter().filter_map(|n| match n {
             Node::Leaf(l) => Some(l),
             Node::Inner(_) => None,
         })
@@ -136,7 +199,8 @@ impl<K, V> NodeStore<K, V> {
     }
 
     /// Wire the doubly-linked leaf chain through `order` (key order)
-    /// and point the head at the first entry.
+    /// and point the head at the first entry. Exclusive regime (bulk
+    /// builds).
     ///
     /// # Panics
     /// Panics if `order` is empty.
@@ -148,32 +212,51 @@ impl<K, V> NodeStore<K, V> {
             leaf.prev = prev;
             leaf.next = next;
         }
-        self.head_leaf = *order.first().expect("at least one leaf");
+        self.set_head(*order.first().expect("at least one leaf"));
     }
 
-    /// Splice `run` (key-ordered replacement leaves) into the chain
-    /// between `prev` and `next`, fixing up the neighbours and the head
-    /// pointer. Used when a split replaces one leaf with several.
-    ///
-    /// # Panics
-    /// Panics if `run` is empty.
-    pub fn splice_chain(&mut self, prev: Option<NodeId>, next: Option<NodeId>, run: &[NodeId]) {
-        assert!(!run.is_empty(), "cannot splice an empty run");
-        for (w, &id) in run.iter().enumerate() {
-            let p = if w == 0 { prev } else { Some(run[w - 1]) };
-            let nx = if w == run.len() - 1 { next } else { Some(run[w + 1]) };
-            let leaf = self.leaf_mut(id);
-            leaf.prev = p;
-            leaf.next = nx;
+    // ------------------------------------------------------------------
+    // Reclamation diagnostics (surfaced by `EpochAlex::epoch_stats`)
+    // ------------------------------------------------------------------
+
+    /// Retired-but-not-yet-freed node count.
+    pub fn retired(&self) -> usize {
+        self.slots.retired()
+    }
+
+    /// Drive epochs forward until the retire list drains (or a pinned
+    /// reader blocks progress); returns the nodes still pending.
+    pub fn flush(&self) -> usize {
+        self.slots.flush(&self.collector)
+    }
+
+    /// Lifetime `(retired, freed)` counters.
+    pub fn reclamation_totals(&self) -> (u64, u64) {
+        self.slots.reclamation_totals()
+    }
+}
+
+impl<K: Clone, V: Clone> Clone for NodeStore<K, V> {
+    /// Deep copy for the exclusive regime (a fresh arena, fresh epoch
+    /// clock, empty retire list). Must not race a writer — `Clone` on
+    /// the shared wrapper is deliberately not provided.
+    fn clone(&self) -> Self {
+        let fresh = Self::new();
+        for node in self.iter() {
+            fresh.push(node.clone());
         }
-        if let Some(p) = prev {
-            self.leaf_mut(p).next = Some(run[0]);
-        } else {
-            self.head_leaf = run[0];
-        }
-        if let Some(nx) = next {
-            self.leaf_mut(nx).prev = Some(*run.last().expect("run is non-empty"));
-        }
+        fresh.head_leaf.store(self.head_leaf(), Ordering::Relaxed);
+        fresh
+    }
+}
+
+impl<K, V> core::fmt::Debug for NodeStore<K, V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NodeStore")
+            .field("nodes", &self.slots)
+            .field("head_leaf", &self.head_leaf())
+            .field("collector", &self.collector)
+            .finish()
     }
 }
 
@@ -192,10 +275,12 @@ mod tests {
 
     #[test]
     fn push_allocates_sequential_ids() {
-        let mut store: NodeStore<u64, u64> = NodeStore::new();
+        let store: NodeStore<u64, u64> = NodeStore::new();
+        assert_eq!(store.next_id(), 0);
         let a = store.push(leaf(&[(1, 1)]));
         let b = store.push(leaf(&[(2, 2)]));
         assert_eq!((a, b), (0, 1));
+        assert_eq!(store.next_id(), 2);
         assert_eq!(store.num_leaves(), 2);
     }
 
@@ -211,27 +296,52 @@ mod tests {
     }
 
     #[test]
-    fn splice_chain_replaces_middle_leaf() {
-        let mut store: NodeStore<u64, u64> = NodeStore::new();
-        let ids: Vec<NodeId> = (0..3).map(|i| store.push(leaf(&[(i, i)]))).collect();
-        store.link_chain(&ids);
-        let fresh: Vec<NodeId> = (10..12).map(|i| store.push(leaf(&[(i, i)]))).collect();
-        store.splice_chain(Some(ids[0]), Some(ids[2]), &fresh);
-        assert_eq!(store.leaf(ids[0]).next, Some(fresh[0]));
-        assert_eq!(store.leaf(fresh[0]).next, Some(fresh[1]));
-        assert_eq!(store.leaf(fresh[1]).next, Some(ids[2]));
-        assert_eq!(store.leaf(ids[2]).prev, Some(fresh[1]));
-        assert_eq!(store.head_leaf(), ids[0]);
+    fn publish_replaces_node_and_retires_old() {
+        let store: NodeStore<u64, u64> = NodeStore::new();
+        let id = store.push(leaf(&[(1, 1), (2, 2)]));
+        store.publish(
+            id,
+            Node::Inner(InnerNode {
+                model: LinearModel::default(),
+                children: vec![7, 8],
+            }),
+        );
+        match store.node(id) {
+            Node::Inner(inner) => assert_eq!(inner.children, vec![7, 8]),
+            Node::Leaf(_) => panic!("publication must be visible immediately"),
+        }
+        // The replaced leaf sits on the retire list until epochs turn.
+        let (retired, _) = store.reclamation_totals();
+        assert_eq!(retired, 1);
+        assert_eq!(store.flush(), 0, "no pinned readers: retire list drains");
+        let (retired, freed) = store.reclamation_totals();
+        assert_eq!(retired, freed);
     }
 
     #[test]
-    fn splice_chain_at_head_moves_head() {
-        let mut store: NodeStore<u64, u64> = NodeStore::new();
-        let ids: Vec<NodeId> = (0..2).map(|i| store.push(leaf(&[(i, i)]))).collect();
-        store.link_chain(&ids);
-        let fresh = store.push(leaf(&[(9, 9)]));
-        store.splice_chain(None, Some(ids[1]), &[fresh]);
-        assert_eq!(store.head_leaf(), fresh);
-        assert_eq!(store.leaf(ids[1]).prev, Some(fresh));
+    fn pinned_reader_keeps_replaced_node_alive() {
+        let store: NodeStore<u64, u64> = NodeStore::new();
+        let id = store.push(leaf(&[(10, 100)]));
+        let guard = store.pin();
+        let snapshot = store.leaf(id);
+        store.publish(id, leaf(&[(10, 200)]));
+        // The pre-publication snapshot still reads its own contents.
+        assert_eq!(snapshot.data.get(&10), Some(&100));
+        // And the slot already serves the replacement.
+        assert_eq!(store.leaf(id).data.get(&10), Some(&200));
+        assert!(store.flush() > 0, "guard must block reclamation");
+        drop(guard);
+        assert_eq!(store.flush(), 0);
+    }
+
+    #[test]
+    fn clone_is_deep_and_starts_clean() {
+        let store: NodeStore<u64, u64> = NodeStore::new();
+        let id = store.push(leaf(&[(1, 1)]));
+        store.publish(id, leaf(&[(1, 2)]));
+        let copy = store.clone();
+        assert_eq!(copy.leaf(id).data.get(&1), Some(&2));
+        assert_eq!(copy.retired(), 0, "clones start with an empty retire list");
+        assert_eq!(copy.head_leaf(), store.head_leaf());
     }
 }

@@ -38,7 +38,14 @@ impl<'a, K: AlexKey, V: Clone + Default> Iterator for RangeIter<'a, K, V> {
         }
         loop {
             let leaf_id = self.leaf?;
-            let leaf = self.index.leaf(leaf_id);
+            // A chain pointer may name a slot that a split replaced
+            // with its routing inner node; normalize to the leftmost
+            // leaf of the replacement (same key range, so order is
+            // preserved).
+            let (actual_id, leaf) = self.index.descend_first_leaf(leaf_id);
+            if actual_id != leaf_id {
+                self.leaf = Some(actual_id);
+            }
             let cap = leaf.data.capacity();
             if self.slot < cap {
                 // `slot` may point at a gap (e.g. fresh leaf entry):

@@ -57,6 +57,13 @@ pub mod analysis;
 pub mod bitmap;
 pub mod config;
 pub mod data_node;
+// The one module in the workspace allowed to use `unsafe` (the
+// workspace-wide lint is `unsafe_code = "deny"`): epoch-based
+// reclamation needs raw-pointer publication and reclamation. Every
+// `unsafe` block carries its own SAFETY comment, and the module docs
+// state the crate-internal contract the rest of the code upholds.
+#[allow(unsafe_code)]
+pub mod epoch;
 pub mod gapped;
 pub mod index;
 pub mod iter;
@@ -70,7 +77,7 @@ mod slots;
 
 pub use config::{AlexConfig, NodeLayout, NodeParams, Placement, RmiMode};
 pub use gapped::{GappedNode, InsertOutcome};
-pub use index::{AlexIndex, DuplicateKey};
+pub use index::{AlexIndex, DuplicateKey, EpochAlex, EpochStats};
 pub use iter::RangeIter;
 pub use key::AlexKey;
 pub use model::LinearModel;

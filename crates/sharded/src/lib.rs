@@ -1,34 +1,53 @@
 //! # `alex-sharded`: a sharded concurrent front-end for ALEX
 //!
 //! The ALEX paper (§7) names concurrency as the main follow-up: the
-//! single-threaded index serves one writer at a time. This crate takes
-//! the paper's own suggested first step — *shard the RMI root* — and
-//! packages it as [`ShardedAlex`]: the key space is range-partitioned
-//! across `N` independent [`AlexIndex`] shards, each behind a
-//! `std::sync::RwLock`, so point reads and range scans proceed in
-//! parallel and writers only serialize per shard.
+//! single-threaded index serves one writer at a time. This crate
+//! range-partitions the key space across `N` independent shards with
+//! boundaries drawn from a **sample CDF** of the bulk-load keys (the
+//! same empirical-quantile trick as `alex_datasets::cdf`), so skewed
+//! datasets (lognormal, longlat) still balance.
 //!
-//! Shard boundaries are chosen from a **sample CDF** of the bulk-load
-//! keys (the same empirical-quantile trick as `alex_datasets::cdf`):
-//! each shard receives an equal fraction of the *observed* key mass,
-//! not an equal slice of the key domain, so skewed datasets (lognormal,
-//! longlat) still balance.
+//! ## The two read paths
+//!
+//! Each shard is served by one of two backends, chosen at
+//! construction via [`ReadPath`]:
+//!
+//! - [`ReadPath::Epoch`] (**the default**): each shard is an
+//!   [`EpochAlex`] — readers pin an epoch and descend the RMI with
+//!   **no lock at all**, wait-free with respect to node splits;
+//!   writers serialize per shard on an internal mutex and publish
+//!   copy-on-write replacements through the epoch machinery
+//!   (`alex_core::epoch`). Replaced nodes are retired and freed only
+//!   once no pinned reader can still hold them.
+//! - [`ReadPath::Locked`]: the pre-epoch design — each shard is an
+//!   [`AlexIndex`] behind a `std::sync::RwLock`. Reads share the lock;
+//!   a splitting writer stalls every reader of that shard.
+//!
+//! **How to choose.** `Epoch` is strictly better under read-heavy
+//! concurrency and is what the multi-threaded driver and the Figure 5
+//! thread sweeps use: readers never block, so split-induced tail
+//! latency disappears from the read path. `Locked` remains for three
+//! reasons: as the differential-testing oracle the consistency suite
+//! compares against, for write-dominated workloads where every
+//! operation takes the lock anyway and the epoch path's per-write
+//! leaf clone is pure overhead, and for memory-constrained runs
+//! (copy-on-write keeps retired nodes alive until epochs turn).
 //!
 //! The type implements the full `alex-api` trait family:
 //! [`IndexRead`] plus [`ConcurrentIndex`] (shared access, used by the
 //! multi-threaded driver `run_workload_mt`), with [`IndexWrite`]
-//! delegating `&mut self` calls to the `&self` surface (exclusive
-//! access, used by the single-threaded driver and the cross-index
-//! consistency suite) and [`BatchOps`] routed to the native per-shard
-//! sorted-run paths.
+//! delegating `&mut self` calls to the `&self` surface and
+//! [`BatchOps`] routed to the native per-shard sorted-run paths.
 //!
 //! ## Consistency model
 //! Every individual operation is atomic with respect to its shard.
-//! A range scan that crosses shard boundaries locks one shard at a
+//! A range scan that crosses shard boundaries visits one shard at a
 //! time, so it observes each shard at a (possibly) different instant —
-//! the usual relaxation for partitioned stores. The per-shard
-//! `AlexIndex` read path is lock-free among readers: it is `&self` and
-//! `Sync` end to end.
+//! the usual relaxation for partitioned stores. On the epoch path the
+//! same relaxation applies *within* a shard at leaf granularity: scans
+//! walk immutable leaf snapshots, keys stay strictly increasing, and
+//! every observed payload was live at some point (the property
+//! `tests/epoch_concurrency.rs` stresses).
 //!
 //! ## Quickstart
 //! ```
@@ -41,43 +60,150 @@
 //! assert_eq!(index.get(&20_000), Some(10_000));
 //!
 //! // Reads and writes take &self: share it across threads freely.
+//! // On the (default) epoch path, these reads acquire no lock.
 //! std::thread::scope(|s| {
 //!     s.spawn(|| assert!(index.contains(&40_000)));
 //!     s.spawn(|| assert!(index.insert(99, 99)));
 //! });
 //! assert_eq!(index.get(&99), Some(99));
+//! // At quiescence, every node retired by splits is reclaimable.
+//! assert_eq!(index.flush_retired(), 0);
 //! ```
-//!
-//! ## What an epoch-based follow-up would change
-//! The `RwLock` per shard blocks readers during node splits. Because
-//! the storage layer (`NodeStore` in `alex-core`) already isolates all
-//! arena mutation behind a narrow API, swapping the lock for an
-//! epoch-based reclamation scheme (readers pin an epoch, writers
-//! retire replaced nodes) would be a change local to this crate plus
-//! `NodeStore` — no routing or data-node code would move.
 
 use std::sync::RwLock;
 
 use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};
 use alex_core::stats::SizeReport;
-use alex_core::{AlexConfig, AlexIndex, AlexKey};
+use alex_core::{AlexConfig, AlexIndex, AlexKey, EpochAlex, EpochStats};
 use alex_datasets::cdf_points;
 
-/// Range-partitioned ALEX shards behind reader-writer locks.
+/// Which concurrency scheme serves a shard's reads. See the
+/// [crate-level docs](crate) for how to choose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Lock-free epoch-protected readers, mutex-serialized
+    /// copy-on-write writers per shard (the default).
+    #[default]
+    Epoch,
+    /// Readers and writers share a per-shard `RwLock`; splits block
+    /// the shard's readers.
+    Locked,
+}
+
+/// One shard's backend (see [`ReadPath`]).
+#[derive(Debug)]
+enum Shard<K, V> {
+    Epoch(EpochAlex<K, V>),
+    Locked(RwLock<AlexIndex<K, V>>),
+}
+
+impl<K: AlexKey, V: Clone + Default> Shard<K, V> {
+    fn new(path: ReadPath, index: AlexIndex<K, V>) -> Self {
+        match path {
+            ReadPath::Epoch => Shard::Epoch(EpochAlex::from_index(index)),
+            ReadPath::Locked => Shard::Locked(RwLock::new(index)),
+        }
+    }
+
+    fn read(lock: &RwLock<AlexIndex<K, V>>) -> std::sync::RwLockReadGuard<'_, AlexIndex<K, V>> {
+        lock.read().expect("shard lock poisoned")
+    }
+
+    fn write(lock: &RwLock<AlexIndex<K, V>>) -> std::sync::RwLockWriteGuard<'_, AlexIndex<K, V>> {
+        lock.write().expect("shard lock poisoned")
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        match self {
+            Shard::Epoch(s) => s.get(key),
+            Shard::Locked(l) => Self::read(l).get(key).cloned(),
+        }
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        match self {
+            Shard::Epoch(s) => s.contains(key),
+            Shard::Locked(l) => Self::read(l).contains_key(key),
+        }
+    }
+
+    fn insert(&self, key: K, value: V) -> bool {
+        match self {
+            Shard::Epoch(s) => s.insert(key, value).is_ok(),
+            Shard::Locked(l) => Self::write(l).insert(key, value).is_ok(),
+        }
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        match self {
+            Shard::Epoch(s) => s.remove(key),
+            Shard::Locked(l) => Self::write(l).remove(key),
+        }
+    }
+
+    fn update(&self, key: &K, value: V) -> Option<V> {
+        match self {
+            Shard::Epoch(s) => s.update(key, value),
+            Shard::Locked(l) => Self::write(l).update(key, value),
+        }
+    }
+
+    fn scan_from(&self, key: &K, limit: usize, f: &mut impl FnMut(&K, &V)) -> usize {
+        match self {
+            Shard::Epoch(s) => s.scan_from(key, limit, &mut *f),
+            Shard::Locked(l) => Self::read(l).scan_from(key, limit, &mut *f),
+        }
+    }
+
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        match self {
+            Shard::Epoch(s) => s.get_many(keys),
+            Shard::Locked(l) => {
+                Self::read(l).get_many(keys).into_iter().map(|v| v.cloned()).collect()
+            }
+        }
+    }
+
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+        match self {
+            Shard::Epoch(s) => s.bulk_insert(pairs),
+            Shard::Locked(l) => Self::write(l).bulk_insert(pairs),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Shard::Epoch(s) => s.len(),
+            Shard::Locked(l) => Self::read(l).len(),
+        }
+    }
+
+    fn size_report(&self) -> SizeReport {
+        match self {
+            Shard::Epoch(s) => s.size_report(),
+            Shard::Locked(l) => Self::read(l).size_report(),
+        }
+    }
+}
+
+/// Range-partitioned ALEX shards with a lock-free (epoch) or locked
+/// read path per shard.
 ///
-/// See the [crate-level docs](crate) for the design and consistency
-/// model.
+/// See the [crate-level docs](crate) for the design, the two read
+/// paths, and the consistency model.
 #[derive(Debug)]
 pub struct ShardedAlex<K, V> {
-    shards: Vec<RwLock<AlexIndex<K, V>>>,
+    shards: Vec<Shard<K, V>>,
     /// `boundaries[i]` is the smallest key owned by shard `i + 1`
     /// (strictly increasing, `len() == shards.len() - 1`).
     boundaries: Vec<K>,
+    path: ReadPath,
 }
 
 impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     /// Bulk-load `pairs` (sorted, strictly increasing by key) into
-    /// `num_shards` shards with boundaries drawn from the sample CDF.
+    /// `num_shards` shards with boundaries drawn from the sample CDF,
+    /// on the default (epoch) read path.
     ///
     /// Duplicate quantiles (heavily skewed data with few distinct
     /// sample points) are merged, so the effective shard count can be
@@ -87,6 +213,16 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     /// Panics if `num_shards == 0`, or (debug builds) if `pairs` is not
     /// strictly increasing by key.
     pub fn bulk_load(pairs: &[(K, V)], num_shards: usize, config: AlexConfig) -> Self {
+        Self::bulk_load_in(ReadPath::Epoch, pairs, num_shards, config)
+    }
+
+    /// [`ShardedAlex::bulk_load`] with an explicit [`ReadPath`].
+    pub fn bulk_load_in(
+        path: ReadPath,
+        pairs: &[(K, V)],
+        num_shards: usize,
+        config: AlexConfig,
+    ) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 < w[1].0),
@@ -98,18 +234,23 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         for bound in &boundaries {
             let cut = rest.partition_point(|(k, _)| k < bound);
             let (run, tail) = rest.split_at(cut);
-            shards.push(RwLock::new(AlexIndex::bulk_load(run, config)));
+            shards.push(Shard::new(path, AlexIndex::bulk_load(run, config)));
             rest = tail;
         }
-        shards.push(RwLock::new(AlexIndex::bulk_load(rest, config)));
-        Self { shards, boundaries }
+        shards.push(Shard::new(path, AlexIndex::bulk_load(rest, config)));
+        Self {
+            shards,
+            boundaries,
+            path,
+        }
     }
 
     /// Bulk-load from an iterator of **globally sorted blocks** (each
     /// block sorted, every key in block `i+1` greater than every key in
     /// block `i`) — e.g. `alex_datasets::SortedBlocks`. Only one
     /// shard's worth of pairs is buffered at a time, so loads never
-    /// need the whole dataset in one `Vec`.
+    /// need the whole dataset in one `Vec`. Uses the default (epoch)
+    /// read path.
     ///
     /// `boundaries` must be strictly increasing; shard `i + 1` owns
     /// keys `>= boundaries[i]`. The final shard count is
@@ -123,12 +264,23 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         boundaries: Vec<K>,
         config: AlexConfig,
     ) -> Self {
+        Self::bulk_load_blocks_in(ReadPath::Epoch, blocks, boundaries, config)
+    }
+
+    /// [`ShardedAlex::bulk_load_blocks`] with an explicit
+    /// [`ReadPath`].
+    pub fn bulk_load_blocks_in(
+        path: ReadPath,
+        blocks: impl IntoIterator<Item = Vec<(K, V)>>,
+        boundaries: Vec<K>,
+        config: AlexConfig,
+    ) -> Self {
         debug_assert!(
             boundaries.windows(2).all(|w| w[0] < w[1]),
             "shard boundaries must be strictly increasing"
         );
         let num_shards = boundaries.len() + 1;
-        let mut shards: Vec<RwLock<AlexIndex<K, V>>> = Vec::with_capacity(num_shards);
+        let mut shards: Vec<Shard<K, V>> = Vec::with_capacity(num_shards);
         let mut buffer: Vec<(K, V)> = Vec::new();
         let mut prev_key: Option<K> = None;
         for block in blocks {
@@ -139,7 +291,7 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
                 );
                 prev_key = Some(key);
                 while shards.len() < boundaries.len() && key >= boundaries[shards.len()] {
-                    shards.push(RwLock::new(AlexIndex::bulk_load(&buffer, config)));
+                    shards.push(Shard::new(path, AlexIndex::bulk_load(&buffer, config)));
                     buffer.clear();
                 }
                 buffer.push((key, value));
@@ -147,25 +299,40 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         }
         // Flush the tail and any remaining empty shards.
         while shards.len() < num_shards {
-            shards.push(RwLock::new(AlexIndex::bulk_load(&buffer, config)));
+            shards.push(Shard::new(path, AlexIndex::bulk_load(&buffer, config)));
             buffer.clear();
         }
-        Self { shards, boundaries }
+        Self {
+            shards,
+            boundaries,
+            path,
+        }
     }
 
     /// An empty index with `num_shards` shards split at `boundaries`
-    /// (cold start; every shard grows by inserts/splits).
+    /// (cold start; every shard grows by inserts/splits), on the
+    /// default (epoch) read path.
     ///
     /// # Panics
     /// Panics (debug builds) if `boundaries` is not strictly
     /// increasing.
     pub fn new(boundaries: Vec<K>, config: AlexConfig) -> Self {
-        Self::bulk_load_blocks(core::iter::empty(), boundaries, config)
+        Self::new_in(ReadPath::Epoch, boundaries, config)
+    }
+
+    /// [`ShardedAlex::new`] with an explicit [`ReadPath`].
+    pub fn new_in(path: ReadPath, boundaries: Vec<K>, config: AlexConfig) -> Self {
+        Self::bulk_load_blocks_in(path, core::iter::empty(), boundaries, config)
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Which read path this index was built with.
+    pub fn read_path(&self) -> ReadPath {
+        self.path
     }
 
     /// The shard boundaries (shard `i + 1` owns keys `>= boundaries[i]`).
@@ -179,43 +346,36 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         self.boundaries.partition_point(|b| b <= key)
     }
 
-    fn read(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, AlexIndex<K, V>> {
-        self.shards[shard].read().expect("shard lock poisoned")
-    }
-
-    fn write(&self, shard: usize) -> std::sync::RwLockWriteGuard<'_, AlexIndex<K, V>> {
-        self.shards[shard].write().expect("shard lock poisoned")
-    }
-
-    /// Look up `key`, cloning the payload out of the shard lock.
+    /// Look up `key`, cloning the payload out of the shard. On the
+    /// epoch path this takes no lock.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.read(self.shard_for(key)).get(key).cloned()
+        self.shards[self.shard_for(key)].get(key)
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
-        self.read(self.shard_for(key)).contains_key(key)
+        self.shards[self.shard_for(key)].contains(key)
     }
 
     /// Insert a pair; `false` on duplicate. Takes `&self`: only the
-    /// owning shard is write-locked.
+    /// owning shard's writer is serialized.
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.write(self.shard_for(&key)).insert(key, value).is_ok()
+        self.shards[self.shard_for(&key)].insert(key, value)
     }
 
     /// Remove `key`, returning its payload.
     pub fn remove(&self, key: &K) -> Option<V> {
-        self.write(self.shard_for(key)).remove(key)
+        self.shards[self.shard_for(key)].remove(key)
     }
 
     /// Replace the payload of an existing key, returning the old value.
     pub fn update(&self, key: &K, value: V) -> Option<V> {
-        self.write(self.shard_for(key)).update(key, value)
+        self.shards[self.shard_for(key)].update(key, value)
     }
 
     /// Visit up to `limit` entries with key `>= key` in order. Crosses
-    /// shard boundaries (locking one shard at a time). Returns the
-    /// number of entries visited.
+    /// shard boundaries (one shard at a time). Returns the number of
+    /// entries visited.
     pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
         let mut visited = 0usize;
         for shard in self.shard_for(key)..self.shards.len() {
@@ -225,7 +385,7 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
             // Keys in later shards are all `>= key` (they sit above the
             // boundary that routed `key`), so the same lower bound works
             // in every shard.
-            visited += self.read(shard).scan_from(key, limit - visited, &mut f);
+            visited += self.shards[shard].scan_from(key, limit - visited, &mut f);
         }
         visited
     }
@@ -257,8 +417,8 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     }
 
     /// Sorted-batch lookup: keys are split into per-shard runs, each
-    /// shard is read-locked once and served by `AlexIndex::get_many`.
-    /// Payloads are cloned out of the locks.
+    /// served by the shard's native `get_many` (one epoch pin, or one
+    /// lock acquisition, per run).
     ///
     /// # Panics
     /// Panics (debug builds) if `keys` is not sorted non-decreasing.
@@ -269,15 +429,14 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         );
         let mut out = Vec::with_capacity(keys.len());
         self.for_each_shard_run(keys, |k| k, |shard, run| {
-            out.extend(self.read(shard).get_many(run).into_iter().map(|v| v.cloned()));
+            out.extend(self.shards[shard].get_many(run));
         });
         out
     }
 
     /// Sorted-batch insert: pairs are split into per-shard runs, each
-    /// shard is write-locked once and served by
-    /// `AlexIndex::bulk_insert`. Returns the number of pairs inserted
-    /// (duplicates skipped).
+    /// served by the shard's native `bulk_insert`. Returns the number
+    /// of pairs inserted (duplicates skipped).
     ///
     /// # Panics
     /// Panics (debug builds) if `pairs` is not sorted by key.
@@ -288,7 +447,7 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         );
         let mut inserted = 0usize;
         self.for_each_shard_run(pairs, |(k, _)| k, |shard, run| {
-            inserted += self.write(shard).bulk_insert(run);
+            inserted += self.shards[shard].bulk_insert(run);
         });
         inserted
     }
@@ -296,7 +455,7 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     /// Total number of stored entries (sums shard lengths; each shard
     /// is read at a possibly different instant).
     pub fn len(&self) -> usize {
-        (0..self.shards.len()).map(|s| self.read(s).len()).sum()
+        self.shards.iter().map(Shard::len).sum()
     }
 
     /// Whether the index is empty.
@@ -306,20 +465,50 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
 
     /// Entry counts per shard (load-balance diagnostics).
     pub fn shard_lens(&self) -> Vec<usize> {
-        (0..self.shards.len()).map(|s| self.read(s).len()).collect()
+        self.shards.iter().map(Shard::len).collect()
     }
 
     /// Aggregated §5.1 size accounting across shards.
     pub fn size_report(&self) -> SizeReport {
         let mut total = SizeReport::default();
-        for s in 0..self.shards.len() {
-            let r = self.read(s).size_report();
+        for shard in &self.shards {
+            let r = shard.size_report();
             total.index_bytes += r.index_bytes;
             total.data_bytes += r.data_bytes;
             total.num_data_nodes += r.num_data_nodes;
             total.num_inner_nodes += r.num_inner_nodes;
         }
         total
+    }
+
+    /// Aggregated epoch-reclamation counters across shards (all zero
+    /// on the locked path; `global_epoch` is the maximum over shards).
+    pub fn epoch_stats(&self) -> EpochStats {
+        let mut total = EpochStats::default();
+        for shard in &self.shards {
+            if let Shard::Epoch(s) = shard {
+                let stats = s.epoch_stats();
+                total.global_epoch = total.global_epoch.max(stats.global_epoch);
+                total.pending += stats.pending;
+                total.retired_total += stats.retired_total;
+                total.freed_total += stats.freed_total;
+            }
+        }
+        total
+    }
+
+    /// Drive every shard's retire list toward empty; returns the
+    /// number of nodes still pending across shards. At quiescence (no
+    /// concurrent readers) this reaches 0 on the epoch path, and is
+    /// trivially 0 on the locked path.
+    pub fn flush_retired(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| match shard {
+                Shard::Epoch(s) => s.flush_retired(),
+                Shard::Locked(_) => 0,
+            })
+            .sum()
     }
 }
 
@@ -369,7 +558,10 @@ impl<K: AlexKey, V: Clone + Default> IndexRead<K, V> for ShardedAlex<K, V> {
     }
 
     fn label(&self) -> String {
-        format!("ShardedAlex[{}]", self.num_shards())
+        match self.path {
+            ReadPath::Epoch => format!("ShardedAlex[{}]", self.num_shards()),
+            ReadPath::Locked => format!("ShardedAlex[{};locked]", self.num_shards()),
+        }
     }
 }
 
@@ -431,53 +623,64 @@ where
 mod tests {
     use super::*;
 
+    const BOTH_PATHS: [ReadPath; 2] = [ReadPath::Epoch, ReadPath::Locked];
+
     fn pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
         (0..n).map(|k| (k * stride, k)).collect()
     }
 
     #[test]
     fn bulk_load_partitions_evenly_on_uniform_keys() {
-        let index = ShardedAlex::bulk_load(&pairs(40_000, 2), 4, AlexConfig::ga_armi());
-        assert_eq!(index.num_shards(), 4);
-        assert_eq!(index.len(), 40_000);
-        for len in index.shard_lens() {
-            assert!((8000..=12_000).contains(&len), "shard sizes {:?}", index.shard_lens());
+        for path in BOTH_PATHS {
+            let index = ShardedAlex::bulk_load_in(path, &pairs(40_000, 2), 4, AlexConfig::ga_armi());
+            assert_eq!(index.num_shards(), 4);
+            assert_eq!(index.read_path(), path);
+            assert_eq!(index.len(), 40_000);
+            for len in index.shard_lens() {
+                assert!((8000..=12_000).contains(&len), "shard sizes {:?}", index.shard_lens());
+            }
         }
     }
 
     #[test]
     fn get_routes_across_boundaries() {
-        let index = ShardedAlex::bulk_load(&pairs(10_000, 3), 8, AlexConfig::ga_armi());
-        for k in (0..10_000u64).step_by(7) {
-            assert_eq!(index.get(&(k * 3)), Some(k), "key {}", k * 3);
-            assert_eq!(index.get(&(k * 3 + 1)), None);
+        for path in BOTH_PATHS {
+            let index = ShardedAlex::bulk_load_in(path, &pairs(10_000, 3), 8, AlexConfig::ga_armi());
+            for k in (0..10_000u64).step_by(7) {
+                assert_eq!(index.get(&(k * 3)), Some(k), "key {}", k * 3);
+                assert_eq!(index.get(&(k * 3 + 1)), None);
+            }
         }
     }
 
     #[test]
     fn insert_remove_update_roundtrip() {
-        let index = ShardedAlex::bulk_load(&pairs(1000, 2), 4, AlexConfig::ga_armi());
-        assert!(index.insert(1001, 7));
-        assert!(!index.insert(1001, 8), "duplicate must be rejected");
-        assert_eq!(index.get(&1001), Some(7));
-        assert_eq!(index.update(&1001, 9), Some(7));
-        assert_eq!(index.remove(&1001), Some(9));
-        assert_eq!(index.get(&1001), None);
-        assert_eq!(index.len(), 1000);
+        for path in BOTH_PATHS {
+            let index = ShardedAlex::bulk_load_in(path, &pairs(1000, 2), 4, AlexConfig::ga_armi());
+            assert!(index.insert(1001, 7));
+            assert!(!index.insert(1001, 8), "duplicate must be rejected");
+            assert_eq!(index.get(&1001), Some(7));
+            assert_eq!(index.update(&1001, 9), Some(7));
+            assert_eq!(index.remove(&1001), Some(9));
+            assert_eq!(index.get(&1001), None);
+            assert_eq!(index.len(), 1000);
+        }
     }
 
     #[test]
     fn scan_crosses_shard_boundaries() {
-        let index = ShardedAlex::bulk_load(&pairs(10_000, 1), 4, AlexConfig::ga_armi());
-        // Start 300 keys below the last shard boundary so the 500-entry
-        // window must cross into the next shard.
-        let boundary = index.boundaries()[2];
-        let start = boundary - 300;
-        let mut seen = Vec::new();
-        let visited = index.scan_from(&start, 500, |k, _| seen.push(*k));
-        assert_eq!(visited, 500);
-        assert_eq!(seen, (start..start + 500).collect::<Vec<u64>>());
-        assert!(start + 500 > boundary, "window must span two shards");
+        for path in BOTH_PATHS {
+            let index = ShardedAlex::bulk_load_in(path, &pairs(10_000, 1), 4, AlexConfig::ga_armi());
+            // Start 300 keys below the last shard boundary so the 500-entry
+            // window must cross into the next shard.
+            let boundary = index.boundaries()[2];
+            let start = boundary - 300;
+            let mut seen = Vec::new();
+            let visited = index.scan_from(&start, 500, |k, _| seen.push(*k));
+            assert_eq!(visited, 500);
+            assert_eq!(seen, (start..start + 500).collect::<Vec<u64>>());
+            assert!(start + 500 > boundary, "window must span two shards");
+        }
     }
 
     #[test]
@@ -494,35 +697,40 @@ mod tests {
 
     #[test]
     fn get_many_and_bulk_insert_span_shards() {
-        let index = ShardedAlex::bulk_load(&pairs(10_000, 4), 4, AlexConfig::ga_armi());
-        let queries: Vec<u64> = (0..20_000u64).step_by(3).collect();
-        let got = index.get_many(&queries);
-        for (q, v) in queries.iter().zip(&got) {
-            assert_eq!(*v, index.get(q), "key {q}");
+        for path in BOTH_PATHS {
+            let index = ShardedAlex::bulk_load_in(path, &pairs(10_000, 4), 4, AlexConfig::ga_armi());
+            let queries: Vec<u64> = (0..20_000u64).step_by(3).collect();
+            let got = index.get_many(&queries);
+            for (q, v) in queries.iter().zip(&got) {
+                assert_eq!(*v, index.get(q), "key {q}");
+            }
+            let fresh: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 4 + 1, k)).collect();
+            assert_eq!(index.bulk_insert(&fresh), 10_000);
+            assert_eq!(index.bulk_insert(&fresh), 0, "second pass is all duplicates");
+            assert_eq!(index.len(), 20_000);
         }
-        let fresh: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 4 + 1, k)).collect();
-        assert_eq!(index.bulk_insert(&fresh), 10_000);
-        assert_eq!(index.bulk_insert(&fresh), 0, "second pass is all duplicates");
-        assert_eq!(index.len(), 20_000);
     }
 
     #[test]
     fn concurrent_readers_and_writers() {
-        let index = ShardedAlex::bulk_load(&pairs(10_000, 2), 4, AlexConfig::ga_armi());
-        std::thread::scope(|s| {
-            for t in 0..4u64 {
-                let index = &index;
-                s.spawn(move || {
-                    for k in 0..2000u64 {
-                        // Reads of stable keys must always succeed.
-                        assert_eq!(index.get(&(k * 2)), Some(k));
-                        // Writes land in disjoint per-thread key ranges.
-                        assert!(index.insert(100_000 + t * 10_000 + k, k));
-                    }
-                });
-            }
-        });
-        assert_eq!(index.len(), 10_000 + 4 * 2000);
+        for path in BOTH_PATHS {
+            let index = ShardedAlex::bulk_load_in(path, &pairs(10_000, 2), 4, AlexConfig::ga_armi());
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let index = &index;
+                    s.spawn(move || {
+                        for k in 0..2000u64 {
+                            // Reads of stable keys must always succeed.
+                            assert_eq!(index.get(&(k * 2)), Some(k));
+                            // Writes land in disjoint per-thread key ranges.
+                            assert!(index.insert(100_000 + t * 10_000 + k, k));
+                        }
+                    });
+                }
+            });
+            assert_eq!(index.len(), 10_000 + 4 * 2000);
+            assert_eq!(index.flush_retired(), 0, "retire lists drain at quiescence");
+        }
     }
 
     #[test]
@@ -535,17 +743,21 @@ mod tests {
 
     #[test]
     fn empty_and_cold_start() {
-        let empty: ShardedAlex<u64, u64> = ShardedAlex::bulk_load(&[], 4, AlexConfig::ga_armi());
-        assert!(empty.is_empty());
-        assert_eq!(empty.get(&1), None);
+        for path in BOTH_PATHS {
+            let empty: ShardedAlex<u64, u64> =
+                ShardedAlex::bulk_load_in(path, &[], 4, AlexConfig::ga_armi());
+            assert!(empty.is_empty());
+            assert_eq!(empty.get(&1), None);
 
-        let cold: ShardedAlex<u64, u64> = ShardedAlex::new(vec![100, 200], AlexConfig::ga_armi());
-        assert_eq!(cold.num_shards(), 3);
-        for k in 0..300u64 {
-            assert!(cold.insert(k, k));
+            let cold: ShardedAlex<u64, u64> =
+                ShardedAlex::new_in(path, vec![100, 200], AlexConfig::ga_armi());
+            assert_eq!(cold.num_shards(), 3);
+            for k in 0..300u64 {
+                assert!(cold.insert(k, k));
+            }
+            assert_eq!(cold.len(), 300);
+            assert_eq!(cold.shard_lens(), vec![100, 100, 100]);
         }
-        assert_eq!(cold.len(), 300);
-        assert_eq!(cold.shard_lens(), vec![100, 100, 100]);
     }
 
     #[test]
@@ -560,5 +772,36 @@ mod tests {
         for k in (0..10_000u64).step_by(11) {
             assert_eq!(streamed.get(&(k * 3)), Some(k));
         }
+    }
+
+    #[test]
+    fn epoch_path_retires_nodes_under_split_churn() {
+        let index: ShardedAlex<u64, u64> = ShardedAlex::new_in(
+            ReadPath::Epoch,
+            vec![5000, 10_000],
+            AlexConfig::ga_armi().with_max_node_keys(128).with_splitting(),
+        );
+        for k in 0..15_000u64 {
+            assert!(index.insert(k, k * 7));
+        }
+        let stats = index.epoch_stats();
+        assert!(stats.retired_total > 0, "split churn must retire nodes");
+        assert_eq!(index.flush_retired(), 0);
+        let stats = index.epoch_stats();
+        assert_eq!(stats.retired_total, stats.freed_total, "exactly-once reclamation");
+        for k in (0..15_000u64).step_by(17) {
+            assert_eq!(index.get(&k), Some(k * 7));
+        }
+    }
+
+    #[test]
+    fn locked_path_reports_zero_epoch_activity() {
+        let index = ShardedAlex::bulk_load_in(ReadPath::Locked, &pairs(1000, 1), 2, AlexConfig::ga_armi());
+        assert_eq!(index.epoch_stats(), EpochStats::default());
+        assert_eq!(index.flush_retired(), 0);
+        assert_eq!(
+            IndexRead::<u64, u64>::label(&index),
+            "ShardedAlex[2;locked]"
+        );
     }
 }

@@ -10,12 +10,18 @@
 //! accounting) — see `alex_api::conformance` for what the contract
 //! demands.
 
+//! Internally synchronized backends additionally instantiate the
+//! `concurrent` section (scoped readers vs. one writer, payload
+//! equality at quiescence): the sharded front-end on *both* read
+//! paths, the raw epoch-protected `EpochAlex`, and the locked-map
+//! reference.
+
 use alex_repro::alex_api;
 use alex_repro::alex_btree::BPlusTree;
-use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_core::{AlexConfig, AlexIndex, EpochAlex};
 use alex_repro::alex_learned_index::LearnedIndex;
 use alex_repro::alex_pma::PmaMap;
-use alex_repro::alex_sharded::ShardedAlex;
+use alex_repro::alex_sharded::{ReadPath, ShardedAlex};
 use alex_repro::alex_workloads::LockedBTreeMap;
 
 alex_api::conformance_suite!(alex_ga_armi, |pairs: &[(u64, u64)]| {
@@ -40,10 +46,40 @@ alex_api::conformance_suite!(learned_index, |pairs: &[(u64, u64)]| {
 
 alex_api::conformance_suite!(pma_map, |pairs: &[(u64, u64)]| PmaMap::from_sorted(pairs));
 
-alex_api::conformance_suite!(sharded_alex, |pairs: &[(u64, u64)]| {
-    ShardedAlex::bulk_load(pairs, 4, AlexConfig::ga_armi().with_max_node_keys(256))
-});
+alex_api::conformance_suite!(
+    sharded_alex,
+    |pairs: &[(u64, u64)]| {
+        ShardedAlex::bulk_load(pairs, 4, AlexConfig::ga_armi().with_max_node_keys(256))
+    },
+    concurrent
+);
 
-alex_api::conformance_suite!(locked_btreemap, |pairs: &[(u64, u64)]| {
-    LockedBTreeMap::from_pairs(pairs)
-});
+alex_api::conformance_suite!(
+    sharded_alex_locked,
+    |pairs: &[(u64, u64)]| {
+        ShardedAlex::bulk_load_in(
+            ReadPath::Locked,
+            pairs,
+            4,
+            AlexConfig::ga_armi().with_max_node_keys(256),
+        )
+    },
+    concurrent
+);
+
+// The raw epoch wrapper with split-on-insert, so the concurrent
+// checks race readers against *published splits*, not just leaf
+// copy-on-write.
+alex_api::conformance_suite!(
+    epoch_alex,
+    |pairs: &[(u64, u64)]| {
+        EpochAlex::bulk_load(pairs, AlexConfig::ga_armi().with_max_node_keys(128).with_splitting())
+    },
+    concurrent
+);
+
+alex_api::conformance_suite!(
+    locked_btreemap,
+    |pairs: &[(u64, u64)]| { LockedBTreeMap::from_pairs(pairs) },
+    concurrent
+);

@@ -1,0 +1,292 @@
+//! The epoch-reclamation stress subsystem: readers running `get` /
+//! `scan_from` continuously while writers force leaf splits, removes,
+//! and re-inserts — the workload the lock-free read path exists for.
+//!
+//! ## What is being proven
+//!
+//! 1. **Liveness of observations.** Every payload encodes its key and
+//!    a *generation*; writers record a generation in a shared journal
+//!    (per-key `AtomicU64` high-water marks) **before** publishing it
+//!    to the index. A reader that observes `(key, gen)` therefore
+//!    proves the payload was live at some point: the generation must
+//!    already be journaled, the payload's embedded key must match the
+//!    probed key (no torn/foreign payloads), and a key never written
+//!    must never be observed.
+//! 2. **Oracle equality at quiescence.** Writers mirror every mutation
+//!    into a [`LockedBTreeMap`] oracle; after the scope joins, the
+//!    index's full ordered scan must equal the oracle's.
+//! 3. **Shutdown reclamation.** After quiescence the retire lists
+//!    drain to zero (`flush_retired() == 0`) and the lifetime
+//!    counters agree (`retired_total == freed_total`): nothing leaked,
+//!    nothing was retired twice.
+//!
+//! `EPOCH_STRESS_ITERS` scales the number of writer rounds (small in
+//! the default test run, larger in the CI `stress` job and locally).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use alex_repro::alex_api::{ConcurrentIndex, IndexRead, LockedBTreeMap};
+use alex_repro::alex_core::{AlexConfig, EpochAlex, EpochStats};
+use alex_repro::alex_sharded::{ReadPath, ShardedAlex};
+
+/// Keys loaded initially: evens `0, 2, …, 2·(INITIAL_KEYS − 1)`.
+const INITIAL_KEYS: u64 = 4096;
+const WRITERS: u64 = 2;
+const READERS: u64 = 3;
+
+/// Payloads carry `generation << 48 | key`; keys stay far below 2^48.
+const GEN_SHIFT: u32 = 48;
+const KEY_MASK: u64 = (1 << GEN_SHIFT) - 1;
+/// Journal sentinel: this key was never made live by any writer.
+const NEVER: u64 = u64::MAX;
+
+fn payload(key: u64, generation: u64) -> u64 {
+    debug_assert!(key <= KEY_MASK);
+    (generation << GEN_SHIFT) | key
+}
+
+fn decode(value: u64) -> (u64, u64) {
+    (value & KEY_MASK, value >> GEN_SHIFT)
+}
+
+fn stress_iters() -> u64 {
+    std::env::var("EPOCH_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1)
+}
+
+/// Split-happy config so writer churn constantly replaces leaves.
+fn splitting_config() -> AlexConfig {
+    AlexConfig::ga_armi().with_max_node_keys(128).with_splitting()
+}
+
+/// Per-key generation high-water marks. A write journals its
+/// generation *before* the index insert, so "observed ⇒ journaled"
+/// holds for every reader.
+struct Journal {
+    max_gen: Vec<AtomicU64>,
+}
+
+impl Journal {
+    fn new(key_space: u64) -> Self {
+        Self {
+            max_gen: (0..key_space).map(|_| AtomicU64::new(NEVER)).collect(),
+        }
+    }
+
+    /// Record that `generation` of `key` is about to become live.
+    fn announce(&self, key: u64, generation: u64) {
+        let slot = &self.max_gen[key as usize];
+        // NEVER is the largest value, so the first announcement must
+        // replace it outright rather than fetch_max over it.
+        if slot.load(Ordering::SeqCst) == NEVER {
+            slot.store(generation, Ordering::SeqCst);
+        } else {
+            slot.fetch_max(generation, Ordering::SeqCst);
+        }
+    }
+
+    /// Assert that observing `value` under `key` is explainable by a
+    /// journaled write.
+    fn check_observation(&self, label: &str, key: u64, value: u64) {
+        let (embedded, generation) = decode(value);
+        assert_eq!(embedded, key, "{label}: payload under key {key} belongs to key {embedded}");
+        let journaled = self.max_gen[key as usize].load(Ordering::SeqCst);
+        assert_ne!(journaled, NEVER, "{label}: key {key} observed but never written");
+        assert!(
+            generation <= journaled,
+            "{label}: key {key} observed generation {generation} > journaled {journaled}"
+        );
+    }
+}
+
+/// The stress harness, generic over the concurrent backend: `WRITERS`
+/// split-forcing mutator threads race `READERS` continuous readers
+/// inside one `std::thread::scope`, then the final state is compared
+/// against the oracle.
+///
+/// Key layout: evens `2i` are loaded at generation 0 and then
+/// remove-/re-inserted by their owning writer with rising generations;
+/// odds `2i + 1` and the per-round append ranges are fresh inserts
+/// (generation 0) that force leaf splits.
+fn stress<I: ConcurrentIndex<u64, u64>>(index: &I, label: &str) {
+    let iters = stress_iters();
+    // Per round each writer appends a fresh stripe above the initial
+    // range; reserve journal space for all of them.
+    let key_space = 2 * INITIAL_KEYS * (iters + 2);
+    let journal = Journal::new(key_space);
+    let oracle: LockedBTreeMap<u64, u64> = LockedBTreeMap::new();
+
+    // Initial load is generation 0 of every even key (driven through
+    // the concurrent insert path so cold-start indexes work too).
+    for i in 0..INITIAL_KEYS {
+        let k = 2 * i;
+        journal.announce(k, 0);
+        index.insert(k, payload(k, 0)).expect("initial load");
+        oracle.insert(k, payload(k, 0)).expect("oracle load");
+    }
+
+    std::thread::scope(|s| {
+        let (journal, oracle) = (&journal, &oracle);
+        for t in 0..WRITERS {
+            s.spawn(move || {
+                for round in 0..iters {
+                    for i in (t..INITIAL_KEYS).step_by(WRITERS as usize) {
+                        // Fresh odd key (round 0) / append-range key
+                        // (later rounds): forces splits as leaves fill.
+                        let fresh = if round == 0 {
+                            2 * i + 1
+                        } else {
+                            2 * INITIAL_KEYS * (round + 1) + 2 * i + t
+                        };
+                        journal.announce(fresh, 0);
+                        index
+                            .insert(fresh, payload(fresh, 0))
+                            .unwrap_or_else(|e| panic!("writer {t}: fresh {fresh}: {e}"));
+                        oracle.insert(fresh, payload(fresh, 0)).expect("oracle fresh");
+
+                        // Remove-then-reinsert the owned even key with
+                        // a bumped generation.
+                        let k = 2 * i;
+                        let gen = round + 1;
+                        let evicted = index.remove(&k).unwrap_or_else(|| {
+                            panic!("writer {t}: owned key {k} missing at round {round}")
+                        });
+                        assert_eq!(decode(evicted).0, k, "evicted payload belongs to {k}");
+                        oracle.remove(&k);
+                        journal.announce(k, gen);
+                        index
+                            .insert(k, payload(k, gen))
+                            .unwrap_or_else(|e| panic!("writer {t}: reinsert {k}: {e}"));
+                        oracle.insert(k, payload(k, gen)).expect("oracle reinsert");
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            s.spawn(move || {
+                let mut probe = 1 + r;
+                for round in 0..(iters * 2) {
+                    // Point reads across the whole key space: anything
+                    // observed must be journal-explainable.
+                    for _ in 0..2000 {
+                        probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = probe % key_space;
+                        if let Some(v) = index.get(&key) {
+                            journal.check_observation(label, key, v);
+                        }
+                    }
+                    // Ordered scans under churn: strictly increasing
+                    // keys, each payload live at some point.
+                    let start = (round * 977) % (2 * INITIAL_KEYS);
+                    let mut last = None;
+                    index.scan_from(&start, 700, &mut |k, v| {
+                        assert!(
+                            last.is_none_or(|p| p < *k),
+                            "{label}: scan out of order at {k}"
+                        );
+                        journal.check_observation(label, *k, *v);
+                        last = Some(*k);
+                    });
+                }
+            });
+        }
+    });
+
+    // Oracle equality at quiescence: keys and payloads.
+    let mut expect: Vec<(u64, u64)> = Vec::new();
+    oracle.scan_from(&0, usize::MAX, &mut |k, v| expect.push((*k, *v)));
+    let reference: BTreeMap<u64, u64> = expect.iter().copied().collect();
+    assert_eq!(index.len(), reference.len(), "{label}: len at quiescence");
+    let mut got = Vec::with_capacity(reference.len());
+    index.scan_from(&0, usize::MAX, &mut |k, v| got.push((*k, *v)));
+    assert_eq!(got, expect, "{label}: final state diverged from the oracle");
+}
+
+/// Shutdown check shared by the epoch-backed runs: retire lists fully
+/// drain and the lifetime counters balance.
+fn assert_reclamation_clean(label: &str, pending_after_flush: usize, stats: EpochStats) {
+    assert_eq!(pending_after_flush, 0, "{label}: retire lists must drain at quiescence");
+    assert_eq!(stats.pending, 0, "{label}: no pending garbage after flush");
+    assert!(stats.retired_total > 0, "{label}: split/CoW churn must retire nodes");
+    assert_eq!(
+        stats.retired_total, stats.freed_total,
+        "{label}: every retired node freed exactly once (no leak, no double-retire)"
+    );
+}
+
+#[test]
+fn epoch_alex_readers_race_split_churn() {
+    let index: EpochAlex<u64, u64> = EpochAlex::new(splitting_config());
+    stress(&index, "EpochAlex");
+    let pending = index.flush_retired();
+    assert_reclamation_clean("EpochAlex", pending, index.epoch_stats());
+}
+
+#[test]
+fn sharded_epoch_readers_race_split_churn() {
+    // Fixed boundaries inside the initial range so writer churn and
+    // scans constantly cross shards.
+    let boundaries = vec![2 * INITIAL_KEYS / 3, 4 * INITIAL_KEYS / 3];
+    let index: ShardedAlex<u64, u64> =
+        ShardedAlex::new_in(ReadPath::Epoch, boundaries, splitting_config());
+    stress(&index, "ShardedAlex[epoch]");
+    let pending = index.flush_retired();
+    assert_reclamation_clean("ShardedAlex[epoch]", pending, index.epoch_stats());
+}
+
+#[test]
+fn sharded_locked_passes_the_same_stress() {
+    // Differential coverage: the locked oracle path must satisfy the
+    // identical observation discipline (sans epoch accounting).
+    let boundaries = vec![2 * INITIAL_KEYS / 3, 4 * INITIAL_KEYS / 3];
+    let index: ShardedAlex<u64, u64> =
+        ShardedAlex::new_in(ReadPath::Locked, boundaries, splitting_config());
+    stress(&index, "ShardedAlex[locked]");
+    assert_eq!(index.flush_retired(), 0);
+}
+
+#[test]
+fn locked_btreemap_passes_the_same_stress() {
+    // The trivially correct reference pins the harness itself down: if
+    // the journal discipline were wrong, the reference would fail too.
+    let index: LockedBTreeMap<u64, u64> = LockedBTreeMap::new();
+    stress(&index, "LockedBTreeMap");
+}
+
+#[test]
+fn pinned_scope_blocks_reclamation_until_quiescence() {
+    // A long-running reader (one continuous scan) overlapping heavy
+    // writer churn: the writer cannot free nodes out from under it,
+    // and everything still drains once the reader finishes.
+    let index = EpochAlex::bulk_load(
+        &(0..20_000u64).map(|k| (2 * k, payload(2 * k, 0))).collect::<Vec<_>>(),
+        splitting_config(),
+    );
+    std::thread::scope(|s| {
+        let idx = &index;
+        s.spawn(move || {
+            for k in 0..20_000u64 {
+                idx.insert(2 * k + 1, payload(2 * k + 1, 0)).expect("fresh odd");
+            }
+        });
+        s.spawn(move || {
+            // Slow scans racing the writer; every observation valid.
+            for _ in 0..4 {
+                let mut last = None;
+                idx.scan_from(&0, usize::MAX, |k, v| {
+                    assert!(last.is_none_or(|p| p < *k), "scan out of order");
+                    assert_eq!(decode(*v).0, *k, "payload belongs to its key");
+                    last = Some(*k);
+                });
+            }
+        });
+    });
+    assert_eq!(index.len(), 40_000);
+    assert_eq!(index.flush_retired(), 0);
+    let stats = index.epoch_stats();
+    assert_eq!(stats.retired_total, stats.freed_total);
+}
