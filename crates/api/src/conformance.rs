@@ -305,6 +305,83 @@ pub fn concurrent_quiescence_matches_reference<I: ConcurrentIndex<u64, u64>>(
     assert_eq!(got, expect, "{label}: state diverged from the reference");
 }
 
+/// `bulk_insert` through `&self`, racing concurrent readers, must be
+/// observationally equivalent to per-key inserts at quiescence — and
+/// readers overlapping the batches must only ever see exact live
+/// payloads, in order. Exercises the run-level batch publication path
+/// of epoch-backed backends (each leaf's portion of a batch becomes
+/// visible atomically) without assuming it: the check holds for the
+/// per-key default too.
+pub fn concurrent_bulk_insert_matches_per_key<I: ConcurrentIndex<u64, u64>>(
+    make: impl Fn(&[(u64, u64)]) -> I,
+) {
+    let pairs = seed_pairs(CONCURRENT_KEYS);
+    let batch = make(&pairs);
+    let serial = make(&pairs);
+    let label = batch.label();
+    // Eight sorted stripes: fresh keys (`k*3 + 1`) interleaved with
+    // duplicates of loaded keys (`k*3`, poison payload) that must be
+    // skipped without clobbering the stored value.
+    let per_stripe = CONCURRENT_KEYS / 8;
+    let stripes: Vec<Vec<(u64, u64)>> = (0..8u64)
+        .map(|s| {
+            (s * per_stripe..(s + 1) * per_stripe)
+                .flat_map(|i| [(i * 3, 0xBAD), (i * 3 + 1, value_of(i * 3 + 1))])
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|sc| {
+        let idx = &batch;
+        let stripes = &stripes;
+        let label = &label;
+        sc.spawn(move || {
+            for stripe in stripes {
+                let n = idx.bulk_insert(stripe);
+                assert_eq!(n, stripe.len() / 2, "{label}: duplicates must be skipped");
+            }
+        });
+        for reader in 0..2u64 {
+            sc.spawn(move || {
+                for round in 0..3 {
+                    // Loaded keys stay present with their exact payload
+                    // (a racing duplicate must never clobber them).
+                    for i in (reader..CONCURRENT_KEYS).step_by(5) {
+                        let k = i * 3;
+                        assert_eq!(
+                            idx.get(&k),
+                            Some(value_of(k)),
+                            "{label}: reader {reader} round {round}: loaded key {k}"
+                        );
+                        // Batch keys: absent or exactly live, never torn.
+                        if let Some(v) = idx.get(&(k + 1)) {
+                            assert_eq!(v, value_of(k + 1), "{label}: batch payload at {}", k + 1);
+                        }
+                    }
+                    // Ordered scans across in-flight batch publication.
+                    let mut last = None;
+                    idx.scan_from(&(round * 997), 1024, &mut |k, v| {
+                        assert!(last.is_none_or(|p| p < *k), "{label}: scan out of order at {k}");
+                        assert_eq!(*v, value_of(*k), "{label}: scan payload at {k}");
+                        last = Some(*k);
+                    });
+                }
+            });
+        }
+    });
+    // Quiescence: the same stream applied per key on a fresh instance.
+    for stripe in &stripes {
+        for (k, v) in stripe {
+            let _ = serial.insert(*k, *v);
+        }
+    }
+    assert_eq!(batch.len(), serial.len(), "{label}: len at quiescence");
+    let mut got = Vec::new();
+    batch.scan_from(&0, usize::MAX, &mut |k, v| got.push((*k, *v)));
+    let mut expect = Vec::new();
+    serial.scan_from(&0, usize::MAX, &mut |k, v| expect.push((*k, *v)));
+    assert_eq!(got, expect, "{label}: bulk_insert diverged from per-key inserts");
+}
+
 /// The shared block of `#[test]` functions both
 /// [`conformance_suite!`](crate::conformance_suite) arms stamp out.
 /// Not intended for direct use.
@@ -351,8 +428,10 @@ macro_rules! conformance_tests {
 /// implement [`ConcurrentIndex`](crate::ConcurrentIndex), whose
 /// `Sync` bound is what lets the suite share the index across scoped
 /// threads): spawn-scoped readers race one writer asserting every
-/// observed payload is live, and the final state is compared against
-/// a `BTreeMap` at quiescence.
+/// observed payload is live, the final state is compared against a
+/// `BTreeMap` at quiescence, and `&self` batch writes
+/// ([`ConcurrentIndex::bulk_insert`](crate::ConcurrentIndex::bulk_insert))
+/// racing readers must equal per-key inserts at quiescence.
 ///
 /// ```ignore
 /// alex_api::conformance_suite!(sharded, |pairs| build(pairs), concurrent);
@@ -386,6 +465,11 @@ macro_rules! conformance_suite {
                 #[test]
                 fn quiescence_matches_reference() {
                     $crate::conformance::concurrent_quiescence_matches_reference($make);
+                }
+
+                #[test]
+                fn bulk_insert_matches_per_key() {
+                    $crate::conformance::concurrent_bulk_insert_matches_per_key($make);
                 }
             }
         }

@@ -259,6 +259,26 @@ pub trait ConcurrentIndex<K, V>: IndexRead<K, V> + Sync {
 
     /// Remove `key`, returning the evicted value.
     fn remove(&self, key: &K) -> Option<V>;
+
+    /// Insert a sorted (non-decreasing by key) batch of pairs through
+    /// `&self`, skipping duplicates; returns the number inserted.
+    ///
+    /// Must be observationally equivalent to per-key
+    /// [`ConcurrentIndex::insert`] calls at quiescence (the concurrent
+    /// conformance arm checks this under racing readers). Backends
+    /// with a native batch write path — e.g. run-level copy-on-write
+    /// publication that makes each leaf's portion of the batch visible
+    /// atomically — override the per-key default.
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    where
+        K: Clone,
+        V: Clone,
+    {
+        pairs
+            .iter()
+            .filter(|(k, v)| self.insert(k.clone(), v.clone()).is_ok())
+            .count()
+    }
 }
 
 /// Sorted-batch operations, with per-key defaults so every
@@ -371,6 +391,14 @@ impl<K, V, T: ConcurrentIndex<K, V> + ?Sized> ConcurrentIndex<K, V> for &T {
 
     fn remove(&self, key: &K) -> Option<V> {
         (**self).remove(key)
+    }
+
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    where
+        K: Clone,
+        V: Clone,
+    {
+        (**self).bulk_insert(pairs)
     }
 }
 

@@ -133,6 +133,10 @@ impl RmiMode {
     }
 }
 
+/// Default per-leaf delta-buffer capacity for the shared (epoch)
+/// write path — see [`AlexConfig::delta_buffer_capacity`].
+pub const DEFAULT_DELTA_BUFFER_CAPACITY: usize = 32;
+
 /// Full configuration for an [`crate::AlexIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlexConfig {
@@ -142,6 +146,16 @@ pub struct AlexConfig {
     pub rmi: RmiMode,
     /// Data-node parameters.
     pub node: NodeParams,
+    /// Capacity of the per-leaf delta buffer used by the shared
+    /// (epoch) write path (`EpochAlex`): point writes land in a small
+    /// sorted side-array published alongside the leaf snapshot and are
+    /// folded into the gapped array only when the buffer fills or the
+    /// leaf splits, amortizing the copy-on-write leaf clone to
+    /// `O(leaf / capacity)` per write. `0` disables buffering (every
+    /// shared write clones the full leaf, the pre-delta behaviour).
+    /// Ignored by the exclusive (`&mut`) write path, which edits
+    /// in place.
+    pub delta_buffer_capacity: usize,
 }
 
 impl Default for AlexConfig {
@@ -157,6 +171,7 @@ impl AlexConfig {
             layout: NodeLayout::Gapped,
             rmi: RmiMode::Static { num_leaf_nodes },
             node: NodeParams::default(),
+            delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
         }
     }
 
@@ -166,6 +181,7 @@ impl AlexConfig {
             layout: NodeLayout::Gapped,
             rmi: RmiMode::adaptive(),
             node: NodeParams::default(),
+            delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
         }
     }
 
@@ -175,6 +191,7 @@ impl AlexConfig {
             layout: NodeLayout::Pma,
             rmi: RmiMode::Static { num_leaf_nodes },
             node: NodeParams::default(),
+            delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
         }
     }
 
@@ -184,6 +201,7 @@ impl AlexConfig {
             layout: NodeLayout::Pma,
             rmi: RmiMode::adaptive(),
             node: NodeParams::default(),
+            delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
         }
     }
 
@@ -210,6 +228,14 @@ impl AlexConfig {
     /// Override node parameters.
     pub fn with_node_params(mut self, node: NodeParams) -> Self {
         self.node = node;
+        self
+    }
+
+    /// Override the per-leaf delta-buffer capacity of the shared
+    /// (epoch) write path (`0` disables buffering — every shared
+    /// write copies the whole leaf).
+    pub fn with_delta_buffer(mut self, capacity: usize) -> Self {
+        self.delta_buffer_capacity = capacity;
         self
     }
 

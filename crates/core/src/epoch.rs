@@ -46,6 +46,16 @@
 //! the arena never race a reallocation. Writers must be externally
 //! serialized (the index keeps a writer mutex); readers are wait-free.
 //!
+//! The slot payload for a leaf is not just the gapped base array: it
+//! carries a **delta arm** — a bounded sorted buffer of pending edits
+//! (`index::delta`) published atomically with the snapshot, with the
+//! base array `Arc`-shared across snapshots. A buffered write
+//! therefore retires only the small leaf shell, not a full array
+//! copy; the array itself is retired (through the same garbage list)
+//! when a flush, split, or batch run publishes a rebuilt base. Either
+//! way every replacement goes through `publish`, so the reclamation
+//! argument below is unchanged.
+//!
 //! # Safety contract (crate-internal)
 //!
 //! This module is the only one in the workspace allowed to use

@@ -30,11 +30,11 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
 
     /// Allocate a fresh unlinked leaf bulk-loaded from `pairs`.
     pub(super) fn push_leaf(&mut self, pairs: &[(K, V)]) -> NodeId {
-        self.store.push(Node::Leaf(LeafNode {
-            data: DataNode::bulk_load(pairs, self.config.layout, self.config.node),
-            prev: None,
-            next: None,
-        }))
+        self.store.push(Node::Leaf(LeafNode::new(
+            DataNode::bulk_load(pairs, self.config.layout, self.config.node),
+            None,
+            None,
+        )))
     }
 
     /// Two-level static RMI: a linear root over `num_leaf_nodes` data

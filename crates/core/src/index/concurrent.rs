@@ -8,14 +8,39 @@
 //!   and descend the RMI on loaded snapshots. They take no lock, are
 //!   wait-free with respect to splits, and return **owned** values
 //!   (cloned out while pinned — a reference must never outlive its
-//!   guard).
+//!   guard). Each loaded leaf snapshot is read through the *merged
+//!   view*: its immutable base array plus the delta buffer published
+//!   with it (see [`super::delta`]).
 //! - **Writes** (`insert`, `remove`, `update`, `bulk_insert`)
 //!   serialize on an internal mutex — mutual exclusion among writers
-//!   only — and never mutate a reachable node: every change clones the
-//!   owning leaf, applies the edit, and *publishes* the replacement at
-//!   the same id, retiring the old node to the epoch garbage list.
-//!   Splits publish a routing inner node at the old leaf's id as a
-//!   single atomic step (see [`super::split`]).
+//!   only — and never mutate a reachable node: every change *publishes*
+//!   a replacement leaf at the same id, retiring the old node to the
+//!   epoch garbage list. Splits publish a routing inner node at the old
+//!   leaf's id as a single atomic step (see [`super::split`]).
+//!
+//! ## Write amortization (the PR-4 cost note, resolved)
+//!
+//! The original epoch write path cloned the whole owning leaf per
+//! write. Two mechanisms amortize that:
+//!
+//! 1. **Per-leaf delta buffers.** A point write republishes a
+//!    *shallow* leaf copy: the base gapped array is shared through an
+//!    `Arc`, and the edit lands in a bounded sorted side-array
+//!    ([`super::delta::DeltaBuf`]) published alongside it. Readers
+//!    merge the two on the fly; once the buffer reaches
+//!    [`crate::AlexConfig::delta_buffer_capacity`] entries (or the
+//!    leaf splits) the writer *flushes* — folds the buffer into one
+//!    fresh base array — so each write costs `O(delta)` with one
+//!    `O(leaf)` clone every `capacity` writes.
+//! 2. **Run-level CoW in [`EpochAlex::bulk_insert`].** A sorted batch
+//!    is grouped into maximal per-leaf runs by the same monotone
+//!    routing the exclusive batch path uses; each touched leaf is
+//!    cloned and published **once per run**, not once per key.
+//!
+//! [`EpochAlex::write_stats`] counts `leaf_clones` (full base-array
+//! copies), `delta_hits` (writes absorbed by a buffer), and `flushes`
+//! (non-empty buffers folded in) so tests and the `fig_write_amp`
+//! bench can assert the amortization actually happened.
 //!
 //! ## Why a pinned reader can never observe a freed node
 //!
@@ -33,12 +58,18 @@
 //!
 //! ## Consistency model
 //!
-//! Point reads are atomic (a leaf snapshot is immutable). Scans walk
-//! one leaf snapshot at a time, so a scan concurrent with writes sees
-//! each leaf at a possibly different instant — keys stay strictly
-//! increasing, and every observed payload was live at some point. This
-//! is the same relaxation `ShardedAlex` already documents across
-//! shards.
+//! Point reads are atomic (a leaf snapshot — base *and* delta — is
+//! immutable once published). Scans walk one leaf snapshot at a time,
+//! so a scan concurrent with writes sees each leaf at a possibly
+//! different instant — keys stay strictly increasing, and every
+//! observed payload was live at some point. Each `bulk_insert` run
+//! chunk lands through a **single publication**, so its keys become
+//! visible atomically — never a torn prefix interleaved with an older
+//! generation of the same slot. (With split-on-insert, a run that
+//! overflows the leaf is chunked at `max_node_keys` boundaries; each
+//! chunk is atomic, but a reader between chunk publications can see
+//! an earlier chunk without the later ones.) This is the same
+//! relaxation `ShardedAlex` already documents across shards.
 //!
 //! ```
 //! use alex_core::{AlexConfig, EpochAlex};
@@ -52,11 +83,13 @@
 //!     s.spawn(|| assert!(index.insert(4001, 99).is_ok()));
 //! });
 //! assert_eq!(index.get(&4001), Some(99));
+//! // Point writes are absorbed by delta buffers, not full leaf clones.
+//! assert!(index.write_stats().delta_hits >= 1);
 //! // At quiescence every retired node can be reclaimed.
 //! assert_eq!(index.flush_retired(), 0);
 //! ```
 
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};
 
@@ -65,14 +98,15 @@ use crate::gapped::InsertOutcome;
 use crate::key::AlexKey;
 use crate::stats::SizeReport;
 
-use super::store::Node;
+use super::delta::DeltaOp;
+use super::store::{LeafNode, Node};
 use super::{AlexIndex, DuplicateKey};
-use core::sync::atomic::Ordering;
+use core::sync::atomic::{AtomicU64, Ordering};
 
 /// An [`AlexIndex`] with lock-free, epoch-protected readers and
-/// mutex-serialized copy-on-write writers. The protocol and
-/// consistency model are documented on this type's source module and
-/// in [`crate::epoch`].
+/// mutex-serialized, delta-buffered copy-on-write writers. The
+/// protocol, the amortization scheme, and the consistency model are
+/// documented on this type's source module and in [`crate::epoch`].
 ///
 /// The wrapped index is never exposed by reference: unprotected
 /// `&AlexIndex` reads racing this type's writers would be unsound.
@@ -83,6 +117,8 @@ pub struct EpochAlex<K, V> {
     index: AlexIndex<K, V>,
     /// Mutual exclusion among writers only; readers never touch it.
     writer: Mutex<()>,
+    /// Write-amplification counters (see [`EpochWriteStats`]).
+    writes: WriteAmp,
 }
 
 /// Reclamation diagnostics for one [`EpochAlex`] (or one shard).
@@ -102,6 +138,49 @@ pub struct EpochStats {
     pub freed_total: u64,
 }
 
+/// Write-amplification counters for one [`EpochAlex`] (or summed over
+/// epoch shards), exposed by [`EpochAlex::write_stats`].
+///
+/// Every point write is either a `delta_hit` (absorbed by the owning
+/// leaf's delta buffer — an `O(delta)` shallow publish) or part of a
+/// `leaf_clone` (a full `O(leaf)` base-array copy). Amortization
+/// means `delta_hits` dominates and `leaf_clones` stays far below the
+/// write count; the write-path test suite asserts exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochWriteStats {
+    /// Full base-array copies made by the write path (delta flushes
+    /// and `bulk_insert` run publications; split redistributions are
+    /// counted by `WriteStats::splits`, not here).
+    pub leaf_clones: u64,
+    /// Point writes absorbed by a delta buffer without copying the
+    /// base array.
+    pub delta_hits: u64,
+    /// Non-empty delta buffers folded into a fresh base array (each
+    /// flush is also one `leaf_clone`).
+    pub flushes: u64,
+}
+
+#[derive(Debug, Default)]
+struct WriteAmp {
+    leaf_clones: AtomicU64,
+    delta_hits: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl WriteAmp {
+    fn delta_hit(&self) {
+        self.delta_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EpochWriteStats {
+        EpochWriteStats {
+            leaf_clones: self.leaf_clones.load(Ordering::Relaxed),
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     /// An empty index (cold start; grows by inserts/splits).
     pub fn new(config: AlexConfig) -> Self {
@@ -119,17 +198,28 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
         Self {
             index,
             writer: Mutex::new(()),
+            writes: WriteAmp::default(),
         }
     }
 
     /// Unwrap back into the exclusive index (consumes `self`, so no
-    /// reader or writer can still be active).
+    /// reader or writer can still be active). Pending delta buffers
+    /// are flushed and the retire lists drained, so the returned
+    /// index is delta-free with a clean arena.
     pub fn into_inner(self) -> AlexIndex<K, V> {
-        self.index
+        let mut index = self.index;
+        index.flush_deltas();
+        index.store.flush();
+        index
     }
 
     fn write_lock(&self) -> MutexGuard<'_, ()> {
         self.writer.lock().expect("writer mutex poisoned")
+    }
+
+    /// Configured per-leaf delta-buffer capacity (0 = buffering off).
+    fn delta_capacity(&self) -> usize {
+        self.index.config().delta_buffer_capacity
     }
 
     // ------------------------------------------------------------------
@@ -158,7 +248,8 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     }
 
     /// Sorted-batch lookup (one epoch pin for the whole batch),
-    /// cloning payloads out.
+    /// cloning payloads out. Keys answered by the same leaf run are
+    /// served from a single snapshot.
     ///
     /// # Panics
     /// Panics (debug builds) if `keys` is not sorted non-decreasing.
@@ -190,7 +281,7 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     }
 
     // ------------------------------------------------------------------
-    // Serialized copy-on-write writes
+    // Serialized delta-buffered copy-on-write writes
     // ------------------------------------------------------------------
 
     /// Insert a pair. Errors on duplicates; the stored value is left
@@ -205,10 +296,29 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
         let _writer = self.write_lock();
         let _guard = self.index.store.pin();
         let (id, leaf) = self.index.route_to_leaf(key);
-        // Absent keys need no copy-on-write round trip.
-        leaf.data.get(key)?;
+        // Absent keys need no publication round trip.
+        let evicted = leaf.live_get(key)?.clone();
         let mut fresh = leaf.clone();
-        let evicted = fresh.data.remove(key)?;
+        let buffered_put = matches!(fresh.delta.get(key), Some(DeltaOp::Put(_)));
+        if buffered_put {
+            if fresh.data.get(key).is_some() {
+                // The put shadowed a base occupant: tombstone it.
+                fresh.delta.tombstone(*key);
+            } else {
+                // Purely buffered insert: dropping the entry undoes it.
+                fresh.delta.remove_entry(key);
+            }
+            fresh.delta_net -= 1;
+            self.writes.delta_hit();
+        } else if fresh.delta.len() < self.delta_capacity() {
+            // Base occupant (live_get saw no tombstone): buffer it.
+            fresh.delta.tombstone(*key);
+            fresh.delta_net -= 1;
+            self.writes.delta_hit();
+        } else {
+            self.flush_clone(&mut fresh);
+            Arc::make_mut(&mut fresh.data).remove(key);
+        }
         self.index.store.publish(id, Node::Leaf(fresh));
         self.index.len.fetch_sub(1, Ordering::Relaxed);
         Some(evicted)
@@ -220,16 +330,35 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
         let _writer = self.write_lock();
         let _guard = self.index.store.pin();
         let (id, leaf) = self.index.route_to_leaf(key);
-        leaf.data.get(key)?;
+        let old = leaf.live_get(key)?.clone();
         let mut fresh = leaf.clone();
-        let slot = fresh.data.get_mut(key)?;
-        let old = core::mem::replace(slot, value);
+        // An existing buffered put is replaced in place, so only a new
+        // shadow entry counts against the capacity.
+        if fresh.delta.contains(key) || fresh.delta.len() < self.delta_capacity() {
+            fresh.delta.put(*key, value);
+            self.writes.delta_hit();
+        } else {
+            self.flush_clone(&mut fresh);
+            let slot = Arc::make_mut(&mut fresh.data)
+                .get_mut(key)
+                .expect("live_get returned Some");
+            *slot = value;
+        }
         self.index.store.publish(id, Node::Leaf(fresh));
         Some(old)
     }
 
-    /// Sorted-batch insert (one writer-lock acquisition for the whole
-    /// batch). Duplicates are skipped; returns the number inserted.
+    /// Sorted-batch insert: one writer-lock acquisition, and **one
+    /// leaf clone + publication per leaf run** — the batch is grouped
+    /// by owning leaf through the same monotone routing the exclusive
+    /// batch path uses, so a run of `r` keys landing in one leaf costs
+    /// `O(leaf + r)` instead of `r` full clones. Duplicates are
+    /// skipped; returns the number inserted.
+    ///
+    /// Readers see each run chunk atomically (a single publication
+    /// per chunk; a run is split into chunks only when it overflows a
+    /// leaf under split-on-insert), interleaved with other leaves'
+    /// state per the module-level consistency model.
     ///
     /// # Panics
     /// Panics (debug builds) if `pairs` is not sorted by key.
@@ -239,21 +368,34 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
             "bulk_insert input must be sorted by key"
         );
         let _writer = self.write_lock();
-        pairs
-            .iter()
-            .filter(|(k, v)| self.insert_locked(*k, v.clone()).is_ok())
-            .count()
-    }
-
-    /// The insert core; caller holds the writer mutex.
-    fn insert_locked(&self, key: K, value: V) -> Result<(), DuplicateKey> {
         let _guard = self.index.store.pin();
-        loop {
-            let (id, leaf) = self.index.route_to_leaf(&key);
-            if leaf.data.get(&key).is_some() {
-                return Err(DuplicateKey);
-            }
-            // Split-on-insert, published atomically; re-route after.
+        let mut inserted = 0usize;
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let (id, leaf) = self.index.route_to_leaf(&pairs[i].0);
+            // Maximal run this leaf owns. Keys up to the leaf's max
+            // key are covered in bulk by monotone routing (anything
+            // between two keys routed here routes here too); keys past
+            // the max — `pairs[i]` itself may already be one — extend
+            // the run by individual routing until one leaves the leaf,
+            // so a batch forms exactly one run per touched leaf.
+            let run_end = if leaf.next.is_none() {
+                pairs.len()
+            } else {
+                let mut end = match leaf.routing_max_key() {
+                    Some(max) => i + pairs[i..].partition_point(|(k, _)| *k <= max),
+                    None => i,
+                };
+                end = end.max(i + 1); // pairs[i] routed here by construction
+                while end < pairs.len() && self.index.route_to_leaf(&pairs[end].0).0 == id {
+                    end += 1;
+                }
+                end
+            };
+            // Split accounting works on the merged live count, exactly
+            // like the point path; an unsplittable oversized leaf
+            // (no separating model) absorbs the whole run instead.
+            let mut room = usize::MAX;
             if let RmiMode::Adaptive {
                 max_node_keys,
                 split_on_insert: true,
@@ -261,28 +403,109 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
                 ..
             } = self.index.config().rmi
             {
-                if leaf.data.num_keys() + 1 > max_node_keys
+                let live = leaf.live_keys();
+                if live >= max_node_keys && self.index.split_leaf_shared(id, split_fanout.max(2)) {
+                    continue; // the slot became a routing node: re-route
+                }
+                if live < max_node_keys {
+                    room = max_node_keys - live;
+                }
+            }
+            let take = (run_end - i).min(room);
+            let run = &pairs[i..i + take];
+            // An all-duplicate run with no pending delta would publish
+            // an identical leaf: skip the clone and retirement outright
+            // (short-circuits at the first fresh key, so fresh-heavy
+            // batches pay one probe).
+            if leaf.delta.is_empty() && run.iter().all(|(k, _)| leaf.live_get(k).is_some()) {
+                i += take;
+                continue;
+            }
+            // One clone + one publication for the whole run.
+            let mut fresh = leaf.clone();
+            self.flush_clone(&mut fresh);
+            let data = Arc::make_mut(&mut fresh.data);
+            let mut landed = 0usize;
+            for (key, value) in run {
+                if matches!(data.insert(*key, value.clone()), InsertOutcome::Inserted { .. }) {
+                    landed += 1;
+                }
+            }
+            self.index.store.publish(id, Node::Leaf(fresh));
+            self.index.len.fetch_add(landed, Ordering::Relaxed);
+            inserted += landed;
+            i += take;
+        }
+        inserted
+    }
+
+    /// The point-insert core; caller holds the writer mutex.
+    fn insert_locked(&self, key: K, value: V) -> Result<(), DuplicateKey> {
+        let _guard = self.index.store.pin();
+        loop {
+            let (id, leaf) = self.index.route_to_leaf(&key);
+            if leaf.live_get(&key).is_some() {
+                return Err(DuplicateKey);
+            }
+            // Split-on-insert on the merged live count, published
+            // atomically (the delta folds into the children); re-route
+            // after.
+            if let RmiMode::Adaptive {
+                max_node_keys,
+                split_on_insert: true,
+                split_fanout,
+                ..
+            } = self.index.config().rmi
+            {
+                if leaf.live_keys() >= max_node_keys
                     && self.index.split_leaf_shared(id, split_fanout.max(2))
                 {
                     continue;
                 }
             }
-            // Copy-on-write: readers see the old leaf or the new one,
-            // never an intermediate state.
+            // Copy-on-write publication: readers see the old snapshot
+            // or the new one, never an intermediate state. The common
+            // case is a *shallow* copy — base array shared, edit
+            // buffered in the delta.
             let mut fresh = leaf.clone();
-            return match fresh.data.insert(key, value) {
-                InsertOutcome::Inserted { .. } => {
-                    self.index.store.publish(id, Node::Leaf(fresh));
-                    self.index.len.fetch_add(1, Ordering::Relaxed);
-                    Ok(())
+            // A tombstoned key re-inserts by flipping its entry in
+            // place, so only genuinely new entries count against the
+            // capacity.
+            if fresh.delta.contains(&key) || fresh.delta.len() < self.delta_capacity() {
+                fresh.delta.put(key, value);
+                fresh.delta_net += 1;
+                self.writes.delta_hit();
+            } else {
+                self.flush_clone(&mut fresh);
+                match Arc::make_mut(&mut fresh.data).insert(key, value) {
+                    InsertOutcome::Inserted { .. } => {}
+                    InsertOutcome::Duplicate => unreachable!("live_get reported the key absent"),
                 }
-                InsertOutcome::Duplicate => Err(DuplicateKey),
-            };
+            }
+            self.index.store.publish(id, Node::Leaf(fresh));
+            self.index.len.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
         }
     }
 
+    /// Account for (and perform) the full-leaf copy a non-buffered
+    /// write pays: folds any pending delta into an unshared base
+    /// array. The subsequent `Arc::make_mut` by the caller is then
+    /// in place.
+    fn flush_clone(&self, fresh: &mut LeafNode<K, V>) {
+        if !fresh.delta.is_empty() {
+            self.writes.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh.flush_delta();
+        // `flush_delta` unshared the base only if a delta existed;
+        // force the copy now either way so the caller's edit never
+        // touches the published snapshot.
+        let _ = Arc::make_mut(&mut fresh.data);
+        self.writes.leaf_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
     // ------------------------------------------------------------------
-    // Reclamation diagnostics
+    // Diagnostics
     // ------------------------------------------------------------------
 
     /// Current reclamation counters (see [`EpochStats`]).
@@ -294,6 +517,13 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
             retired_total,
             freed_total,
         }
+    }
+
+    /// Write-amplification counters (see [`EpochWriteStats`]): how
+    /// many writes the delta buffers absorbed versus how many full
+    /// leaf copies the path paid.
+    pub fn write_stats(&self) -> EpochWriteStats {
+        self.writes.snapshot()
     }
 
     /// Drive epochs forward until the retire list drains (or a pinned
@@ -351,6 +581,15 @@ where
     fn remove(&self, key: &K) -> Option<V> {
         EpochAlex::remove(self, key)
     }
+
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    where
+        K: Clone,
+        V: Clone,
+    {
+        // Native run-level path: one clone + publication per leaf run.
+        EpochAlex::bulk_insert(self, pairs)
+    }
 }
 
 // Exclusive-access delegation (see `alex-api`'s crate docs for why a
@@ -387,8 +626,9 @@ where
     }
 
     fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
-        // Exclusive access: take the native in-place sorted-run path.
-        self.index.bulk_insert(pairs)
+        // Exclusive access still routes through the shared run-level
+        // path (it is equivalent and keeps the counters meaningful).
+        EpochAlex::bulk_insert(self, pairs)
     }
 }
 
@@ -439,6 +679,96 @@ mod tests {
     }
 
     #[test]
+    fn point_inserts_are_delta_buffered() {
+        let n = 8192u64;
+        let index = EpochAlex::bulk_load(&pairs(n, 2), AlexConfig::ga_armi());
+        for k in 0..n {
+            index.insert(2 * k + 1, k).unwrap();
+        }
+        let stats = index.write_stats();
+        assert_eq!(
+            stats.delta_hits + stats.leaf_clones,
+            n,
+            "every point insert is a delta hit or part of a clone"
+        );
+        assert!(
+            stats.delta_hits > stats.flushes,
+            "buffers must absorb more writes than they flush: {stats:?}"
+        );
+        assert!(
+            stats.leaf_clones * 8 < n,
+            "amortization: clones ({}) must be far below inserts ({n})",
+            stats.leaf_clones
+        );
+        for k in (0..2 * n).step_by(97) {
+            assert_eq!(index.get(&k), Some(if k % 2 == 0 { k / 2 } else { (k - 1) / 2 }));
+        }
+    }
+
+    #[test]
+    fn capacity_zero_disables_buffering() {
+        let index = EpochAlex::bulk_load(&pairs(512, 2), AlexConfig::ga_armi().with_delta_buffer(0));
+        for k in 0..256u64 {
+            index.insert(2 * k + 1, k).unwrap();
+        }
+        let stats = index.write_stats();
+        assert_eq!(stats.delta_hits, 0);
+        assert_eq!(stats.flushes, 0);
+        assert_eq!(stats.leaf_clones, 256, "cap 0: every write clones the leaf");
+        assert_eq!(index.len(), 768);
+    }
+
+    #[test]
+    fn bulk_insert_clones_once_per_run() {
+        let n = 4096u64;
+        let index = EpochAlex::bulk_load(&pairs(n, 2), AlexConfig::ga_armi());
+        let batch: Vec<(u64, u64)> = (0..n).map(|k| (2 * k + 1, k)).collect();
+        assert_eq!(index.bulk_insert(&batch), n as usize);
+        let stats = index.write_stats();
+        let leaves = index.size_report().num_data_nodes as u64;
+        assert!(
+            stats.leaf_clones <= leaves,
+            "run-level CoW: clones ({}) bounded by leaf count ({leaves}), not keys ({n})",
+            stats.leaf_clones
+        );
+        assert_eq!(index.len(), 2 * n as usize);
+        assert_eq!(index.get_many(&batch.iter().map(|p| p.0).collect::<Vec<_>>()),
+            batch.iter().map(|p| Some(p.1)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_duplicate_runs_publish_nothing() {
+        let index = EpochAlex::bulk_load(&pairs(4096, 2), AlexConfig::ga_armi());
+        let batch: Vec<(u64, u64)> = (0..4096).map(|k| (2 * k + 1, k)).collect();
+        assert_eq!(index.bulk_insert(&batch), 4096);
+        let clones = index.write_stats().leaf_clones;
+        let retired = index.epoch_stats().retired_total;
+        // Replaying the identical batch is a no-op: no clones, no
+        // publications, no retirements.
+        assert_eq!(index.bulk_insert(&batch), 0);
+        assert_eq!(index.write_stats().leaf_clones, clones);
+        assert_eq!(index.epoch_stats().retired_total, retired);
+        assert_eq!(index.len(), 8192);
+    }
+
+    #[test]
+    fn bulk_insert_folds_pending_deltas() {
+        let index = EpochAlex::bulk_load(&pairs(1024, 4), AlexConfig::ga_armi());
+        // Seed some buffered state first.
+        for k in 0..8u64 {
+            index.insert(4 * k + 1, k).unwrap();
+        }
+        index.remove(&0).unwrap();
+        let batch: Vec<(u64, u64)> = (0..1024).map(|k| (4 * k + 2, k)).collect();
+        assert_eq!(index.bulk_insert(&batch), 1024);
+        assert_eq!(index.get(&0), None, "buffered remove survives the batch");
+        assert_eq!(index.get(&1), Some(0), "buffered insert survives the batch");
+        assert_eq!(index.get(&2), Some(0));
+        assert_eq!(index.len(), 1024 + 8 - 1 + 1024);
+        assert_eq!(index.flush_retired(), 0);
+    }
+
+    #[test]
     fn readers_race_split_inducing_writers() {
         let index = EpochAlex::bulk_load(&pairs(8000, 2), splitting_config());
         std::thread::scope(|s| {
@@ -477,5 +807,22 @@ mod tests {
         for (q, got) in queries.iter().zip(&batch) {
             assert_eq!(*got, index.get(q), "key {q}");
         }
+    }
+
+    #[test]
+    fn into_inner_flushes_deltas() {
+        let index = EpochAlex::bulk_load(&pairs(1000, 2), AlexConfig::ga_armi());
+        for k in 0..100u64 {
+            index.insert(2 * k + 1, k).unwrap();
+        }
+        index.remove(&0).unwrap();
+        index.update(&2, 999).unwrap();
+        assert!(index.write_stats().delta_hits > 0, "test needs buffered state");
+        let inner = index.into_inner();
+        assert_eq!(inner.len(), 1099);
+        assert_eq!(inner.get(&0), None);
+        assert_eq!(inner.get(&2), Some(&999));
+        assert_eq!(inner.get(&1), Some(&0));
+        inner.debug_assert_invariants();
     }
 }

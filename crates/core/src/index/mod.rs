@@ -21,6 +21,7 @@
 
 mod build;
 mod concurrent;
+mod delta;
 mod ops;
 mod split;
 mod store;
@@ -36,7 +37,7 @@ use crate::data_node::DataNode;
 use crate::key::AlexKey;
 use crate::stats::{SizeReport, WriteStats};
 
-pub use concurrent::{EpochAlex, EpochStats};
+pub use concurrent::{EpochAlex, EpochStats, EpochWriteStats};
 pub(crate) use store::{LeafNode, Node, NodeId};
 use store::{InnerNode, NodeStore};
 
@@ -100,11 +101,11 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// grows by splitting, §3.4.2).
     pub fn new(config: AlexConfig) -> Self {
         let store = NodeStore::new();
-        store.push(Node::Leaf(LeafNode {
-            data: DataNode::empty(config.layout, config.node),
-            prev: None,
-            next: None,
-        }));
+        store.push(Node::Leaf(LeafNode::new(
+            DataNode::empty(config.layout, config.node),
+            None,
+            None,
+        )));
         Self {
             store,
             root: 0,
@@ -153,6 +154,18 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         &self.config
     }
 
+    /// Fold every leaf's pending delta buffer into its base array
+    /// (exclusive regime). After this, reads and writes touch the
+    /// gapped arrays directly; [`EpochAlex::into_inner`] calls it so
+    /// the recovered index is always delta-free.
+    pub fn flush_deltas(&mut self) {
+        for id in 0..self.store.node_count() {
+            if matches!(self.store.node(id), Node::Leaf(_)) {
+                self.store.leaf_mut(id).flush_delta();
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
@@ -181,7 +194,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     pub fn leaf_sizes(&self) -> Vec<usize> {
         let mut order = Vec::new();
         self.collect_leaves(self.root, &mut order);
-        order.iter().map(|&id| self.store.leaf(id).data.num_keys()).collect()
+        order.iter().map(|&id| self.store.leaf(id).live_keys()).collect()
     }
 
     /// Aggregated write counters across all data nodes plus index-level
@@ -234,7 +247,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                     report.num_data_nodes += 1;
                     // Leaf model + chain pointers.
                     report.index_bytes += 2 * size_of::<f64>() + 2 * size_of::<Option<NodeId>>();
-                    report.data_bytes += l.data.data_size_bytes();
+                    report.data_bytes += l.data.data_size_bytes() + l.delta.size_bytes();
                 }
             }
         }
@@ -247,7 +260,8 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         let mut total = 0;
         for leaf in self.store.leaves() {
             leaf.data.debug_assert_invariants();
-            total += leaf.data.num_keys();
+            leaf.debug_assert_delta_invariants();
+            total += leaf.live_keys();
         }
         assert_eq!(total, self.len(), "len must equal sum of leaf key counts");
         // The chain must visit every key in order.

@@ -61,7 +61,7 @@ impl<'a, K: AlexKey, V> LeafRunRef<'a, K, V> {
     {
         Self {
             leaf,
-            max_key: leaf.data.max_key().copied(),
+            max_key: leaf.routing_max_key(),
             is_tail: leaf.next.is_none(),
         }
     }
@@ -142,7 +142,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         let leaf = self.store.leaf(id);
         LeafRun {
             id,
-            max_key: leaf.data.max_key().copied(),
+            max_key: leaf.routing_max_key(),
             is_tail: leaf.next.is_none(),
         }
     }
@@ -151,9 +151,10 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     // Point operations
     // ------------------------------------------------------------------
 
-    /// Look up `key`.
+    /// Look up `key` (through the merged base + delta view; the delta
+    /// is empty outside the shared write path).
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.route_to_leaf(key).1.data.get(key)
+        self.route_to_leaf(key).1.live_get(key)
     }
 
     /// Whether `key` is present.
@@ -162,10 +163,11 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     }
 
     /// Look up `key` and return a mutable reference to its payload
-    /// (payload updates, §3.2).
+    /// (payload updates, §3.2). Flushes the leaf's delta buffer first
+    /// so the in-place edit and the merged view stay coherent.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         let leaf = self.find_leaf(key);
-        self.store.leaf_mut(leaf).data.get_mut(key)
+        self.store.leaf_data_mut(leaf).get_mut(key)
     }
 
     /// Insert a pair. Errors on duplicates (ALEX does not support
@@ -175,7 +177,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         if self.maybe_split(leaf) {
             return self.insert(key, value);
         }
-        match self.store.leaf_mut(leaf).data.insert(key, value) {
+        match self.store.leaf_data_mut(leaf).insert(key, value) {
             InsertOutcome::Inserted { .. } => {
                 self.len.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -195,7 +197,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
             ..
         } = self.config.rmi
         {
-            self.store.leaf(leaf).data.num_keys() + 1 > max_node_keys
+            self.store.leaf(leaf).live_keys() + 1 > max_node_keys
                 && self.split_leaf(leaf, split_fanout.max(2))
         } else {
             false
@@ -205,7 +207,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Remove `key`, returning its payload.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let leaf = self.find_leaf(key);
-        let v = self.store.leaf_mut(leaf).data.remove(key)?;
+        let v = self.store.leaf_data_mut(leaf).remove(key)?;
         self.len.fetch_sub(1, Ordering::Relaxed);
         Some(v)
     }
@@ -243,7 +245,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                     leaf
                 }
             };
-            out.push(leaf.data.get(key));
+            out.push(leaf.live_get(key));
         }
         out
     }
@@ -284,7 +286,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                 }
                 continue;
             }
-            match self.store.leaf_mut(id).data.insert(*key, value.clone()) {
+            match self.store.leaf_data_mut(id).insert(*key, value.clone()) {
                 InsertOutcome::Inserted { .. } => {
                     self.len.fetch_add(1, Ordering::Relaxed);
                     inserted += 1;
@@ -304,7 +306,8 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     pub fn range_from<'a>(&'a self, key: &K, limit: usize) -> RangeIter<'a, K, V> {
         let (id, leaf) = self.route_to_leaf(key);
         let slot = leaf.data.lower_bound_slot(key);
-        RangeIter::new(self, id, slot, limit)
+        let didx = leaf.delta.lower_bound(key);
+        RangeIter::new(self, id, slot, didx, limit)
     }
 
     /// Visit up to `limit` entries with key `>= key` in order via a
@@ -319,17 +322,15 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// while writers publish.
     pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
         let (_, mut leaf) = self.route_to_leaf(key);
-        let mut slot = leaf.data.lower_bound_slot(key);
-        let mut visited = 0usize;
+        let mut visited = leaf.scan_merged(Some(key), limit, &mut f);
         loop {
-            visited += leaf.data.scan_from_slot(slot, limit - visited, &mut f);
             if visited >= limit {
                 return visited;
             }
             match leaf.next {
                 Some(next) => {
                     leaf = self.descend_first_leaf(next).1;
-                    slot = 0;
+                    visited += leaf.scan_merged(None, limit - visited, &mut f);
                 }
                 None => return visited,
             }
@@ -339,8 +340,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Iterate all entries in key order.
     pub fn iter(&self) -> RangeIter<'_, K, V> {
         // The stored head may predate a head split: normalize.
-        let (head, leaf) = self.descend_first_leaf(self.store.head_leaf());
-        let slot = leaf.data.first_occupied();
-        RangeIter::new(self, head, slot.unwrap_or_else(|| leaf.data.capacity()), usize::MAX)
+        let (head, _) = self.descend_first_leaf(self.store.head_leaf());
+        RangeIter::new(self, head, 0, 0, usize::MAX)
     }
 }

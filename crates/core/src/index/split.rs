@@ -62,8 +62,9 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         // retired slot's inner node. Readers holding the old
         // predecessor snapshot still work: they walk into `id`, find
         // the inner node, and descend. `prev` pointers are write-side
-        // hints only, so the successor is left untouched (saves a
-        // whole-leaf clone per split).
+        // hints only, so the successor is left untouched. The clone
+        // here is shallow (the base array is `Arc`-shared with the
+        // retiring snapshot; only the chain pointer changes).
         if let Some(p) = prev {
             let (pid, pleaf) = self.descend_last_leaf(p);
             debug_assert_eq!(pleaf.next, Some(id), "chain predecessor must point at the split leaf");
@@ -88,8 +89,11 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     ) -> Option<(NodeId, NodeId, Option<NodeId>, Option<NodeId>)> {
         let (pairs, old_model, capacity, prev, next) = {
             let l = self.store.leaf(id);
+            // The *merged* view: any pending delta edits are folded
+            // into the redistributed children, which start with empty
+            // delta buffers.
             (
-                l.data.to_pairs(),
+                l.to_pairs_merged(),
                 l.data.model(),
                 l.data.capacity(),
                 l.prev,
@@ -115,11 +119,11 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         let count = parts.len();
         let child_id = |i: usize| base + i as NodeId;
         for (i, range) in parts.iter().enumerate() {
-            let leaf = LeafNode {
-                data: DataNode::bulk_load(&pairs[range.clone()], self.config.layout, self.config.node),
-                prev: if i == 0 { prev } else { Some(child_id(i - 1)) },
-                next: if i + 1 == count { next } else { Some(child_id(i + 1)) },
-            };
+            let leaf = LeafNode::new(
+                DataNode::bulk_load(&pairs[range.clone()], self.config.layout, self.config.node),
+                if i == 0 { prev } else { Some(child_id(i - 1)) },
+                if i + 1 == count { next } else { Some(child_id(i + 1)) },
+            );
             let got = self.store.push(Node::Leaf(leaf));
             debug_assert_eq!(got, child_id(i));
         }

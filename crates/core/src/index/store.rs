@@ -27,8 +27,12 @@
 
 use crate::data_node::DataNode;
 use crate::epoch::{AtomicSlots, Collector, Guard};
+use crate::key::AlexKey;
 use crate::model::LinearModel;
 use core::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use super::delta::DeltaBuf;
 
 /// Node id in the arena.
 pub(crate) type NodeId = u32;
@@ -54,8 +58,16 @@ pub(crate) struct InnerNode {
     pub children: Vec<NodeId>,
 }
 
-/// A leaf: a data node plus its position in the doubly-linked leaf
-/// chain used by range scans.
+/// A leaf: a data node plus its pending-edit delta buffer and its
+/// position in the doubly-linked leaf chain used by range scans.
+///
+/// The base array sits behind an `Arc` so the shared write path can
+/// publish a *shallow* leaf copy — new delta, same base — without
+/// cloning the whole gapped array per write (`Clone` on this type is
+/// therefore cheap by design; see [`super::delta`] for the merged-view
+/// contract and lifecycle). Exclusive mutation goes through
+/// [`NodeStore::leaf_data_mut`], which flushes the delta and
+/// `Arc::make_mut`s the base.
 ///
 /// Chain pointers may be *stale* after a concurrent split: the
 /// forward walk handles a `next` id whose slot now holds an inner node
@@ -64,9 +76,29 @@ pub(crate) struct InnerNode {
 /// follows it.
 #[derive(Debug, Clone)]
 pub(crate) struct LeafNode<K, V> {
-    pub data: DataNode<K, V>,
+    pub data: Arc<DataNode<K, V>>,
+    pub delta: DeltaBuf<K, V>,
+    /// Net live-key contribution of `delta` (+pending inserts,
+    /// −tombstones), maintained by the writers so `live_keys` — the
+    /// per-write split check — stays O(1) instead of re-walking the
+    /// buffer. Cross-checked against a recount by the debug
+    /// invariants.
+    pub delta_net: isize,
     pub prev: Option<NodeId>,
     pub next: Option<NodeId>,
+}
+
+impl<K, V> LeafNode<K, V> {
+    /// A leaf with an empty delta buffer owning `data` uniquely.
+    pub fn new(data: DataNode<K, V>, prev: Option<NodeId>, next: Option<NodeId>) -> Self {
+        Self {
+            data: Arc::new(data),
+            delta: DeltaBuf::default(),
+            delta_net: 0,
+            prev,
+            next,
+        }
+    }
 }
 
 /// Arena storage for RMI nodes: id allocation, publication, the
@@ -165,6 +197,13 @@ impl<K, V> NodeStore<K, V> {
         }
     }
 
+    /// Number of allocated node slots (ids `0..node_count()` are
+    /// occupied; ids are never reused).
+    #[inline]
+    pub fn node_count(&self) -> NodeId {
+        self.slots.len()
+    }
+
     /// First leaf in key order. After a head split this may
     /// transiently (shared regime) name a slot that now holds an inner
     /// node; callers descend to its leftmost leaf.
@@ -236,14 +275,42 @@ impl<K, V> NodeStore<K, V> {
     }
 }
 
+impl<K: AlexKey, V: Clone + Default> NodeStore<K, V> {
+    /// Exclusive mutable access to the *base array* of the leaf at
+    /// `id`: flushes any pending delta in place first (so in-place
+    /// edits and the merged view stay coherent), then unshares the
+    /// base if a published snapshot still holds it.
+    ///
+    /// # Panics
+    /// Panics if `id` refers to an inner node.
+    #[inline]
+    pub fn leaf_data_mut(&mut self, id: NodeId) -> &mut DataNode<K, V> {
+        let leaf = self.leaf_mut(id);
+        leaf.flush_delta();
+        Arc::make_mut(&mut leaf.data)
+    }
+}
+
 impl<K: Clone, V: Clone> Clone for NodeStore<K, V> {
     /// Deep copy for the exclusive regime (a fresh arena, fresh epoch
-    /// clock, empty retire list). Must not race a writer — `Clone` on
-    /// the shared wrapper is deliberately not provided.
+    /// clock, empty retire list, unshared base arrays). Must not race
+    /// a writer — `Clone` on the shared wrapper is deliberately not
+    /// provided.
     fn clone(&self) -> Self {
         let fresh = Self::new();
         for node in self.iter() {
-            fresh.push(node.clone());
+            fresh.push(match node {
+                Node::Inner(inner) => Node::Inner(inner.clone()),
+                // Unshare the base array: the copy must never alias the
+                // original's data (read counters, make_mut behaviour).
+                Node::Leaf(l) => Node::Leaf(LeafNode {
+                    data: Arc::new((*l.data).clone()),
+                    delta: l.delta.clone(),
+                    delta_net: l.delta_net,
+                    prev: l.prev,
+                    next: l.next,
+                }),
+            });
         }
         fresh.head_leaf.store(self.head_leaf(), Ordering::Relaxed);
         fresh
@@ -266,11 +333,11 @@ mod tests {
     use crate::config::{NodeLayout, NodeParams};
 
     fn leaf(pairs: &[(u64, u64)]) -> Node<u64, u64> {
-        Node::Leaf(LeafNode {
-            data: DataNode::bulk_load(pairs, NodeLayout::Gapped, NodeParams::default()),
-            prev: None,
-            next: None,
-        })
+        Node::Leaf(LeafNode::new(
+            DataNode::bulk_load(pairs, NodeLayout::Gapped, NodeParams::default()),
+            None,
+            None,
+        ))
     }
 
     #[test]

@@ -9,21 +9,36 @@ use crate::key::AlexKey;
 
 /// Iterator over `(key, value)` pairs in key order, produced by
 /// [`AlexIndex::range_from`] and [`AlexIndex::iter`].
+///
+/// Yields the *merged* view of each leaf: base-array entries
+/// interleaved with pending delta-buffer edits (tombstones hide base
+/// entries, buffered puts insert or shadow them). Outside the shared
+/// write path deltas are empty and this degenerates to the plain
+/// base-array walk.
 pub struct RangeIter<'a, K, V> {
     index: &'a AlexIndex<K, V>,
     leaf: Option<NodeId>,
-    /// Next slot to inspect in the current leaf (may be a gap or past
-    /// the end; normalized in `next`).
+    /// Next base slot to inspect in the current leaf (may be a gap or
+    /// past the end; normalized by the leaf's merge step).
     slot: usize,
+    /// Next delta-buffer index to consider in the current leaf.
+    didx: usize,
     remaining: usize,
 }
 
 impl<'a, K: AlexKey, V: Clone + Default> RangeIter<'a, K, V> {
-    pub(crate) fn new(index: &'a AlexIndex<K, V>, leaf: NodeId, slot: usize, remaining: usize) -> Self {
+    pub(crate) fn new(
+        index: &'a AlexIndex<K, V>,
+        leaf: NodeId,
+        slot: usize,
+        didx: usize,
+        remaining: usize,
+    ) -> Self {
         Self {
             index,
             leaf: Some(leaf),
             slot,
+            didx,
             remaining,
         }
     }
@@ -46,28 +61,15 @@ impl<'a, K: AlexKey, V: Clone + Default> Iterator for RangeIter<'a, K, V> {
             if actual_id != leaf_id {
                 self.leaf = Some(actual_id);
             }
-            let cap = leaf.data.capacity();
-            if self.slot < cap {
-                // `slot` may point at a gap (e.g. fresh leaf entry):
-                // normalize to the next occupied slot.
-                let occupied = if leaf.data.num_keys() > 0 {
-                    if self.slot == 0 {
-                        leaf.data.first_occupied()
-                    } else {
-                        leaf.data.next_occupied_after(self.slot - 1)
-                    }
-                } else {
-                    None
-                };
-                if let Some(s) = occupied {
-                    let (k, v) = leaf.data.entry_at(s);
-                    self.slot = s + 1;
-                    self.remaining -= 1;
-                    return Some((k, v));
-                }
+            if let Some(((k, v), slot, didx)) = leaf.merged_next(self.slot, self.didx) {
+                self.slot = slot;
+                self.didx = didx;
+                self.remaining -= 1;
+                return Some((k, v));
             }
             self.leaf = leaf.next;
             self.slot = 0;
+            self.didx = 0;
         }
     }
 }

@@ -77,7 +77,7 @@ mod slots;
 
 pub use config::{AlexConfig, NodeLayout, NodeParams, Placement, RmiMode};
 pub use gapped::{GappedNode, InsertOutcome};
-pub use index::{AlexIndex, DuplicateKey, EpochAlex, EpochStats};
+pub use index::{AlexIndex, DuplicateKey, EpochAlex, EpochStats, EpochWriteStats};
 pub use iter::RangeIter;
 pub use key::AlexKey;
 pub use model::LinearModel;

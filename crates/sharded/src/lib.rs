@@ -26,12 +26,29 @@
 //! **How to choose.** `Epoch` is strictly better under read-heavy
 //! concurrency and is what the multi-threaded driver and the Figure 5
 //! thread sweeps use: readers never block, so split-induced tail
-//! latency disappears from the read path. `Locked` remains for three
+//! latency disappears from the read path. `Locked` remains for two
 //! reasons: as the differential-testing oracle the consistency suite
-//! compares against, for write-dominated workloads where every
-//! operation takes the lock anyway and the epoch path's per-write
-//! leaf clone is pure overhead, and for memory-constrained runs
-//! (copy-on-write keeps retired nodes alive until epochs turn).
+//! compares against, and for memory-constrained runs (copy-on-write
+//! keeps retired nodes alive until epochs turn, and delta buffers add
+//! a bounded side-array per leaf).
+//!
+//! ## Epoch write amortization (delta buffers + run-level CoW)
+//!
+//! Epoch-path writes no longer clone a whole leaf per key. A point
+//! write lands in the owning leaf's bounded **delta buffer** — a
+//! sorted side-array published alongside the immutable leaf snapshot
+//! (capacity via [`AlexConfig::delta_buffer_capacity`] /
+//! `AlexConfig::with_delta_buffer`, `0` restores clone-per-write) —
+//! and the buffer is folded into a fresh gapped array only when it
+//! fills or the leaf splits; each flush retires the replaced leaf
+//! node to the epoch garbage list, exactly like any other
+//! publication. Readers merge base + buffer on the fly, so a
+//! buffered write is visible the instant it is published.
+//! [`ShardedAlex::bulk_insert`] additionally groups each shard's
+//! sorted run by owning leaf and clones/publishes once per run.
+//! [`ShardedAlex::write_stats`] aggregates the per-shard
+//! `leaf_clones` / `delta_hits` / `flushes` counters that prove the
+//! amortization (see the `fig_write_amp` bench bin).
 //!
 //! The type implements the full `alex-api` trait family:
 //! [`IndexRead`] plus [`ConcurrentIndex`] (shared access, used by the
@@ -74,7 +91,7 @@ use std::sync::RwLock;
 
 use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};
 use alex_core::stats::SizeReport;
-use alex_core::{AlexConfig, AlexIndex, AlexKey, EpochAlex, EpochStats};
+use alex_core::{AlexConfig, AlexIndex, AlexKey, EpochAlex, EpochStats, EpochWriteStats};
 use alex_datasets::cdf_points;
 
 /// Which concurrency scheme serves a shard's reads. See the
@@ -481,6 +498,22 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         total
     }
 
+    /// Aggregated epoch write-amplification counters across shards
+    /// (all zero on the locked path, which writes in place under its
+    /// `RwLock`): full leaf clones, delta-buffer hits, and flushes.
+    pub fn write_stats(&self) -> EpochWriteStats {
+        let mut total = EpochWriteStats::default();
+        for shard in &self.shards {
+            if let Shard::Epoch(s) = shard {
+                let stats = s.write_stats();
+                total.leaf_clones += stats.leaf_clones;
+                total.delta_hits += stats.delta_hits;
+                total.flushes += stats.flushes;
+            }
+        }
+        total
+    }
+
     /// Aggregated epoch-reclamation counters across shards (all zero
     /// on the locked path; `global_epoch` is the maximum over shards).
     pub fn epoch_stats(&self) -> EpochStats {
@@ -580,6 +613,16 @@ where
 
     fn remove(&self, key: &K) -> Option<V> {
         ShardedAlex::remove(self, key)
+    }
+
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    where
+        K: Clone,
+        V: Clone,
+    {
+        // Native path: per-shard runs, and per-leaf runs within each
+        // epoch shard (one CoW publication per leaf run).
+        ShardedAlex::bulk_insert(self, pairs)
     }
 }
 
@@ -797,11 +840,44 @@ mod tests {
     #[test]
     fn locked_path_reports_zero_epoch_activity() {
         let index = ShardedAlex::bulk_load_in(ReadPath::Locked, &pairs(1000, 1), 2, AlexConfig::ga_armi());
+        assert!(index.insert(5000, 1));
         assert_eq!(index.epoch_stats(), EpochStats::default());
+        assert_eq!(
+            index.write_stats(),
+            EpochWriteStats::default(),
+            "locked shards write in place: no clones, no buffers"
+        );
         assert_eq!(index.flush_retired(), 0);
         assert_eq!(
             IndexRead::<u64, u64>::label(&index),
             "ShardedAlex[2;locked]"
+        );
+    }
+
+    #[test]
+    fn epoch_shards_aggregate_write_amortization() {
+        let index = ShardedAlex::bulk_load(&pairs(8000, 2), 4, AlexConfig::ga_armi());
+        // Point inserts across all shards: absorbed by delta buffers.
+        for k in 0..2000u64 {
+            assert!(index.insert(2 * k + 1, k));
+        }
+        let stats = index.write_stats();
+        assert_eq!(
+            stats.delta_hits + stats.leaf_clones,
+            2000,
+            "every shard write accounted: {stats:?}"
+        );
+        assert!(stats.delta_hits > stats.flushes, "{stats:?}");
+        // A spanning sorted batch: clones bounded by leaf runs across
+        // shards, not by key count.
+        // Odd keys above the point-phase band (no duplicates).
+        let batch: Vec<(u64, u64)> = (0..8000u64).map(|k| (4001 + 8 * k, k)).collect();
+        let before = index.write_stats().leaf_clones;
+        assert_eq!(index.bulk_insert(&batch), 8000);
+        let clones = index.write_stats().leaf_clones - before;
+        assert!(
+            clones < 8000 / 4,
+            "run-level CoW must amortize across shards: {clones} clones for 8000 keys"
         );
     }
 }

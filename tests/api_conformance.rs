@@ -12,9 +12,10 @@
 
 //! Internally synchronized backends additionally instantiate the
 //! `concurrent` section (scoped readers vs. one writer, payload
-//! equality at quiescence): the sharded front-end on *both* read
-//! paths, the raw epoch-protected `EpochAlex`, and the locked-map
-//! reference.
+//! equality at quiescence, and `&self` batch writes under reader load
+//! ≡ per-key inserts): the sharded front-end on *both* read paths,
+//! the raw epoch-protected `EpochAlex` (whose batch path publishes
+//! once per leaf run), and the locked-map reference.
 
 use alex_repro::alex_api;
 use alex_repro::alex_btree::BPlusTree;

@@ -257,6 +257,220 @@ fn locked_btreemap_passes_the_same_stress() {
     stress(&index, "LockedBTreeMap");
 }
 
+/// The PR-4 gap: `bulk_insert` was never exercised under reader load.
+/// Journal-of-generations oracle for **run-level publication**: each
+/// round the writer re-publishes owned key blocks through
+/// remove + `bulk_insert` at a bumped generation (announced before the
+/// batch call) and appends a fresh split-forcing stripe per batch.
+/// Readers assert, beyond the usual observed ⇒ journaled discipline,
+/// **per-key generation monotonicity within a reader**: slot contents
+/// only ever move forward, so once a reader has seen generation `g`
+/// of a key it must never see `g' < g` — a torn run, a resurrected
+/// old snapshot, or a partial publication interleaved with an older
+/// generation of the same slot would surface exactly there.
+#[test]
+fn bulk_insert_runs_race_readers() {
+    let iters = stress_iters();
+    const BLOCKS: u64 = 8;
+    const BLOCK_KEYS: u64 = 512;
+    let index: EpochAlex<u64, u64> = EpochAlex::new(splitting_config());
+    let oracle: LockedBTreeMap<u64, u64> = LockedBTreeMap::new();
+    let key_space = 2 * BLOCKS * BLOCK_KEYS * (iters + 2);
+    let journal = Journal::new(key_space);
+
+    // Initial load: evens of every block at generation 0, as one batch.
+    let block_keys = |b: u64| (0..BLOCK_KEYS).map(move |i| 2 * (b * BLOCK_KEYS + i));
+    let init: Vec<(u64, u64)> = (0..BLOCKS).flat_map(block_keys).map(|k| (k, payload(k, 0))).collect();
+    for (k, _) in &init {
+        journal.announce(*k, 0);
+    }
+    assert_eq!(index.bulk_insert(&init), init.len());
+    for (k, v) in &init {
+        oracle.insert(*k, *v).expect("oracle load");
+    }
+
+    std::thread::scope(|s| {
+        let (idx, orc, journal) = (&index, &oracle, &journal);
+        s.spawn(move || {
+            for round in 0..iters {
+                let gen = round + 1;
+                for b in 0..BLOCKS {
+                    // Re-publish the block at the next generation: the
+                    // removes retire per key, the batch lands run-wise.
+                    for k in block_keys(b) {
+                        assert_eq!(decode(idx.remove(&k).expect("owned key")).0, k);
+                        orc.remove(&k);
+                    }
+                    let batch: Vec<(u64, u64)> =
+                        block_keys(b).map(|k| (k, payload(k, gen))).collect();
+                    for (k, _) in &batch {
+                        journal.announce(*k, gen);
+                    }
+                    assert_eq!(idx.bulk_insert(&batch), batch.len(), "round {round} block {b}");
+                    for (k, v) in &batch {
+                        orc.insert(*k, *v).expect("oracle republish");
+                    }
+                }
+                // Fresh split-forcing stripe, batched (generation 0).
+                let base = 2 * BLOCKS * BLOCK_KEYS * (round + 1);
+                let stripe: Vec<(u64, u64)> =
+                    (0..BLOCKS * BLOCK_KEYS).map(|i| (base + 2 * i, payload(base + 2 * i, 0))).collect();
+                for (k, _) in &stripe {
+                    journal.announce(*k, 0);
+                }
+                assert_eq!(idx.bulk_insert(&stripe), stripe.len());
+                for (k, v) in &stripe {
+                    orc.insert(*k, *v).expect("oracle stripe");
+                }
+            }
+        });
+        for r in 0..READERS {
+            s.spawn(move || {
+                // Per-reader high-water marks: generation must never
+                // regress for a key this reader has already observed.
+                let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+                let mut check = |label: &str, key: u64, value: u64| {
+                    journal.check_observation(label, key, value);
+                    let (_, gen) = decode(value);
+                    let entry = seen.entry(key).or_insert(gen);
+                    assert!(
+                        gen >= *entry,
+                        "{label}: key {key} regressed from generation {} to {gen}",
+                        *entry
+                    );
+                    *entry = gen;
+                };
+                let mut probe = 11 + r;
+                for round in 0..(iters * 3) {
+                    for _ in 0..1500 {
+                        probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = probe % key_space;
+                        if let Some(v) = idx.get(&key) {
+                            check("bulk-runs get", key, v);
+                        }
+                    }
+                    let start = (round * 643) % (2 * BLOCKS * BLOCK_KEYS);
+                    let mut last = None;
+                    idx.scan_from(&start, 600, |k, v| {
+                        assert!(last.is_none_or(|p| p < *k), "scan out of order at {k}");
+                        check("bulk-runs scan", *k, *v);
+                        last = Some(*k);
+                    });
+                }
+            });
+        }
+    });
+
+    // Oracle equality at quiescence plus clean reclamation.
+    let mut expect: Vec<(u64, u64)> = Vec::new();
+    oracle.scan_from(&0, usize::MAX, &mut |k, v| expect.push((*k, *v)));
+    let mut got = Vec::with_capacity(expect.len());
+    index.scan_from(&0, usize::MAX, |k, v| got.push((*k, *v)));
+    assert_eq!(got, expect, "bulk-runs: final state diverged from the oracle");
+    let pending = index.flush_retired();
+    assert_reclamation_clean("bulk-runs", pending, index.epoch_stats());
+    // The whole point: batches must not have cloned per key.
+    let writes = index.write_stats();
+    assert!(
+        writes.leaf_clones < (expect.len() as u64) + 2 * BLOCKS * BLOCK_KEYS * iters,
+        "leaf clones {} must stay below total keys written",
+        writes.leaf_clones
+    );
+}
+
+/// Run publication is **atomic per leaf**. With splitting disabled and
+/// every key routed to one tail leaf, each `bulk_insert` stripe is a
+/// single publication — so a `get_many` over the full key set (served
+/// from one leaf snapshot) must see every stripe either complete or
+/// not at all, and the set of complete stripes must be a prefix of the
+/// publication order. A torn prefix of a stripe interleaved with an
+/// older generation of the slot would fail both assertions.
+#[test]
+fn single_leaf_bulk_runs_are_all_or_nothing() {
+    const ROUNDS: u64 = 48;
+    const STRIPE_KEYS: u64 = 64;
+    // One leaf forever: adaptive build with everything under
+    // max_node_keys and no split-on-insert.
+    let config = AlexConfig::ga_armi().with_max_node_keys(8192).with_delta_buffer(8);
+    let seed: Vec<(u64, u64)> = (0..STRIPE_KEYS).map(|i| (i * (ROUNDS + 1), payload(i * (ROUNDS + 1), 0))).collect();
+    let index = EpochAlex::bulk_load(&seed, config);
+    // The test's whole premise: everything lives in ONE leaf, so a
+    // get_many over the full key set reads one snapshot.
+    assert_eq!(index.size_report().num_data_nodes, 1, "seed must build a single leaf");
+
+    // Stripe r occupies keys `i * (ROUNDS + 1) + r + 1` — interleaved
+    // with every other stripe, so runs overlap in key space.
+    let stripe_keys = |r: u64| (0..STRIPE_KEYS).map(move |i| i * (ROUNDS + 1) + r + 1);
+    let all_keys: Vec<u64> = {
+        let mut v: Vec<u64> = (0..ROUNDS).flat_map(stripe_keys).collect();
+        v.sort_unstable();
+        v
+    };
+    let published = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let (idx, published, all_keys) = (&index, &published, &all_keys);
+        s.spawn(move || {
+            for r in 0..ROUNDS {
+                let batch: Vec<(u64, u64)> = {
+                    let mut v: Vec<(u64, u64)> =
+                        stripe_keys(r).map(|k| (k, payload(k, 0))).collect();
+                    v.sort_unstable_by_key(|p| p.0);
+                    v
+                };
+                assert_eq!(idx.bulk_insert(&batch), batch.len(), "stripe {r}");
+                published.store(r + 1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..2 {
+            s.spawn(move || {
+                loop {
+                    let before = published.load(Ordering::SeqCst);
+                    // One snapshot: the tail leaf owns every probe, so
+                    // get_many answers the whole batch from one
+                    // published (base, delta) pair.
+                    let got = idx.get_many(all_keys);
+                    let mut complete = Vec::new();
+                    for r in 0..ROUNDS {
+                        let present = stripe_keys(r)
+                            .filter(|k| {
+                                let pos = all_keys.binary_search(k).expect("probe key");
+                                got[pos].is_some()
+                            })
+                            .count() as u64;
+                        assert!(
+                            present == 0 || present == STRIPE_KEYS,
+                            "stripe {r} torn: {present}/{STRIPE_KEYS} keys visible"
+                        );
+                        complete.push(present == STRIPE_KEYS);
+                    }
+                    // Publication order ⇒ complete stripes form a prefix.
+                    let frontier = complete.iter().take_while(|&&c| c).count();
+                    assert!(
+                        complete[frontier..].iter().all(|&c| !c),
+                        "stripes visible out of publication order: {complete:?}"
+                    );
+                    // And at least everything published before this
+                    // snapshot started must already be visible.
+                    assert!(
+                        frontier as u64 >= before,
+                        "snapshot missed already-published stripes: saw {frontier}, expected >= {before}"
+                    );
+                    if before == ROUNDS {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(index.len(), (STRIPE_KEYS * (ROUNDS + 1)) as usize);
+    assert_eq!(index.size_report().num_data_nodes, 1, "splitting must stay disabled");
+    assert_eq!(index.flush_retired(), 0);
+    let stats = index.epoch_stats();
+    assert_eq!(stats.retired_total, stats.freed_total);
+}
+
 #[test]
 fn pinned_scope_blocks_reclamation_until_quiescence() {
     // A long-running reader (one continuous scan) overlapping heavy

@@ -8,7 +8,7 @@ use alex_repro::alex_btree::BPlusTree;
 use alex_repro::alex_core::analysis::{
     base_slope, measure_direct_hits, theorem2_upper_bound, theorem3_lower_bound,
 };
-use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_core::{AlexConfig, AlexIndex, EpochAlex};
 use alex_repro::alex_pma::Pma;
 use proptest::prelude::*;
 
@@ -68,6 +68,84 @@ fn check_ops(cfg: AlexConfig, ops: Vec<Op>) -> Result<(), TestCaseError> {
     check_ops_against_model(cfg, &ops)
 }
 
+/// Drive [`EpochAlex`]'s shared (`&self`) write path — delta-buffered
+/// copy-on-write with the given buffer capacity — against a `BTreeMap`
+/// oracle. Tiny capacities (0, 1, 2) force a flush on almost every
+/// write, so the buffer/flush boundary and tombstone re-insert paths
+/// are crossed constantly. Every third scan issues inserts from inside
+/// its own callback (into a reserved key band below the scanned
+/// range), so later leaves are republished, flushed, and split while
+/// the scan is mid-flight — its snapshot-based walk must not care.
+/// Finally `into_inner` flushes all residue and the recovered
+/// exclusive index must iterate (`range_from` order included) exactly
+/// like the oracle.
+fn check_epoch_ops(cap: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+    /// Op keys live in `RESERVED..`; mid-scan inserts take keys below.
+    const RESERVED: u64 = 4000;
+    let cfg = AlexConfig::ga_armi()
+        .with_max_node_keys(128)
+        .with_splitting()
+        .with_delta_buffer(cap);
+    let index: EpochAlex<u64, u64> = EpochAlex::new(cfg);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut scans = 0u64;
+    let mut next_reserved = 0u64;
+    for op in ops {
+        match *op {
+            Op::Insert(k) => {
+                let k = k + RESERVED;
+                let inserted = index.insert(k, k * 2).is_ok();
+                let expected = model.insert(k, k * 2).is_none();
+                prop_assert_eq!(inserted, expected, "insert {} (cap {})", k, cap);
+            }
+            Op::Remove(k) => {
+                let k = k + RESERVED;
+                prop_assert_eq!(index.remove(&k), model.remove(&k), "remove {} (cap {})", k, cap);
+            }
+            Op::Get(k) => {
+                let k = k + RESERVED;
+                prop_assert_eq!(index.get(&k), model.get(&k).copied(), "get {} (cap {})", k, cap);
+            }
+            Op::Scan(k, l) => {
+                let k = k + RESERVED;
+                scans += 1;
+                let inject = scans.is_multiple_of(3) && next_reserved < RESERVED;
+                let expect: Vec<(u64, u64)> =
+                    model.range(k..).take(l).map(|(k, v)| (*k, *v)).collect();
+                let mut got = Vec::new();
+                let mut injected: Option<u64> = None;
+                index.scan_from(&k, l, |k, v| {
+                    got.push((*k, *v));
+                    if inject && injected.is_none() {
+                        // Mid-scan write below the scanned range:
+                        // forces flush/split churn under the scan.
+                        index.insert(next_reserved, 7).unwrap();
+                        injected = Some(next_reserved);
+                    }
+                });
+                prop_assert_eq!(got, expect, "scan from {} limit {} (cap {})", k, l, cap);
+                if let Some(res) = injected {
+                    model.insert(res, 7);
+                    next_reserved += 1;
+                }
+            }
+        }
+        prop_assert_eq!(index.len(), model.len());
+    }
+    // Recover the exclusive index: every pending buffer flushes; full
+    // ordered iteration (RangeIter) must match the oracle exactly.
+    let inner = index.into_inner();
+    let got: Vec<(u64, u64)> = inner.iter().map(|(k, v)| (*k, *v)).collect();
+    let expect: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    prop_assert_eq!(got, expect, "recovered index diverged (cap {})", cap);
+    if let Some((first, _)) = model.iter().next() {
+        let tail: Vec<u64> = inner.range_from(first, 100).map(|(k, _)| *k).collect();
+        let tail_expect: Vec<u64> = model.keys().take(100).copied().collect();
+        prop_assert_eq!(tail, tail_expect);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -94,6 +172,20 @@ proptest! {
     #[test]
     fn alex_pma_srmi_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
         check_ops(AlexConfig::pma_srmi(8), ops)?;
+    }
+
+    #[test]
+    fn epoch_alex_tiny_delta_caps_match_btreemap(
+        cap in 0usize..3,
+        ops in prop::collection::vec(op_strategy(), 1..400),
+    ) {
+        // Capacities 0, 1, 2: near-constant flushes on the shared path.
+        check_epoch_ops(cap, &ops)?;
+    }
+
+    #[test]
+    fn epoch_alex_default_delta_cap_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_epoch_ops(32, &ops)?;
     }
 
     #[test]
