@@ -213,8 +213,25 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
         index
     }
 
+    /// Acquire the writer mutex, **recovering from poisoning**.
+    ///
+    /// A writer that panics (e.g. a payload `Clone` unwinding inside
+    /// `remove`) poisons the mutex, and propagating that poison would
+    /// permanently brick every later write to this index — and, once
+    /// WAL appends run under this lock, every durable write to the
+    /// shard. Recovery is sound here because writers are
+    /// copy-on-write: a mutation becomes visible only through the
+    /// single atomic `publish` of a replacement node, so at every
+    /// unwind point the published tree is a consistent state (either
+    /// the write landed in full or not at all). The guard protects
+    /// *mutual exclusion*, not data invariants, so the poison flag
+    /// carries no information worth dying for. Contrast the `Locked`
+    /// baseline paths, which mutate in place under an `RwLock` and
+    /// correctly keep propagating poison.
     fn write_lock(&self) -> MutexGuard<'_, ()> {
-        self.writer.lock().expect("writer mutex poisoned")
+        self.writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Configured per-leaf delta-buffer capacity (0 = buffering off).
@@ -256,6 +273,38 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
         let _guard = self.index.store.pin();
         self.index.get_many(keys).into_iter().map(|v| v.cloned()).collect()
+    }
+
+    /// Visit every leaf's **merged live pairs** in key order under a
+    /// single epoch pin — the serialization hook the `alex-wal`
+    /// snapshotter drives. Writers are never stopped: the walk reads
+    /// published (immutable) leaf snapshots one at a time, so each
+    /// leaf is observed at a possibly different instant while keys
+    /// stay strictly increasing across the whole walk — exactly the
+    /// consistency model scans already document. Each callback slice
+    /// is one leaf's base array with its delta buffer folded in.
+    ///
+    /// This is a durability flush boundary, so it *always* (release
+    /// builds included) cross-checks each leaf's cached `delta_net`
+    /// against a recount: a drifted count would silently corrupt the
+    /// snapshot's recorded population.
+    ///
+    /// # Panics
+    /// Panics if a leaf's `delta_net` bookkeeping has drifted — index
+    /// corruption a snapshot must not persist.
+    pub fn leaf_snapshots(&self, mut f: impl FnMut(&[(K, V)])) {
+        let _guard = self.index.store.pin();
+        let (_, mut leaf) = self.index.descend_first_leaf(self.index.store.head_leaf());
+        loop {
+            leaf.assert_delta_net_coherent();
+            f(&leaf.to_pairs_merged());
+            // A `next` pointer may name a slot a concurrent split just
+            // replaced with a routing node; descending normalizes it.
+            match leaf.next {
+                Some(next) => leaf = self.index.descend_first_leaf(next).1,
+                None => break,
+            }
+        }
     }
 
     /// Number of stored entries.
@@ -493,6 +542,12 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     /// array. The subsequent `Arc::make_mut` by the caller is then
     /// in place.
     fn flush_clone(&self, fresh: &mut LeafNode<K, V>) {
+        // Flush boundary: the cached net delta is about to be folded
+        // into a fresh base array, so verify it against a recount even
+        // in release builds — cheap (`O(delta · log leaf)`) next to
+        // the `O(leaf)` copy this path already pays, and the last
+        // moment a drift is caught before it corrupts the new base.
+        fresh.assert_delta_net_coherent();
         if !fresh.delta.is_empty() {
             self.writes.flushes.fetch_add(1, Ordering::Relaxed);
         }
@@ -824,5 +879,73 @@ mod tests {
         assert_eq!(inner.get(&2), Some(&999));
         assert_eq!(inner.get(&1), Some(&0));
         inner.debug_assert_invariants();
+    }
+
+    /// A payload whose `Clone` panics while armed — lets a test unwind
+    /// inside a writer at a controlled point.
+    #[derive(Debug, Default)]
+    struct Grenade {
+        armed: Arc<core::sync::atomic::AtomicBool>,
+    }
+
+    impl Clone for Grenade {
+        fn clone(&self) -> Self {
+            assert!(
+                !self.armed.load(Ordering::SeqCst),
+                "armed payload cloned inside a writer (intentional test panic)"
+            );
+            Self { armed: Arc::clone(&self.armed) }
+        }
+    }
+
+    #[test]
+    fn poisoned_writer_mutex_does_not_wedge_later_writes() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let index: EpochAlex<u64, Grenade> = EpochAlex::new(AlexConfig::ga_armi());
+        let armed = Arc::new(core::sync::atomic::AtomicBool::new(false));
+        index.insert(1, Grenade { armed: Arc::clone(&armed) }).unwrap();
+        // `remove` clones the evicted payload while holding the writer
+        // mutex; arming the grenade makes that clone unwind, poisoning
+        // the mutex before any mutation is published.
+        armed.store(true, Ordering::SeqCst);
+        let unwound = catch_unwind(AssertUnwindSafe(|| index.remove(&1))).is_err();
+        assert!(unwound, "the armed payload must panic inside the writer");
+        armed.store(false, Ordering::SeqCst);
+        // The panic hit before publication, so the tree is unchanged…
+        assert!(index.contains(&1), "unwound remove must not have landed");
+        // …and, the regression: writes after the poisoning still work.
+        index.insert(2, Grenade::default()).unwrap();
+        assert!(index.contains(&2));
+        assert!(index.remove(&1).is_some());
+        assert!(!index.contains(&1));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.flush_retired(), 0);
+    }
+
+    #[test]
+    fn leaf_snapshots_yield_merged_state_in_key_order() {
+        let index = EpochAlex::bulk_load(&pairs(2000, 2), splitting_config());
+        for k in 0..200u64 {
+            index.insert(2 * k + 1, k).unwrap();
+        }
+        index.remove(&0).unwrap();
+        index.update(&2, 999).unwrap();
+        let mut all = Vec::new();
+        let mut leaves = 0usize;
+        index.leaf_snapshots(|leaf| {
+            leaves += 1;
+            all.extend_from_slice(leaf);
+        });
+        assert!(leaves > 1, "splitting config must produce a leaf chain");
+        assert!(
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys must stay strictly increasing across the whole walk"
+        );
+        assert_eq!(all.len(), index.len());
+        assert_eq!(all.iter().find(|(k, _)| *k == 2).map(|(_, v)| *v), Some(999));
+        assert!(!all.iter().any(|(k, _)| *k == 0), "removed key must not appear");
+        for (k, v) in all.iter().step_by(37) {
+            assert_eq!(index.get(k), Some(*v), "key {k}");
+        }
     }
 }

@@ -189,6 +189,24 @@ impl<K: AlexKey, V: Clone + Default> LeafNode<K, V> {
             .expect("net delta can never exceed the base population")
     }
 
+    /// Always-on form of the `delta_net` cross-check: assert the
+    /// cached net delta matches a recount, in release builds too.
+    ///
+    /// Called at the durability flush boundaries — epoch flush-clones
+    /// and `leaf_snapshots` serialization — where a drifted cache
+    /// would be *persisted* (a snapshot's recorded population and the
+    /// split-threshold arithmetic both trust `delta_net`). The recount
+    /// is `O(delta · log leaf)`, negligible next to the `O(leaf)`
+    /// work both boundaries already do; the per-read hot path keeps
+    /// the `debug_assert_eq!` in [`LeafNode::live_keys`] instead.
+    pub(crate) fn assert_delta_net_coherent(&self) {
+        assert_eq!(
+            self.delta_net,
+            self.recount_delta_net(),
+            "delta_net drifted: cached net delta disagrees with a recount"
+        );
+    }
+
     /// Recount the delta's net live-key contribution from scratch
     /// (`O(delta · log leaf)`) — the ground truth `delta_net` caches.
     pub(crate) fn recount_delta_net(&self) -> isize {

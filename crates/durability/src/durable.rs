@@ -1,0 +1,627 @@
+//! [`DurableAlex`]: the epoch index with a WAL in front and
+//! snapshots behind — the integration layer the rest of the crate
+//! exists for.
+//!
+//! ## Write protocol
+//!
+//! Every mutation runs under the WAL mutex, which therefore doubles
+//! as the operation serializer for durable writes (the inner
+//! [`EpochAlex`] writer mutex still serializes against any direct
+//! writers and splits). Within one hold the operation checks the
+//! index, appends its record, applies the change, and lets the group
+//! commit policy decide whether to flush — so the log's record order
+//! **is** the apply order, the invariant all replay reasoning rests
+//! on. Readers never touch the mutex: they go straight to the
+//! epoch-pinned lock-free read path.
+//!
+//! ## Why recovery is exact (the snapshot-LSN ≤ replay-start proof)
+//!
+//! A snapshot captures its LSN `L` while holding the WAL mutex (after
+//! committing the buffer), so every operation is on one side of `L`:
+//! fully applied *and* logged with LSN `<= L`, or not yet started.
+//! Leaf serialization then proceeds *without* the mutex — writers are
+//! never stopped — reading published leaf snapshots. Each serialized
+//! leaf therefore reflects a per-leaf **prefix** of the operation
+//! sequence up to some `Lᵢ >= L` (operations are applied in LSN order
+//! and each publishes atomically). Recovery replays every record with
+//! LSN `> L` in order: records in `(L, Lᵢ]` for some leaf are
+//! *re-applied* to state that already contains them, which is safe
+//! because both record kinds are idempotent re-applications — a `Put`
+//! replays as an upsert (set `key` to exactly this value) and a
+//! `Tombstone` as a remove-if-present. After replay every leaf has
+//! seen exactly the effects of records `1..=last_lsn`, i.e. the
+//! recovered index equals the pre-crash committed state. This is also
+//! why replay **must** upsert rather than insert-or-skip: an update
+//! logs a `Put`, and skipping it because the key exists would resurrect
+//! the older value.
+//!
+//! ## What a crash can and cannot lose
+//!
+//! With [`SyncPolicy::Always`] and `group_commit_ops == 1` nothing
+//! acknowledged is ever lost. With a larger group size, a crash loses
+//! at most the acknowledged-but-uncommitted suffix — never a prefix,
+//! never an interleaving: the log is truncated at its first torn or
+//! corrupt frame, so recovery always lands on an exact operation-
+//! sequence prefix. [`DurableAlex`] deliberately does **not** commit
+//! in `Drop`; dropping the handle without [`DurableAlex::flush_wal`]
+//! *is* the crash simulation the differential tests rely on.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use alex_core::{AlexConfig, AlexIndex, EpochAlex};
+
+use crate::codec::WalCodec;
+use crate::DurableKey;
+use crate::log::{scan_and_repair, SyncPolicy, Wal, WalOptions, WalStats};
+use crate::record::{Lsn, WalRecord};
+use crate::snapshot::{find_best_snapshot, publish_snapshot, SnapshotWriter};
+
+/// What [`DurableAlex::open`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot the index was rebuilt from (0 = none).
+    pub snapshot_lsn: Lsn,
+    /// Leaf pages the snapshot contributed.
+    pub snapshot_leaves: usize,
+    /// Highest intact LSN in the log; the recovered index reflects
+    /// exactly operations `1..=last_lsn`.
+    pub last_lsn: Lsn,
+    /// `Put`/`Tombstone` records above the snapshot LSN that were
+    /// re-applied (checkpoint breadcrumbs are skipped, not counted).
+    pub replayed: usize,
+    /// Bytes cut off a torn or corrupt segment tail.
+    pub truncated_bytes: u64,
+    /// Whole segments discarded after the damage point.
+    pub dropped_segments: usize,
+}
+
+/// A durable [`EpochAlex`]: all writes go through a write-ahead log,
+/// snapshots bound recovery work, reads stay lock-free. See the
+/// module docs for the protocol and the crate docs for the formats.
+#[derive(Debug)]
+pub struct DurableAlex<K, V> {
+    inner: EpochAlex<K, V>,
+    wal: Mutex<Wal<K, V>>,
+    dir: PathBuf,
+    sync: SyncPolicy,
+}
+
+impl<K, V> DurableAlex<K, V>
+where
+    K: DurableKey,
+    V: Clone + Default + WalCodec,
+{
+    /// Initialize a **new** durable index in `dir` from sorted,
+    /// strictly-increasing pairs. Refuses a directory that already
+    /// holds WAL segments or snapshots (open that with
+    /// [`DurableAlex::open`] instead).
+    ///
+    /// Bulk-loaded pairs never pass through the WAL, so `create`
+    /// writes (and publishes) an initial snapshot before returning —
+    /// otherwise a crash before the first explicit snapshot would
+    /// silently drop the whole load.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        pairs: &[(K, V)],
+        config: AlexConfig,
+        opts: WalOptions,
+    ) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let has_state = !crate::snapshot::list_snapshots(&dir)?.is_empty()
+            || !crate::log::list_segments(&dir)?.is_empty();
+        if has_state {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "directory already holds a durable index",
+            ));
+        }
+        let wal = Wal::create(&dir, opts)?;
+        let this = Self {
+            inner: EpochAlex::from_index(AlexIndex::bulk_load(pairs, config)),
+            wal: Mutex::new(wal),
+            dir,
+            sync: opts.sync,
+        };
+        this.snapshot()?;
+        Ok(this)
+    }
+
+    /// Recover the index in `dir`: load the newest complete snapshot,
+    /// repair the log (truncating any torn tail), and replay the tail
+    /// above the snapshot LSN through the normal write paths. An
+    /// empty or missing directory recovers to an empty index.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: AlexConfig,
+        opts: WalOptions,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let snapshot = find_best_snapshot::<K, V>(&dir)?;
+        let (snapshot_lsn, snapshot_leaves, pairs) = match snapshot {
+            Some(data) => {
+                let leaves = data.leaves.len();
+                let mut pairs = Vec::with_capacity(data.leaves.iter().map(Vec::len).sum());
+                for leaf in data.leaves {
+                    pairs.extend(leaf);
+                }
+                debug_assert!(
+                    pairs.windows(2).all(|w| w[0].0 < w[1].0),
+                    "snapshot pages must concatenate sorted"
+                );
+                (data.snapshot_lsn, leaves, pairs)
+            }
+            None => (0, 0, Vec::new()),
+        };
+        let inner = EpochAlex::from_index(AlexIndex::bulk_load(&pairs, config));
+        drop(pairs);
+        let scan = scan_and_repair::<K, V>(&dir)?;
+        let mut replayed = 0usize;
+        let mut run: Vec<(K, V)> = Vec::new();
+        let flush_run = |run: &mut Vec<(K, V)>, inner: &EpochAlex<K, V>| {
+            if run.is_empty() {
+                return;
+            }
+            // The normal bulk path skips duplicates, but a replayed
+            // `Put` must win (it may be an update); bulk-insert the
+            // run only when every key is absent, else upsert each.
+            let keys: Vec<K> = run.iter().map(|(k, _)| *k).collect();
+            if inner.get_many(&keys).iter().all(Option::is_none) {
+                let landed = inner.bulk_insert(run);
+                debug_assert_eq!(landed, run.len());
+            } else {
+                for (k, v) in run.drain(..) {
+                    upsert_in(inner, k, v);
+                }
+            }
+            run.clear();
+        };
+        for (lsn, record) in scan.records {
+            if lsn <= snapshot_lsn {
+                continue;
+            }
+            match record {
+                WalRecord::Put { key, value } => {
+                    replayed += 1;
+                    // Batch maximal strictly-increasing runs so big
+                    // sequential tails replay through the run-level
+                    // CoW bulk path instead of one publish per record.
+                    if run.last().is_some_and(|(last, _)| *last >= key) {
+                        flush_run(&mut run, &inner);
+                    }
+                    run.push((key, value));
+                }
+                WalRecord::Tombstone { key } => {
+                    replayed += 1;
+                    flush_run(&mut run, &inner);
+                    inner.remove(&key);
+                }
+                WalRecord::Checkpoint { .. } => {}
+            }
+        }
+        flush_run(&mut run, &inner);
+        let last_lsn = scan.last_lsn.max(snapshot_lsn);
+        let report = RecoveryReport {
+            snapshot_lsn,
+            snapshot_leaves,
+            last_lsn,
+            replayed,
+            truncated_bytes: scan.truncated_bytes,
+            dropped_segments: scan.dropped_segments,
+        };
+        let wal = Wal::resume(&dir, opts, last_lsn + 1, last_lsn);
+        let this = Self { inner, wal: Mutex::new(wal), dir, sync: opts.sync };
+        Ok((this, report))
+    }
+
+    /// The WAL mutex serializes durable writers; like the inner
+    /// writer mutex (and for the same CoW reason — see
+    /// `EpochAlex::write_lock`), poisoning is recovered from rather
+    /// than propagated: at every unwind point the log holds whole
+    /// frames and the published tree is consistent.
+    fn wal_lock(&self) -> MutexGuard<'_, Wal<K, V>> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // ------------------------------------------------------------------
+    // Logged writes
+    // ------------------------------------------------------------------
+
+    /// Insert a fresh pair. `Ok(false)` (duplicate) neither changes
+    /// the index nor logs anything.
+    pub fn insert(&self, key: K, value: V) -> io::Result<bool> {
+        let mut wal = self.wal_lock();
+        if self.inner.contains(&key) {
+            return Ok(false);
+        }
+        wal.append(&WalRecord::Put { key, value: value.clone() });
+        self.inner
+            .insert(key, value)
+            .expect("key checked absent under the WAL mutex");
+        wal.commit_if_due()?;
+        Ok(true)
+    }
+
+    /// Replace the payload of an existing key; absent keys log
+    /// nothing.
+    pub fn update(&self, key: &K, value: V) -> io::Result<Option<V>> {
+        let mut wal = self.wal_lock();
+        if !self.inner.contains(key) {
+            return Ok(None);
+        }
+        wal.append(&WalRecord::Put { key: *key, value: value.clone() });
+        let old = self.inner.update(key, value);
+        debug_assert!(old.is_some(), "key checked present under the WAL mutex");
+        wal.commit_if_due()?;
+        Ok(old)
+    }
+
+    /// Insert-or-replace; both cases log the same `Put` record (and
+    /// that ambiguity is fine — see the module docs on why replay
+    /// upserts).
+    pub fn upsert(&self, key: K, value: V) -> io::Result<Option<V>> {
+        let mut wal = self.wal_lock();
+        wal.append(&WalRecord::Put { key, value: value.clone() });
+        let old = match self.inner.update(&key, value.clone()) {
+            Some(old) => Some(old),
+            None => {
+                self.inner
+                    .insert(key, value)
+                    .expect("absent key insert under the WAL mutex");
+                None
+            }
+        };
+        wal.commit_if_due()?;
+        Ok(old)
+    }
+
+    /// Remove `key`, returning its payload. Absent keys log nothing.
+    pub fn remove(&self, key: &K) -> io::Result<Option<V>> {
+        let mut wal = self.wal_lock();
+        let Some(old) = self.inner.remove(key) else {
+            return Ok(None);
+        };
+        wal.append(&WalRecord::Tombstone { key: *key });
+        wal.commit_if_due()?;
+        Ok(Some(old))
+    }
+
+    /// Sorted-batch insert through the run-level CoW path, logged as
+    /// one group commit. Returns the number actually inserted.
+    ///
+    /// Only the pairs that *land* are logged: the in-memory path
+    /// skips duplicates, but replay upserts, so logging a skipped
+    /// pair would make recovery disagree with the live index.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not sorted by key.
+    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> io::Result<usize> {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_insert input must be sorted by key"
+        );
+        let mut wal = self.wal_lock();
+        let keys: Vec<K> = pairs.iter().map(|(k, _)| *k).collect();
+        let present = self.inner.get_many(&keys);
+        let mut fresh: Vec<(K, V)> = Vec::with_capacity(pairs.len());
+        for ((key, value), hit) in pairs.iter().zip(&present) {
+            // Also collapses equal-key repeats within the batch (first
+            // wins, matching the in-memory path's outcome).
+            if hit.is_none() && fresh.last().is_none_or(|(last, _)| *last < *key) {
+                fresh.push((*key, value.clone()));
+            }
+        }
+        let landed = self.inner.bulk_insert(&fresh);
+        debug_assert_eq!(landed, fresh.len(), "pre-filtered batch must land in full");
+        for (key, value) in &fresh {
+            wal.append(&WalRecord::Put { key: *key, value: value.clone() });
+        }
+        // One commit for the whole batch regardless of group size:
+        // the batch is acknowledged as a unit, so it is made durable
+        // as a unit.
+        wal.commit()?;
+        Ok(landed)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability control
+    // ------------------------------------------------------------------
+
+    /// Commit any buffered records now, regardless of group size.
+    pub fn flush_wal(&self) -> io::Result<Lsn> {
+        self.wal_lock().commit()
+    }
+
+    /// Write, publish, and GC down to a fresh snapshot of the current
+    /// state; returns its LSN. Writers are paused only to capture the
+    /// LSN (a commit), not while leaves serialize; see the module
+    /// docs for why concurrent writes during serialization recover
+    /// exactly.
+    pub fn snapshot(&self) -> io::Result<Lsn> {
+        let lsn = {
+            let mut wal = self.wal_lock();
+            wal.commit()?
+        };
+        let mut writer: SnapshotWriter<K, V> =
+            SnapshotWriter::create(&self.dir, lsn, self.sync == SyncPolicy::Always)?;
+        let mut io_err: Option<io::Error> = None;
+        self.inner.leaf_snapshots(|leaf| {
+            if io_err.is_none() {
+                if let Err(e) = writer.append_leaf(leaf) {
+                    io_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        writer.finish()?;
+        publish_snapshot(&self.dir, lsn, self.sync == SyncPolicy::Always)?;
+        let mut wal = self.wal_lock();
+        wal.append(&WalRecord::Checkpoint { snapshot_lsn: lsn });
+        wal.commit_if_due()?;
+        wal.truncate_before(lsn)?;
+        Ok(lsn)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads and diagnostics (lock-free, delegated)
+    // ------------------------------------------------------------------
+
+    /// Point lookup (lock-free, epoch-pinned).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+
+    /// Visit up to `limit` entries with key `>= key` in order.
+    pub fn scan_from(&self, key: &K, limit: usize, f: impl FnMut(&K, &V)) -> usize {
+        self.inner.scan_from(key, limit, f)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The wrapped concurrent index, for read-side APIs this wrapper
+    /// does not mirror (stats, `get_many`, …). Its direct write
+    /// methods also work — they just are not logged, which is only
+    /// sensible for data the caller re-derives after a crash.
+    pub fn index(&self) -> &EpochAlex<K, V> {
+        &self.inner
+    }
+
+    /// Highest LSN assigned (0 if none).
+    pub fn last_lsn(&self) -> Lsn {
+        self.wal_lock().last_lsn()
+    }
+
+    /// Highest LSN pushed to the OS; a crash loses nothing at or
+    /// below this.
+    pub fn committed_lsn(&self) -> Lsn {
+        self.wal_lock().committed_lsn()
+    }
+
+    /// The log's group-commit counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal_lock().stats()
+    }
+
+    /// The directory this index persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn upsert_in<K, V>(inner: &EpochAlex<K, V>, key: K, value: V)
+where
+    K: DurableKey,
+    V: Clone + Default,
+{
+    if inner.update(&key, value.clone()).is_none() {
+        inner.insert(key, value).expect("insert after failed update under replay");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn no_sync() -> WalOptions {
+        WalOptions { sync: SyncPolicy::Never, ..WalOptions::default() }
+    }
+
+    fn config() -> AlexConfig {
+        AlexConfig::ga_armi().with_max_node_keys(256).with_splitting()
+    }
+
+    #[test]
+    fn create_write_drop_open_round_trips() {
+        let dir = TempDir::new("durable-roundtrip");
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|k| (k * 3, k)).collect();
+        let index = DurableAlex::create(dir.path(), &pairs, config(), no_sync()).unwrap();
+        assert!(index.insert(1, 111).unwrap());
+        assert!(!index.insert(1, 222).unwrap(), "duplicate insert must refuse");
+        assert_eq!(index.update(&1, 333).unwrap(), Some(111));
+        assert_eq!(index.remove(&3).unwrap(), Some(1));
+        assert_eq!(index.upsert(2, 22).unwrap(), None);
+        assert_eq!(index.upsert(2, 23).unwrap(), Some(22));
+        drop(index); // group size 1: everything is already committed
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), 1001);
+        assert_eq!(back.get(&1), Some(333));
+        assert_eq!(back.get(&2), Some(23));
+        assert_eq!(back.get(&3), None);
+        assert_eq!(back.get(&6), Some(2));
+        assert!(report.replayed > 0);
+        assert_eq!(report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn create_snapshots_the_bulk_load_immediately() {
+        let dir = TempDir::new("durable-initial-snap");
+        let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k * 2, k)).collect();
+        let index = DurableAlex::create(dir.path(), &pairs, config(), no_sync()).unwrap();
+        drop(index); // crash right after create: no WAL records at all
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), 500, "bulk-loaded pairs must survive via the initial snapshot");
+        assert_eq!(report.replayed, 0);
+        assert!(report.snapshot_leaves > 0);
+    }
+
+    #[test]
+    fn open_on_a_fresh_directory_starts_empty() {
+        let dir = TempDir::new("durable-fresh");
+        let (index, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(report, RecoveryReport {
+            snapshot_lsn: 0,
+            snapshot_leaves: 0,
+            last_lsn: 0,
+            replayed: 0,
+            truncated_bytes: 0,
+            dropped_segments: 0,
+        });
+        assert!(index.insert(5, 50).unwrap());
+        drop(index);
+        let (back, _) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.get(&5), Some(50));
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_gcs_the_log() {
+        let dir = TempDir::new("durable-snap-bounds");
+        let index = DurableAlex::create(dir.path(), &[], config(), no_sync()).unwrap();
+        for k in 0..200u64 {
+            index.insert(k, k).unwrap();
+        }
+        let snap_lsn = index.snapshot().unwrap();
+        // 200 inserts, plus the checkpoint breadcrumb create's own
+        // initial snapshot logged at LSN 1.
+        assert_eq!(snap_lsn, 201);
+        for k in 200..230u64 {
+            index.insert(k, k).unwrap();
+        }
+        drop(index);
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(report.snapshot_lsn, 201);
+        // Only the tail above the snapshot replays.
+        assert_eq!(report.replayed, 30);
+        assert_eq!(back.len(), 230);
+        assert_eq!(back.get(&215), Some(215));
+    }
+
+    #[test]
+    fn bulk_insert_logs_only_landed_pairs() {
+        let dir = TempDir::new("durable-bulk");
+        let index = DurableAlex::create(dir.path(), &[], config(), no_sync()).unwrap();
+        index.insert(10, 1).unwrap();
+        index.update(&10, 2).unwrap();
+        // 10 is a duplicate; 20 repeats within the batch.
+        let batch = vec![(10u64, 99u64), (20, 200), (20, 201), (30, 300)];
+        assert_eq!(index.bulk_insert(&batch).unwrap(), 2);
+        assert_eq!(index.get(&10), Some(2), "duplicate must not clobber");
+        assert_eq!(index.get(&20), Some(200), "first equal-key pair wins");
+        drop(index);
+        let (back, _) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.get(&10), Some(2), "replay must agree with the live outcome");
+        assert_eq!(back.get(&20), Some(200));
+        assert_eq!(back.get(&30), Some(300));
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn group_commit_loses_only_the_uncommitted_suffix() {
+        let dir = TempDir::new("durable-group");
+        let opts = WalOptions { group_commit_ops: 10, ..no_sync() };
+        let index = DurableAlex::create(dir.path(), &[], config(), opts).unwrap();
+        for k in 0..25u64 {
+            index.insert(k, k * 7).unwrap();
+        }
+        // The checkpoint breadcrumb took LSN 1 and key k sits at LSN
+        // k + 2, so the second group commit closes at LSN 20 (key 18)
+        // and the 6 records above it sit in the buffer and die with
+        // the process.
+        let durable = index.committed_lsn();
+        assert_eq!(durable, 20);
+        drop(index);
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(report.last_lsn, durable);
+        assert_eq!(back.len(), 19, "exactly the committed prefix survives");
+        for k in 0..19u64 {
+            assert_eq!(back.get(&k), Some(k * 7));
+        }
+        assert_eq!(back.get(&19), None);
+    }
+
+    #[test]
+    fn wal_stats_expose_group_commit_batching() {
+        let dir = TempDir::new("durable-stats");
+        let opts = WalOptions { group_commit_ops: 8, ..no_sync() };
+        let index = DurableAlex::create(dir.path(), &[], config(), opts).unwrap();
+        for k in 0..64u64 {
+            index.insert(k, k).unwrap();
+        }
+        let stats = index.wal_stats();
+        // 64 puts plus create's checkpoint breadcrumb.
+        assert_eq!(stats.appended, 65);
+        assert_eq!(stats.commits, 8, "65 records at group size 8 = 8 full write_alls");
+        assert_eq!(stats.syncs, 0);
+    }
+
+    #[test]
+    fn recovery_differential_against_snapshot_during_writes() {
+        // A snapshot taken while writes continue must still recover
+        // to the exact final state (the Lᵢ >= L replay argument).
+        let dir = TempDir::new("durable-snap-race");
+        let index = std::sync::Arc::new(
+            DurableAlex::create(dir.path(), &[], config(), no_sync()).unwrap(),
+        );
+        std::thread::scope(|s| {
+            let writer = std::sync::Arc::clone(&index);
+            s.spawn(move || {
+                for k in 0..3000u64 {
+                    writer.insert(k, k).unwrap();
+                }
+            });
+            for _ in 0..3 {
+                index.snapshot().unwrap();
+            }
+        });
+        index.flush_wal().unwrap();
+        let expect = index.len();
+        drop(std::sync::Arc::try_unwrap(index).expect("writer thread joined"));
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), expect);
+        for k in (0..3000u64).step_by(37) {
+            assert_eq!(back.get(&k), Some(k));
+        }
+        assert!(report.snapshot_lsn > 0, "at least one snapshot must have published");
+    }
+
+    #[test]
+    fn f64_keys_round_trip_through_recovery() {
+        let dir = TempDir::new("durable-f64");
+        let pairs: Vec<(f64, u64)> = (0..200).map(|k| (k as f64 * 0.5, k)).collect();
+        let index = DurableAlex::create(dir.path(), &pairs, config(), no_sync()).unwrap();
+        index.insert(1000.25, 9999).unwrap();
+        drop(index);
+        let (back, _) = DurableAlex::<f64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), 201);
+        assert_eq!(back.get(&42.5), Some(85));
+        assert_eq!(back.get(&1000.25), Some(9999));
+    }
+}

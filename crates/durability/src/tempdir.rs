@@ -1,0 +1,48 @@
+//! A minimal scratch-directory guard for tests, benches, and
+//! examples.
+//!
+//! The workspace has no network access, so there is no `tempfile`
+//! crate; this is the few lines of it the durability suites need. The
+//! directory lives under [`std::env::temp_dir`], its name includes
+//! the process id plus a process-wide counter (parallel tests never
+//! collide), and `Drop` removes the whole tree — best-effort, a
+//! leaked directory on panic is scratch space the OS reclaims.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A uniquely named scratch directory, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<system tmp>/alex-wal-<prefix>-<pid>-<n>`.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created — scratch-space
+    /// setup failure is unrecoverable for every caller this serves.
+    pub fn new(prefix: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "alex-wal-{prefix}-{}-{id}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch directory");
+        Self { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

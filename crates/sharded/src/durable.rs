@@ -1,0 +1,333 @@
+//! One log per shard: [`DurableShardedAlex`] (feature `durability`).
+//!
+//! Each shard is a full [`DurableAlex`] in its own subdirectory
+//! (`shard-0000`, `shard-0001`, …) with its own WAL, snapshots, and
+//! manifest — so commits on different shards never contend, crash
+//! recovery is per-shard (a torn tail in one shard's log cannot touch
+//! another's), and snapshots can be staggered. The only shared state
+//! is the boundary vector, persisted once at `create` into a
+//! CRC-guarded `SHARDS` file: boundaries are immutable for the life
+//! of the store, exactly as in the in-memory [`ShardedAlex`], so the
+//! file is written once and only ever read back.
+//!
+//! Cross-shard consistency matches the in-memory type's contract:
+//! per-key operations are atomic and durable per their shard's group
+//! commit; there are no cross-shard transactions. A crash may
+//! therefore recover different shards to different LSN frontiers —
+//! each one an exact prefix of its own operation sequence.
+//!
+//! [`ShardedAlex`]: crate::ShardedAlex
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use alex_core::AlexConfig;
+use alex_wal::record::Lsn;
+use alex_wal::{crc32, DurableAlex, DurableKey, RecoveryReport, WalCodec, WalOptions};
+
+use crate::sample_cdf_boundaries;
+
+const SHARDS_MAGIC: &[u8; 8] = b"ALEXSHRD";
+
+/// A range-partitioned set of [`DurableAlex`] shards, one WAL per
+/// shard. See the module docs for the layout and consistency
+/// contract.
+#[derive(Debug)]
+pub struct DurableShardedAlex<K, V> {
+    shards: Vec<DurableAlex<K, V>>,
+    boundaries: Vec<K>,
+}
+
+fn shard_dir(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("shard-{i:04}"))
+}
+
+fn write_boundaries<K: WalCodec>(dir: &Path, boundaries: &[K]) -> io::Result<()> {
+    let mut body = Vec::with_capacity(16 + boundaries.len() * 8);
+    body.extend_from_slice(SHARDS_MAGIC);
+    body.extend_from_slice(&(boundaries.len() as u32).to_le_bytes());
+    for b in boundaries {
+        b.encode_into(&mut body);
+    }
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join("SHARDS.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&body)?;
+        file.sync_data()?;
+    }
+    fs::rename(tmp, dir.join("SHARDS"))
+}
+
+fn read_boundaries<K: WalCodec>(dir: &Path) -> io::Result<Vec<K>> {
+    let bytes = fs::read(dir.join("SHARDS"))?;
+    let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt SHARDS file");
+    if bytes.len() < 16 || &bytes[..8] != SHARDS_MAGIC {
+        return Err(corrupt());
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return Err(corrupt());
+    }
+    let count = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
+    let mut cursor = &body[12..];
+    let mut boundaries = Vec::with_capacity(count);
+    for _ in 0..count {
+        boundaries.push(K::decode_from(&mut cursor).ok_or_else(corrupt)?);
+    }
+    if !cursor.is_empty() {
+        return Err(corrupt());
+    }
+    Ok(boundaries)
+}
+
+impl<K, V> DurableShardedAlex<K, V>
+where
+    K: DurableKey,
+    V: Clone + Default + WalCodec,
+{
+    /// Initialize a new durable sharded index in `dir` from sorted,
+    /// strictly-increasing pairs: boundaries are sampled from the
+    /// key CDF (like [`ShardedAlex::bulk_load`]), persisted to
+    /// `SHARDS`, and each shard's slice becomes a [`DurableAlex`]
+    /// (whose `create` snapshots the load immediately).
+    ///
+    /// [`ShardedAlex::bulk_load`]: crate::ShardedAlex::bulk_load
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`, or (debug builds) if `pairs` is
+    /// not strictly increasing by key.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        pairs: &[(K, V)],
+        num_shards: usize,
+        config: AlexConfig,
+        opts: WalOptions,
+    ) -> io::Result<Self> {
+        assert!(num_shards > 0, "need at least one shard");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "create input must be strictly increasing"
+        );
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if dir.join("SHARDS").exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "directory already holds a durable sharded index",
+            ));
+        }
+        let boundaries = sample_cdf_boundaries(pairs, num_shards);
+        write_boundaries(&dir, &boundaries)?;
+        let mut shards = Vec::with_capacity(boundaries.len() + 1);
+        let mut rest = pairs;
+        for (i, bound) in boundaries.iter().enumerate() {
+            let cut = rest.partition_point(|(k, _)| k < bound);
+            let (run, tail) = rest.split_at(cut);
+            shards.push(DurableAlex::create(shard_dir(&dir, i), run, config, opts)?);
+            rest = tail;
+        }
+        shards.push(DurableAlex::create(
+            shard_dir(&dir, boundaries.len()),
+            rest,
+            config,
+            opts,
+        )?);
+        Ok(Self { shards, boundaries })
+    }
+
+    /// Recover every shard in `dir`. Returns one [`RecoveryReport`]
+    /// per shard, in shard order.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: AlexConfig,
+        opts: WalOptions,
+    ) -> io::Result<(Self, Vec<RecoveryReport>)> {
+        let dir = dir.into();
+        let boundaries: Vec<K> = read_boundaries(&dir)?;
+        let mut shards = Vec::with_capacity(boundaries.len() + 1);
+        let mut reports = Vec::with_capacity(boundaries.len() + 1);
+        for i in 0..=boundaries.len() {
+            let (shard, report) = DurableAlex::open(shard_dir(&dir, i), config, opts)?;
+            shards.push(shard);
+            reports.push(report);
+        }
+        Ok((Self { shards, boundaries }, reports))
+    }
+
+    /// Which shard owns `key` (same arithmetic as the in-memory
+    /// type: shard `i + 1` owns keys `>= boundaries[i]`).
+    #[inline]
+    fn shard_for(&self, key: &K) -> usize {
+        self.boundaries.partition_point(|b| b <= key)
+    }
+
+    /// Point lookup (lock-free within the owning shard).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_for(key)].get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_for(key)].contains(key)
+    }
+
+    /// Logged insert into the owning shard. `Ok(false)` = duplicate.
+    pub fn insert(&self, key: K, value: V) -> io::Result<bool> {
+        self.shards[self.shard_for(&key)].insert(key, value)
+    }
+
+    /// Logged insert-or-replace in the owning shard.
+    pub fn upsert(&self, key: K, value: V) -> io::Result<Option<V>> {
+        self.shards[self.shard_for(&key)].upsert(key, value)
+    }
+
+    /// Logged payload replacement in the owning shard.
+    pub fn update(&self, key: &K, value: V) -> io::Result<Option<V>> {
+        self.shards[self.shard_for(key)].update(key, value)
+    }
+
+    /// Logged removal from the owning shard.
+    pub fn remove(&self, key: &K) -> io::Result<Option<V>> {
+        self.shards[self.shard_for(key)].remove(key)
+    }
+
+    /// Total entries across shards. Like the in-memory type, summed
+    /// per shard without a global lock.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(DurableAlex::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Commit every shard's buffered records now.
+    pub fn flush_all(&self) -> io::Result<Vec<Lsn>> {
+        self.shards.iter().map(DurableAlex::flush_wal).collect()
+    }
+
+    /// Snapshot every shard (sequentially; each shard's writers keep
+    /// running per [`DurableAlex::snapshot`]). Returns each shard's
+    /// snapshot LSN.
+    pub fn snapshot_all(&self) -> io::Result<Vec<Lsn>> {
+        self.shards.iter().map(DurableAlex::snapshot).collect()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard boundaries (shard `i + 1` owns keys `>= boundaries[i]`).
+    pub fn boundaries(&self) -> &[K] {
+        &self.boundaries
+    }
+
+    /// Direct access to one shard, e.g. for per-shard stats or
+    /// staggered snapshot scheduling.
+    pub fn shard(&self, i: usize) -> &DurableAlex<K, V> {
+        &self.shards[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_wal::tempdir::TempDir;
+    use alex_wal::SyncPolicy;
+
+    fn no_sync() -> WalOptions {
+        WalOptions { sync: SyncPolicy::Never, ..WalOptions::default() }
+    }
+
+    fn config() -> AlexConfig {
+        AlexConfig::ga_armi().with_max_node_keys(256).with_splitting()
+    }
+
+    #[test]
+    fn sharded_create_write_crash_open_round_trips() {
+        let dir = TempDir::new("sharded-roundtrip");
+        let pairs: Vec<(u64, u64)> = (0..4000).map(|k| (k * 2, k)).collect();
+        let index = DurableShardedAlex::create(dir.path(), &pairs, 4, config(), no_sync()).unwrap();
+        assert_eq!(index.num_shards(), 4);
+        // Odd keys spread over the whole keyspace, so every shard
+        // sees writes.
+        for k in 0..300u64 {
+            index.insert(k * 26 + 1, k).unwrap();
+        }
+        index.remove(&0).unwrap();
+        assert_eq!(index.update(&2, 999).unwrap(), Some(1));
+        drop(index); // crash
+        let (back, reports) =
+            DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(back.len(), 4000 + 300 - 1);
+        assert_eq!(back.get(&0), None);
+        assert_eq!(back.get(&2), Some(999));
+        assert_eq!(back.get(&2000), Some(1000), "bulk-loaded key via the initial snapshot");
+        for k in (0..300u64).step_by(17) {
+            assert_eq!(back.get(&(k * 26 + 1)), Some(k), "inserted key {k}");
+        }
+        // Writes routed to distinct shards leave distinct logs:
+        // recovery work is spread, not centralized.
+        assert!(
+            reports.iter().filter(|r| r.replayed > 0).count() > 1,
+            "writes spread across shards must replay per shard: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn per_shard_snapshots_bound_per_shard_replay() {
+        let dir = TempDir::new("sharded-snap");
+        let pairs: Vec<(u64, u64)> = (0..2000).map(|k| (k * 2, k)).collect();
+        let index = DurableShardedAlex::create(dir.path(), &pairs, 4, config(), no_sync()).unwrap();
+        for k in 0..200u64 {
+            index.insert(k * 2 + 1, k).unwrap(); // lands in low shards
+        }
+        index.snapshot_all().unwrap();
+        // Tail after the snapshots: a handful of high-key writes.
+        for k in 3000..3020u64 {
+            index.insert(k * 2 + 1, k).unwrap();
+        }
+        drop(index);
+        let (back, reports) =
+            DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), 2000 + 200 + 20);
+        let replayed: usize = reports.iter().map(|r| r.replayed).sum();
+        assert_eq!(replayed, 20, "snapshots must absorb everything before them");
+        assert!(reports.iter().all(|r| r.snapshot_lsn > 0));
+    }
+
+    #[test]
+    fn boundaries_survive_reopen_and_corruption_is_rejected() {
+        let dir = TempDir::new("sharded-bounds");
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|k| (k * 3, k)).collect();
+        let index = DurableShardedAlex::create(dir.path(), &pairs, 3, config(), no_sync()).unwrap();
+        let bounds = index.boundaries().to_vec();
+        drop(index);
+        let (back, _) = DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.boundaries(), &bounds[..]);
+        drop(back);
+        let shards_file = dir.path().join("SHARDS");
+        let mut bytes = std::fs::read(&shards_file).unwrap();
+        bytes[10] ^= 0x04;
+        std::fs::write(&shards_file, &bytes).unwrap();
+        let err = DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn create_refuses_an_initialized_directory() {
+        let dir = TempDir::new("sharded-dirty");
+        let pairs: Vec<(u64, u64)> = (0..100).map(|k| (k, k)).collect();
+        DurableShardedAlex::create(dir.path(), &pairs, 2, config(), no_sync()).unwrap();
+        let err =
+            DurableShardedAlex::create(dir.path(), &pairs, 2, config(), no_sync()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+}

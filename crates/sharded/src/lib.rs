@@ -87,6 +87,11 @@
 //! assert_eq!(index.flush_retired(), 0);
 //! ```
 
+#[cfg(feature = "durability")]
+pub mod durable;
+#[cfg(feature = "durability")]
+pub use durable::DurableShardedAlex;
+
 use std::sync::RwLock;
 
 use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};

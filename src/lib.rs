@@ -23,6 +23,9 @@
 //! - [`alex_sharded`] — the sharded concurrent front-end: the key space
 //!   range-partitioned across `AlexIndex` shards behind per-shard
 //!   reader-writer locks.
+//! - [`alex_wal`] — durability for the epoch index: an LSN'd
+//!   write-ahead log with group commit, copy-on-write leaf snapshots
+//!   in slotted pages, and crash recovery (`DurableAlex`).
 
 pub use alex_api;
 pub use alex_btree;
@@ -31,4 +34,5 @@ pub use alex_datasets;
 pub use alex_learned_index;
 pub use alex_pma;
 pub use alex_sharded;
+pub use alex_wal;
 pub use alex_workloads;
