@@ -23,7 +23,12 @@
 //! never stopped — reading published leaf snapshots. Each serialized
 //! leaf therefore reflects a per-leaf **prefix** of the operation
 //! sequence up to some `Lᵢ >= L` (operations are applied in LSN order
-//! and each publishes atomically). Recovery replays every record with
+//! and each publishes atomically). Once serialization finishes, and
+//! *before* the footer makes the file a restore candidate, the WAL is
+//! committed once more: every record appended up to that point — a
+//! superset of all records whose effects any leaf captured — is
+//! durable, so a restored snapshot can never contain the effect of a
+//! record the crash lost. Recovery replays every record with
 //! LSN `> L` in order: records in `(L, Lᵢ]` for some leaf are
 //! *re-applied* to state that already contains them, which is safe
 //! because both record kinds are idempotent re-applications — a `Put`
@@ -84,6 +89,13 @@ pub struct RecoveryReport {
 pub struct DurableAlex<K, V> {
     inner: EpochAlex<K, V>,
     wal: Mutex<Wal<K, V>>,
+    /// Serializes [`DurableAlex::snapshot`] calls: two snapshotters
+    /// capturing the same LSN would interleave pages into one
+    /// `snap-<lsn>.pages` file and race `truncate_before`. Held for
+    /// the whole snapshot, never while holding `wal` (the WAL mutex
+    /// is taken and released inside), so writers are still never
+    /// blocked on serialization.
+    snap_lock: Mutex<()>,
     dir: PathBuf,
     sync: SyncPolicy,
 }
@@ -122,6 +134,7 @@ where
         let this = Self {
             inner: EpochAlex::from_index(AlexIndex::bulk_load(pairs, config)),
             wal: Mutex::new(wal),
+            snap_lock: Mutex::new(()),
             dir,
             sync: opts.sync,
         };
@@ -213,7 +226,13 @@ where
             dropped_segments: scan.dropped_segments,
         };
         let wal = Wal::resume(&dir, opts, last_lsn + 1, last_lsn);
-        let this = Self { inner, wal: Mutex::new(wal), dir, sync: opts.sync };
+        let this = Self {
+            inner,
+            wal: Mutex::new(wal),
+            snap_lock: Mutex::new(()),
+            dir,
+            sync: opts.sync,
+        };
         Ok((this, report))
     }
 
@@ -339,8 +358,10 @@ where
     /// state; returns its LSN. Writers are paused only to capture the
     /// LSN (a commit), not while leaves serialize; see the module
     /// docs for why concurrent writes during serialization recover
-    /// exactly.
+    /// exactly. Concurrent `snapshot` calls serialize against each
+    /// other (they would otherwise race on the same pages file).
     pub fn snapshot(&self) -> io::Result<Lsn> {
+        let _snap = self.snap_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let lsn = {
             let mut wal = self.wal_lock();
             wal.commit()?
@@ -358,6 +379,14 @@ where
         if let Some(e) = io_err {
             return Err(e);
         }
+        // The serialized leaves reflect per-leaf prefixes up to some
+        // Lᵢ >= L — and with group commit > 1, records in (L, Lᵢ]
+        // may still sit in the WAL buffer. Commit them *before* the
+        // footer lands: the instant `finish` returns, the file is a
+        // restore candidate (even without the manifest, via the
+        // fallback scan), and the replay proof needs every captured
+        // effect's record to be in the durable log.
+        self.wal_lock().commit()?;
         writer.finish()?;
         publish_snapshot(&self.dir, lsn, self.sync == SyncPolicy::Always)?;
         let mut wal = self.wal_lock();
@@ -610,6 +639,97 @@ mod tests {
             assert_eq!(back.get(&k), Some(k));
         }
         assert!(report.snapshot_lsn > 0, "at least one snapshot must have published");
+    }
+
+    #[test]
+    fn snapshot_under_group_commit_never_restores_unlogged_effects() {
+        // The writer inserts pair i as A_i (low key range) then B_i
+        // (high key range) under a large group size, so applied-but-
+        // uncommitted records pile up while a concurrent snapshot
+        // serializes the low leaves before the high ones. Recovery
+        // must land on an exact operation-sequence prefix, so B_i
+        // present ⇒ A_i present (A_i always has the smaller LSN).
+        // Before the post-serialization commit in `snapshot`, the
+        // pages could capture a B_i whose record — and whose A_i
+        // record — died in the buffer, restoring an interleaving no
+        // prefix produces.
+        let dir = TempDir::new("durable-snap-unlogged");
+        let base: Vec<(u64, u64)> = (0..2000u64)
+            .map(|k| (k * 2, 0))
+            .chain((0..2000u64).map(|k| (1_000_000 + k * 2, 0)))
+            .collect();
+        let opts = WalOptions { group_commit_ops: 64, ..no_sync() };
+        let index = std::sync::Arc::new(
+            DurableAlex::create(dir.path(), &base, config(), opts).unwrap(),
+        );
+        let n = 1500u64;
+        std::thread::scope(|s| {
+            let writer = std::sync::Arc::clone(&index);
+            s.spawn(move || {
+                for i in 0..n {
+                    writer.insert(i * 2 + 1, i).unwrap();
+                    writer.insert(1_000_000 + i * 2 + 1, i).unwrap();
+                }
+            });
+            for _ in 0..4 {
+                index.snapshot().unwrap();
+            }
+        });
+        drop(std::sync::Arc::try_unwrap(index).expect("writer joined")); // crash: no flush
+        let (back, _) = DurableAlex::<u64, u64>::open(dir.path(), config(), opts).unwrap();
+        let mut frontier_a = 0u64;
+        let mut frontier_b = 0u64;
+        for i in 0..n {
+            if back.contains(&(i * 2 + 1)) {
+                frontier_a = i + 1;
+            }
+            if back.contains(&(1_000_000 + i * 2 + 1)) {
+                assert!(
+                    back.contains(&(i * 2 + 1)),
+                    "pair {i}: B_i recovered without its earlier-LSN A_i"
+                );
+                frontier_b = i + 1;
+            }
+        }
+        // Prefix shape: both sides recover a contiguous range and A
+        // leads B by at most the one in-flight pair.
+        assert!(frontier_b <= frontier_a && frontier_a <= frontier_b + 1);
+    }
+
+    #[test]
+    fn concurrent_snapshots_serialize_and_recover_exactly() {
+        // Two snapshotters racing a writer: the snapshot mutex keeps
+        // them from interleaving pages into one file or racing the
+        // WAL GC, and recovery still sees every flushed write.
+        let dir = TempDir::new("durable-snap-concurrent");
+        let index = std::sync::Arc::new(
+            DurableAlex::create(dir.path(), &[], config(), no_sync()).unwrap(),
+        );
+        std::thread::scope(|s| {
+            let writer = std::sync::Arc::clone(&index);
+            s.spawn(move || {
+                for k in 0..2000u64 {
+                    writer.insert(k, k * 3).unwrap();
+                }
+            });
+            for _ in 0..2 {
+                let snapper = std::sync::Arc::clone(&index);
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        snapper.snapshot().unwrap();
+                    }
+                });
+            }
+        });
+        index.flush_wal().unwrap();
+        let expect = index.len();
+        drop(std::sync::Arc::try_unwrap(index).expect("threads joined"));
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), expect);
+        for k in (0..2000u64).step_by(41) {
+            assert_eq!(back.get(&k), Some(k * 3));
+        }
+        assert!(report.snapshot_lsn > 0, "a published snapshot must be restorable");
     }
 
     #[test]

@@ -211,7 +211,21 @@ impl<K: WalCodec, V: WalCodec> Wal<K, V> {
         };
         if needs_rotation {
             let path = segment_path(&self.dir, self.buf_first_lsn);
-            let file = OpenOptions::new().create_new(true).append(true).open(&path)?;
+            let file = match OpenOptions::new().create_new(true).append(true).open(&path) {
+                Ok(file) => file,
+                // A crash between segment creation and its first write
+                // strands a zero-length file under exactly this name
+                // (recovery re-assigns the lost first LSN). It holds
+                // no committed data, so replace it rather than wedge
+                // every future commit on AlreadyExists.
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists
+                    && fs::metadata(&path).map(|m| m.len() == 0).unwrap_or(false) =>
+                {
+                    fs::remove_file(&path)?;
+                    OpenOptions::new().create_new(true).append(true).open(&path)?
+                }
+                Err(e) => return Err(e),
+            };
             self.segment = Some((file, 0));
             self.stats.segments += 1;
         }
@@ -220,6 +234,13 @@ impl<K: WalCodec, V: WalCodec> Wal<K, V> {
         if self.opts.sync == SyncPolicy::Always {
             file.sync_data()?;
             self.stats.syncs += 1;
+            if needs_rotation {
+                // The data is durable, but the new file's directory
+                // entry is not until the directory itself is synced —
+                // without this a power failure can drop the whole
+                // committed segment.
+                sync_dir(&self.dir);
+            }
         }
         *bytes += self.buf.len() as u64;
         self.committed = self.next_lsn - 1;
@@ -266,15 +287,31 @@ impl<K: WalCodec, V: WalCodec> Wal<K, V> {
                 dropped += 1;
             }
         }
+        if dropped > 0 && self.opts.sync == SyncPolicy::Always {
+            sync_dir(&self.dir);
+        }
         Ok(dropped)
+    }
+}
+
+/// Best-effort directory fsync: makes a file creation, deletion, or
+/// rename in `dir` durable on platforms that allow opening a
+/// directory (silently a no-op elsewhere).
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
     }
 }
 
 /// Read every segment in `dir`, stopping at the first torn or corrupt
 /// frame: the offending segment is **truncated in place** to its last
-/// intact frame and all later segments are deleted (they were written
-/// after the damage point, so their contents are unreachable by
-/// LSN-order replay anyway). Also enforces LSN continuity: each
+/// intact frame (deleted outright when no frame survives, so the name
+/// is free for the resumed log to recreate) and all later segments are
+/// deleted (they were written after the damage point, so their
+/// contents are unreachable by LSN-order replay anyway). Zero-length
+/// segments — a crash between rotation's `create_new` and the first
+/// write — are deleted for the same reason. Also enforces LSN
+/// continuity: each
 /// record must carry the predecessor's LSN + 1, and each segment must
 /// start at the LSN its name claims — a mismatch is treated exactly
 /// like corruption at that offset.
@@ -289,6 +326,14 @@ pub fn scan_and_repair<K: WalCodec, V: WalCodec>(dir: &Path) -> io::Result<WalSc
     let mut damage: Option<usize> = None; // index of the damaged segment
     'segments: for (si, (start_lsn, path)) in segments.iter().enumerate() {
         let bytes = fs::read(path)?;
+        if bytes.is_empty() {
+            // A crash between segment creation and its first write.
+            // Resume will hand out the same first LSN again, so the
+            // stale name must go or the next commit's create_new
+            // collides with it.
+            fs::remove_file(path)?;
+            continue;
+        }
         let mut offset = 0usize;
         while offset < bytes.len() {
             match decode_frame::<K, V>(&bytes[offset..]) {
@@ -335,9 +380,16 @@ fn truncate_segment<K, V>(
     scan: &mut WalScan<K, V>,
 ) -> io::Result<()> {
     scan.truncated_bytes += (bytes.len() - keep) as u64;
-    let file = OpenOptions::new().write(true).open(path)?;
-    file.set_len(keep as u64)?;
-    file.sync_data()?;
+    if keep == 0 {
+        // No intact frame survives: delete the segment outright. A
+        // zero-length leftover would collide with the segment name
+        // the resumed log recreates for these very LSNs.
+        fs::remove_file(path)?;
+    } else {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep as u64)?;
+        file.sync_data()?;
+    }
     Ok(())
 }
 
@@ -425,10 +477,83 @@ mod tests {
             let scan: WalScan<u64, u64> = scan_and_repair(dir.path()).unwrap();
             let frame = clean.len() / 20;
             assert_eq!(scan.records.len(), cut / frame, "cut at {cut}");
-            let repaired = fs::read(&seg_path).unwrap();
-            assert_eq!(repaired.len() % frame, 0, "repair leaves whole frames only");
-            assert_eq!(repaired, clean[..repaired.len()], "repair keeps an exact prefix");
+            if cut < frame {
+                // No whole frame survives the cut: the segment must be
+                // gone entirely, not linger as a zero-length file.
+                assert!(!seg_path.exists(), "cut at {cut} must delete the segment");
+            } else {
+                let repaired = fs::read(&seg_path).unwrap();
+                assert_eq!(repaired.len() % frame, 0, "repair leaves whole frames only");
+                assert_eq!(repaired, clean[..repaired.len()], "repair keeps an exact prefix");
+            }
         }
+    }
+
+    #[test]
+    fn resume_after_torn_at_offset_zero_repair_can_commit() {
+        // The crash shape: the newest segment's very first frame is
+        // torn (or the file was created during rotation but never
+        // written). Repair must leave the directory in a state where
+        // the resumed log's first commit — which reuses the lost
+        // first LSN for the new segment name — succeeds.
+        let dir = TestDir::new("wal-torn-at-zero");
+        let mut wal: Wal<u64, u64> = Wal::create(dir.path(), no_sync()).unwrap();
+        for k in 0..3u64 {
+            wal.append(&put(k, k));
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        let (_, seg_path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let clean = fs::read(&seg_path).unwrap();
+        fs::write(&seg_path, &clean[..2]).unwrap(); // torn inside frame 1
+        let scan: WalScan<u64, u64> = scan_and_repair(dir.path()).unwrap();
+        assert_eq!(scan.last_lsn, 0, "nothing survives the tear");
+        assert!(list_segments(dir.path()).unwrap().is_empty(), "empty segment must be deleted");
+        let mut wal: Wal<u64, u64> = Wal::resume(dir.path(), no_sync(), 1, 0);
+        assert_eq!(wal.append(&put(7, 70)), 1);
+        wal.commit().expect("commit after torn-at-zero repair must not collide");
+        drop(wal);
+        let scan: WalScan<u64, u64> = scan_and_repair(dir.path()).unwrap();
+        assert_eq!(scan.records, vec![(1, put(7, 70))]);
+    }
+
+    #[test]
+    fn zero_length_segment_from_crashed_rotation_does_not_wedge_commits() {
+        let dir = TestDir::new("wal-empty-seg");
+        let mut wal: Wal<u64, u64> = Wal::create(dir.path(), no_sync()).unwrap();
+        for k in 0..4u64 {
+            wal.append(&put(k, k));
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        // Simulate a crash between rotation's create_new and its
+        // first write: a zero-length segment named for LSN 5.
+        fs::write(segment_path(dir.path(), 5), b"").unwrap();
+        let scan: WalScan<u64, u64> = scan_and_repair(dir.path()).unwrap();
+        assert_eq!(scan.last_lsn, 4);
+        assert_eq!(list_segments(dir.path()).unwrap().len(), 1, "empty segment swept");
+        let mut wal: Wal<u64, u64> = Wal::resume(dir.path(), no_sync(), 5, 4);
+        assert_eq!(wal.append(&put(9, 90)), 5);
+        wal.commit().expect("resumed commit must reclaim the lost segment name");
+        drop(wal);
+        let scan: WalScan<u64, u64> = scan_and_repair(dir.path()).unwrap();
+        assert_eq!(scan.last_lsn, 5);
+        assert_eq!(scan.records.len(), 5);
+    }
+
+    #[test]
+    fn commit_replaces_a_stale_zero_length_segment_in_place() {
+        // Even without a repair pass (e.g. a caller resumes by LSN
+        // bookkeeping alone), commit itself must tolerate a stale
+        // empty file squatting on the new segment's name.
+        let dir = TestDir::new("wal-stale-name");
+        fs::create_dir_all(dir.path()).unwrap();
+        fs::write(segment_path(dir.path(), 1), b"").unwrap();
+        let mut wal: Wal<u64, u64> = Wal::resume(dir.path(), no_sync(), 1, 0);
+        wal.append(&put(1, 10));
+        wal.commit().expect("commit must replace the empty squatter");
+        let scan: WalScan<u64, u64> = scan_and_repair(dir.path()).unwrap();
+        assert_eq!(scan.records, vec![(1, put(1, 10))]);
     }
 
     #[test]

@@ -273,9 +273,7 @@ pub fn publish_snapshot(dir: &Path, lsn: Lsn, sync: bool) -> io::Result<()> {
     if sync {
         // Make the rename itself durable where the platform allows
         // opening a directory (best-effort elsewhere).
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        crate::log::sync_dir(dir);
     }
     for (old_lsn, path) in list_snapshots(dir)? {
         if old_lsn < lsn {

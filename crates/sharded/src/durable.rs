@@ -8,7 +8,11 @@
 //! is the boundary vector, persisted once at `create` into a
 //! CRC-guarded `SHARDS` file: boundaries are immutable for the life
 //! of the store, exactly as in the in-memory [`ShardedAlex`], so the
-//! file is written once and only ever read back.
+//! file is written once and only ever read back. It is written
+//! *after* every shard directory exists — the tmp+rename of `SHARDS`
+//! is create's commit point, so a crash mid-create yields a
+//! directory [`DurableShardedAlex::open`] refuses rather than one it
+//! would silently treat as partially empty.
 //!
 //! Cross-shard consistency matches the in-memory type's contract:
 //! per-key operations are atomic and durable per their shard's group
@@ -58,7 +62,13 @@ fn write_boundaries<K: WalCodec>(dir: &Path, boundaries: &[K]) -> io::Result<()>
         file.write_all(&body)?;
         file.sync_data()?;
     }
-    fs::rename(tmp, dir.join("SHARDS"))
+    fs::rename(tmp, dir.join("SHARDS"))?;
+    // Make the rename durable where the platform allows opening a
+    // directory (best-effort elsewhere) — it is create's commit point.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 fn read_boundaries<K: WalCodec>(dir: &Path) -> io::Result<Vec<K>> {
@@ -121,7 +131,6 @@ where
             ));
         }
         let boundaries = sample_cdf_boundaries(pairs, num_shards);
-        write_boundaries(&dir, &boundaries)?;
         let mut shards = Vec::with_capacity(boundaries.len() + 1);
         let mut rest = pairs;
         for (i, bound) in boundaries.iter().enumerate() {
@@ -136,6 +145,11 @@ where
             config,
             opts,
         )?);
+        // SHARDS is the commit point, so it goes last: a crash
+        // mid-create leaves a directory `open` refuses (NotFound)
+        // instead of one it would silently recover with the missing
+        // shards empty.
+        write_boundaries(&dir, &boundaries)?;
         Ok(Self { shards, boundaries })
     }
 
@@ -319,6 +333,21 @@ mod tests {
         std::fs::write(&shards_file, &bytes).unwrap();
         let err = DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn half_created_store_fails_open_instead_of_losing_shards() {
+        // A crash mid-create leaves shard directories but no SHARDS
+        // file (it is written last, as the commit point). Open must
+        // refuse with NotFound — not read stale boundaries and
+        // silently recover missing shards as empty.
+        let dir = TempDir::new("sharded-half-created");
+        let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k * 2, k)).collect();
+        let index = DurableShardedAlex::create(dir.path(), &pairs, 3, config(), no_sync()).unwrap();
+        drop(index);
+        std::fs::remove_file(dir.path().join("SHARDS")).unwrap();
+        let err = DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 
     #[test]

@@ -219,6 +219,60 @@ fn torn_tail_at_a_random_byte_truncates_to_a_frame_boundary() {
 }
 
 #[test]
+fn writes_after_a_fully_torn_newest_segment_succeed() {
+    // Kill during the first write of a fresh segment: the newest
+    // segment repairs to zero intact frames. The recovered index must
+    // not only match the oracle — it must still be able to commit,
+    // because the resumed log hands the lost segment's first LSN (and
+    // so its file name) right back out.
+    for seed in 0..4u64 {
+        let dir = TempDir::new("recovery-torn-zero");
+        let index = DurableAlex::create(dir.path(), &[], config(32), opts(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x0CC ^ seed);
+        let mut journal = Vec::new();
+        apply_random_ops(&index, &mut rng, 250, &mut journal);
+        drop(index);
+        let segments = wal_segments(dir.path());
+        let newest = segments.last().unwrap();
+        std::fs::write(newest, &std::fs::read(newest).unwrap()[..1]).unwrap();
+        let (back, report) = reopen(dir.path(), 32);
+        assert_matches_model(&back, &model_prefix(&journal, report.last_lsn));
+        journal.retain(|(lsn, _)| *lsn <= report.last_lsn);
+        // The regression: every one of these used to fail with
+        // AlreadyExists against the zero-length leftover segment.
+        apply_random_ops(&back, &mut rng, 100, &mut journal);
+        let committed = back.committed_lsn();
+        drop(back);
+        let (back, second) = reopen(dir.path(), 32);
+        assert_eq!(second.last_lsn, committed, "seed {seed}");
+        assert_matches_model(&back, &model_prefix(&journal, committed));
+    }
+}
+
+#[test]
+fn snapshot_with_group_commit_recovers_the_exact_committed_prefix() {
+    // Snapshots and group commit > 1 together: the snapshot must
+    // never turn acknowledged-but-uncommitted operations durable on
+    // its own, and the post-crash state must still be the committed
+    // LSN's exact prefix.
+    for seed in 0..4u64 {
+        let dir = TempDir::new("recovery-snapgroup");
+        let index = DurableAlex::create(dir.path(), &[], config(32), opts(7)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x5A17 ^ seed);
+        let mut journal = Vec::new();
+        apply_random_ops(&index, &mut rng, 150, &mut journal);
+        index.snapshot().unwrap();
+        apply_random_ops(&index, &mut rng, 150, &mut journal);
+        let committed = index.committed_lsn();
+        drop(index); // kill: the buffered suffix evaporates
+        let (back, report) = reopen(dir.path(), 32);
+        assert!(report.snapshot_lsn > 0, "seed {seed}: snapshot must be restorable");
+        assert_eq!(report.last_lsn, committed, "seed {seed}");
+        assert_matches_model(&back, &model_prefix(&journal, committed));
+    }
+}
+
+#[test]
 fn crc_rejects_a_flipped_byte_and_recovery_keeps_the_prefix() {
     for seed in 0..6u64 {
         let dir = TempDir::new("recovery-flip");
