@@ -1,0 +1,260 @@
+//! `fig_probe`: attribute where a point lookup's time goes, and what
+//! each PR-7 optimisation buys.
+//!
+//! Four measurement groups, one run:
+//!
+//! 1. **Probe kernels** — block-wise branchless lower-bound vs. scalar
+//!    exponential search over the same array, at synthetic prediction
+//!    errors. The block-wise probe compares eight keys per iteration
+//!    with a mask reduction, so it should win at the small errors a
+//!    trained model actually produces.
+//! 2. **Per-node-type attribution** — for a gapped-array leaf and a
+//!    PMA leaf, model-predict cost vs. full `get` cost. The difference
+//!    is the local-search share, which is what group 1 optimises.
+//! 3. **Arena flavours in the `&mut` regime** — identical indexes
+//!    bulk-loaded into the dense (`Vec`) arena and the epoch
+//!    (atomic-slot) arena, point gets and fresh inserts timed on each.
+//!    Dense skips the per-node atomic hop, so it should win.
+//! 4. **Bulk-load cost model** — `PrefixLsq::fit_partitions` (O(1)
+//!    per range, what Algorithm 4 now uses) vs. a streaming
+//!    least-squares refit per range, plus end-to-end adaptive
+//!    bulk-load throughput.
+//!
+//! ```sh
+//! cargo run -p alex-bench --release --bin fig_probe -- --csv
+//! ```
+
+use std::time::Instant;
+
+use alex_bench::cli::Args;
+use alex_bench::harness::{emit_metric, METRIC_CSV_HEADER};
+use alex_bench::DEFAULT_SEED;
+use alex_core::search::{blockwise_search_lower_bound, exponential_search_lower_bound};
+use alex_core::{
+    AlexConfig, AlexIndex, GappedNode, LinearModel, NodeParams, PmaNode, PrefixLsq, StoreMode,
+};
+use alex_datasets::uniform_dense_keys;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const RUN: &str = "fig_probe";
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("keys", 1_000_000);
+    let searches = args.usize("searches", 200_000);
+    let seed = args.u64("seed", DEFAULT_SEED);
+    let csv = args.flag("csv");
+
+    if csv {
+        println!("{METRIC_CSV_HEADER}");
+    } else {
+        println!("fig_probe: lookup cost attribution ({n} keys, {searches} probes per cell)\n");
+    }
+    let emit = |label: &str, metric: &str, value: String| {
+        if csv {
+            emit_metric(RUN, label, metric, value);
+        } else {
+            println!("{label:>18}  {metric:<28} {value:>12}");
+        }
+    };
+
+    let probe_n = args.usize("probe-keys", 16_384);
+    let keys = uniform_dense_keys(probe_n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let targets: Vec<usize> =
+        (0..searches).map(|_| rng.random_range(0..probe_n)).collect();
+
+    // ---- 1. probe kernels: block-wise vs scalar exponential --------
+    // The kernels run over a *leaf-sized, cache-resident* array: the
+    // leaf probe executes right after the RMI has routed to (and
+    // touched) the leaf, so its working set is a few cache lines — a
+    // many-MB array would measure memory latency, which both kernels
+    // pay identically, instead of the compute/branch gap this group
+    // isolates.
+    if !csv {
+        println!("-- probe kernels (ns/search, {probe_n}-key leaf-sized array) --");
+    }
+    // Warm the key array and both code paths so the first cell is not
+    // charged for cold caches.
+    time_ns(&targets, |&pos| blockwise_search_lower_bound(&keys, &keys[pos], pos).pos);
+    time_ns(&targets, |&pos| exponential_search_lower_bound(&keys, &keys[pos], pos).pos);
+    for err in [0usize, 1, 2, 4, 8, 16, 32] {
+        let block = time_ns(&targets, |&pos| {
+            let hint = displaced(pos, err, probe_n);
+            blockwise_search_lower_bound(&keys, &keys[pos], hint).pos
+        });
+        let exp = time_ns(&targets, |&pos| {
+            let hint = displaced(pos, err, probe_n);
+            exponential_search_lower_bound(&keys, &keys[pos], hint).pos
+        });
+        emit("blockwise", &format!("ns_per_search@err{err}"), format!("{block:.1}"));
+        emit("exponential", &format!("ns_per_search@err{err}"), format!("{exp:.1}"));
+    }
+    // The per-cell sweep above fixes the error magnitude and alternates
+    // direction by parity — a perfectly periodic pattern the branch
+    // predictor learns, which is *exponential search's best case*. Real
+    // model errors vary per lookup; this cell draws each search's error
+    // from a geometric-ish distribution (P(err = 0) ≈ 1/2, halving mass
+    // per doubling, max 16) with random direction — the point-lookup
+    // mix a trained leaf model actually produces (Figure 7 shape).
+    let hints: Vec<(usize, usize)> = targets
+        .iter()
+        .map(|&pos| {
+            let draw: u32 = rng.random_range(1..64);
+            let err = (1usize << draw.trailing_zeros()) >> 1; // 0 w.p. 1/2, then 1,2,4,8,16 halving
+            let hint = if rng.random_range(0..2u32) == 0 {
+                (pos + err).min(probe_n - 1)
+            } else {
+                pos.saturating_sub(err)
+            };
+            (pos, hint)
+        })
+        .collect();
+    let block = time_ns(&hints, |&(pos, hint)| {
+        blockwise_search_lower_bound(&keys, &keys[pos], hint).pos
+    });
+    let exp = time_ns(&hints, |&(pos, hint)| {
+        exponential_search_lower_bound(&keys, &keys[pos], hint).pos
+    });
+    emit("blockwise", "ns_per_search@mixed", format!("{block:.1}"));
+    emit("exponential", "ns_per_search@mixed", format!("{exp:.1}"));
+
+    // ---- 2. per-node-type attribution: predict vs local search ----
+    if !csv {
+        println!("\n-- leaf cost attribution (ns/op, {probe_n}-key leaf) --");
+    }
+    let leaf_pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+    let lookups: Vec<u64> =
+        (0..searches).map(|_| leaf_pairs[rng.random_range(0..leaf_pairs.len())].0).collect();
+    {
+        let ga = GappedNode::bulk_load(&leaf_pairs, NodeParams::default());
+        let predict = time_ns(&lookups, |k| ga.predict(k));
+        let get = time_ns(&lookups, |k| ga.get(k).map_or(0, |v| *v as usize));
+        emit("ga-leaf", "ns_model_predict", format!("{predict:.1}"));
+        emit("ga-leaf", "ns_get", format!("{get:.1}"));
+        emit("ga-leaf", "ns_local_search", format!("{:.1}", (get - predict).max(0.0)));
+    }
+    {
+        let pma = PmaNode::bulk_load(&leaf_pairs, NodeParams::default());
+        let predict = time_ns(&lookups, |k| pma.predict(k));
+        let get = time_ns(&lookups, |k| pma.get(k).map_or(0, |v| *v as usize));
+        emit("pma-leaf", "ns_model_predict", format!("{predict:.1}"));
+        emit("pma-leaf", "ns_get", format!("{get:.1}"));
+        emit("pma-leaf", "ns_local_search", format!("{:.1}", (get - predict).max(0.0)));
+    }
+
+    // ---- 3. arena flavours, exclusive (&mut) regime ----------------
+    if !csv {
+        println!("\n-- arena flavours, exclusive regime (full-index ops) --");
+    }
+    // Even keys loaded, odd keys free for fresh inserts. Both flavours
+    // run the identical workload; rounds alternate between the two and
+    // each flavour reports its minimum, so transient scheduler noise on
+    // a shared core cannot systematically favour whichever flavour
+    // happened to run during a quiet stretch.
+    const ROUNDS: usize = 3;
+    let data: Vec<(u64, u64)> = (0..n as u64).map(|k| (2 * k, k)).collect();
+    let get_keys: Vec<u64> =
+        (0..searches).map(|_| 2 * rng.random_range(0..n as u64)).collect();
+    // Disjoint odd-key pools per round, so every round times *fresh*
+    // inserts (with shifts and splits), not overwrites of earlier ones.
+    let span = (n / ROUNDS).max(1) as u64;
+    let round_inserts: Vec<Vec<u64>> = (0..ROUNDS as u64)
+        .map(|r| {
+            (0..searches)
+                .map(|_| 2 * (r * span + rng.random_range(0..span)) + 1)
+                .collect()
+        })
+        .collect();
+    let flavours = [("dense-arena", StoreMode::Dense), ("epoch-arena", StoreMode::Epoch)];
+    let mut indexes: Vec<AlexIndex<u64, u64>> = flavours
+        .iter()
+        .map(|&(_, mode)| {
+            let cfg = AlexConfig::ga_armi()
+                .with_max_node_keys(256)
+                .with_splitting()
+                .with_store_mode(mode);
+            AlexIndex::bulk_load(&data, cfg)
+        })
+        .collect();
+    let mut best_get = [f64::INFINITY; 2];
+    let mut best_ins = [f64::INFINITY; 2];
+    for inserts in &round_inserts {
+        for (i, index) in indexes.iter_mut().enumerate() {
+            // Warm pass first: the cold caches belong to no flavour.
+            time_ns(&get_keys, |k| index.get(k).map_or(0, |v| *v as usize));
+            let get = time_ns(&get_keys, |k| index.get(k).map_or(0, |v| *v as usize));
+            best_get[i] = best_get[i].min(get);
+            let t = Instant::now();
+            for &k in inserts {
+                let _ = index.insert(k, k);
+            }
+            let ins = t.elapsed().as_nanos() as f64 / inserts.len() as f64;
+            best_ins[i] = best_ins[i].min(ins);
+        }
+    }
+    core::hint::black_box(&indexes);
+    for (i, (label, _)) in flavours.iter().enumerate() {
+        emit(label, "ns_per_get", format!("{:.1}", best_get[i]));
+        emit(label, "get_mops_per_sec", format!("{:.2}", 1e3 / best_get[i]));
+        emit(label, "ns_per_insert", format!("{:.1}", best_ins[i]));
+    }
+
+    // ---- 4. bulk-load cost model: prefix sums vs streaming refit ---
+    if !csv {
+        println!("\n-- bulk-load cost model (Algorithm 4 fanout search) --");
+    }
+    let big_keys = uniform_dense_keys(n);
+    let xs: Vec<f64> = big_keys.iter().map(|&k| k as f64).collect();
+    let lsq = PrefixLsq::from_keys(&big_keys);
+    let width = 4096.min(n);
+    let parts = 64usize;
+    let ranges: Vec<usize> =
+        (0..searches.min(50_000)).map(|_| rng.random_range(0..n - width + 1)).collect();
+    let prefix = time_ns(&ranges, |&s| {
+        lsq.fit_partitions(s..s + width, parts).slope.to_bits() as usize
+    });
+    let streaming = time_ns(&ranges, |&s| {
+        let c = parts as f64 / width as f64;
+        LinearModel::fit(
+            xs[s..s + width].iter().enumerate().map(|(i, &x)| (x, i as f64 * c)),
+        )
+        .slope
+        .to_bits() as usize
+    });
+    emit("prefix-lsq", &format!("ns_per_range_fit@w{width}"), format!("{prefix:.1}"));
+    emit("streaming-fit", &format!("ns_per_range_fit@w{width}"), format!("{streaming:.1}"));
+    let t = Instant::now();
+    let loaded = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+    let per_key = data.len() as f64 / t.elapsed().as_secs_f64();
+    core::hint::black_box(loaded.len());
+    emit("adaptive-bulk-load", "keys_per_sec", format!("{per_key:.0}"));
+
+    if !csv {
+        println!("\nexpected shape: blockwise wins the mixed-error cell (fixed-error cells");
+        println!("are exponential's best case — the predictor learns the periodic hint");
+        println!("pattern); dense-arena beats epoch-arena on gets/inserts (no atomic");
+        println!("hop); prefix-lsq is flat in range width, the streaming refit linear");
+    }
+}
+
+#[inline]
+fn displaced(pos: usize, err: usize, n: usize) -> usize {
+    // Alternate displacement direction by position parity.
+    if pos.is_multiple_of(2) {
+        (pos + err).min(n - 1)
+    } else {
+        pos.saturating_sub(err)
+    }
+}
+
+fn time_ns<T>(items: &[T], mut f: impl FnMut(&T) -> usize) -> f64 {
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for item in items {
+        acc = acc.wrapping_add(f(item));
+    }
+    core::hint::black_box(acc);
+    t.elapsed().as_nanos() as f64 / items.len() as f64
+}

@@ -161,6 +161,29 @@ impl Bitmap {
         }
     }
 
+    /// The eight occupancy bits for slots `start..start + 8`, packed
+    /// with slot `start` in bit 0. Bits for slots past `len` are zero,
+    /// and the window may cross a word boundary — the companion to the
+    /// block-wise key probe, which intersects a key-equality mask with
+    /// this window in one AND.
+    #[inline]
+    pub fn window8(&self, start: usize) -> u8 {
+        if start >= self.len {
+            return 0;
+        }
+        let wi = start >> 6;
+        let bit = start & 63;
+        let mut bits = self.words[wi] >> bit;
+        if bit > 56 {
+            if let Some(&next) = self.words.get(wi + 1) {
+                bits |= next << (64 - bit);
+            }
+        }
+        // Bits past `len` are zero by construction (set/clear assert
+        // in-range, and `new` zero-fills), so no tail mask is needed.
+        bits as u8
+    }
+
     /// Bytes of heap memory used (for size accounting).
     pub fn size_bytes(&self) -> usize {
         self.words.capacity() * core::mem::size_of::<u64>()
@@ -324,6 +347,28 @@ mod tests {
             }
             assert_eq!(fast, slow, "from {from}");
         }
+    }
+
+    #[test]
+    fn window8_matches_get_everywhere() {
+        // Irregular pattern across several words, incl. word-crossing
+        // windows and the past-len tail.
+        let mut b = Bitmap::new(150);
+        for i in [0, 1, 7, 8, 60, 61, 62, 63, 64, 65, 70, 127, 128, 149] {
+            b.set(i);
+        }
+        for start in 0..160usize {
+            let w = b.window8(start);
+            for j in 0..8 {
+                let expect = start + j < b.len() && b.get(start + j);
+                assert_eq!(
+                    w & (1 << j) != 0,
+                    expect,
+                    "start={start} lane={j}"
+                );
+            }
+        }
+        assert_eq!(Bitmap::new(0).window8(0), 0);
     }
 
     #[test]

@@ -137,6 +137,33 @@ impl RmiMode {
 /// write path — see [`AlexConfig::delta_buffer_capacity`].
 pub const DEFAULT_DELTA_BUFFER_CAPACITY: usize = 32;
 
+/// Which arena flavour the node store uses — the space/concurrency
+/// trade of the two access regimes.
+///
+/// - [`StoreMode::Dense`] packs nodes in a plain `Vec`: no atomic
+///   pointer hop on descent, no epoch bookkeeping, best cache
+///   adjacency. It only supports the exclusive (`&mut`) regime;
+///   wrapping the index in an `EpochAlex` converts the arena to the
+///   epoch flavour automatically.
+/// - [`StoreMode::Epoch`] puts each node behind an atomic pointer
+///   slot with epoch-based reclamation, which is what lock-free
+///   concurrent readers require — at the cost of one pointer chase
+///   (and its cache miss) per node on every descent.
+///
+/// Bulk-load → serve pipelines can start `Dense` (fastest build and
+/// single-threaded serving) and bridge to the epoch arena with
+/// `AlexIndex::into_concurrent` when concurrency begins;
+/// `EpochAlex::into_inner` converts back per this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// Plain `Vec` arena for the exclusive regime (the default).
+    #[default]
+    Dense,
+    /// Atomic-slot arena with epoch-based reclamation, required for
+    /// lock-free shared readers.
+    Epoch,
+}
+
 /// Full configuration for an [`crate::AlexIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlexConfig {
@@ -156,6 +183,10 @@ pub struct AlexConfig {
     /// Ignored by the exclusive (`&mut`) write path, which edits
     /// in place.
     pub delta_buffer_capacity: usize,
+    /// Arena flavour the index's node store starts in (see
+    /// [`StoreMode`]). Wrapping in an `EpochAlex` always upgrades to
+    /// [`StoreMode::Epoch`]; `into_inner` restores this setting.
+    pub store_mode: StoreMode,
 }
 
 impl Default for AlexConfig {
@@ -172,6 +203,7 @@ impl AlexConfig {
             rmi: RmiMode::Static { num_leaf_nodes },
             node: NodeParams::default(),
             delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
+            store_mode: StoreMode::Dense,
         }
     }
 
@@ -182,6 +214,7 @@ impl AlexConfig {
             rmi: RmiMode::adaptive(),
             node: NodeParams::default(),
             delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
+            store_mode: StoreMode::Dense,
         }
     }
 
@@ -192,6 +225,7 @@ impl AlexConfig {
             rmi: RmiMode::Static { num_leaf_nodes },
             node: NodeParams::default(),
             delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
+            store_mode: StoreMode::Dense,
         }
     }
 
@@ -202,6 +236,7 @@ impl AlexConfig {
             rmi: RmiMode::adaptive(),
             node: NodeParams::default(),
             delta_buffer_capacity: DEFAULT_DELTA_BUFFER_CAPACITY,
+            store_mode: StoreMode::Dense,
         }
     }
 
@@ -236,6 +271,12 @@ impl AlexConfig {
     /// write copies the whole leaf).
     pub fn with_delta_buffer(mut self, capacity: usize) -> Self {
         self.delta_buffer_capacity = capacity;
+        self
+    }
+
+    /// Override the starting arena flavour (see [`StoreMode`]).
+    pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
+        self.store_mode = mode;
         self
     }
 
@@ -302,5 +343,14 @@ mod tests {
     #[should_panic(expected = "node splitting requires an adaptive RMI")]
     fn splitting_on_static_panics() {
         let _ = AlexConfig::ga_srmi(4).with_splitting();
+    }
+
+    #[test]
+    fn store_mode_defaults_dense_and_overrides() {
+        assert_eq!(AlexConfig::ga_armi().store_mode, StoreMode::Dense);
+        assert_eq!(
+            AlexConfig::pma_armi().with_store_mode(StoreMode::Epoch).store_mode,
+            StoreMode::Epoch
+        );
     }
 }

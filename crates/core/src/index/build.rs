@@ -4,11 +4,27 @@
 //! All node allocation goes through [`super::store::NodeStore`]; this
 //! module owns the *shape* of the tree (how partitions recurse, merge,
 //! and link into the leaf chain) but never indexes the arena directly.
+//!
+//! Bulk builds are exclusive-regime by definition (`&mut self`), so
+//! they allocate with `push_mut` and work on either arena flavour.
+//!
+//! ## Cost-model caching
+//!
+//! Algorithm 4 fits a partition-routing model at every level of its
+//! fanout recursion, and the naive formulation re-converts and re-sums
+//! the same keys at each level — `O(n · depth)` float work. The build
+//! instead computes one [`PrefixLsq`] cache up front (`O(n)`) and
+//! threads global index *ranges* through the recursion: every
+//! per-level model fit becomes an `O(1)` prefix-difference, and
+//! partition boundary probing reuses the cached `f64` keys. The
+//! `fig_probe` bench quantifies the resulting bulk-load speedup.
+
+use core::ops::Range;
 
 use crate::config::RmiMode;
 use crate::data_node::DataNode;
 use crate::key::AlexKey;
-use crate::model::LinearModel;
+use crate::model::{LinearModel, PrefixLsq};
 
 use super::store::{InnerNode, LeafNode, Node, NodeId};
 use super::AlexIndex;
@@ -17,20 +33,30 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Build the RMI for `pairs` according to the configured mode and
     /// wire the leaf chain. Called once from `bulk_load`.
     pub(super) fn build(&mut self, pairs: &[(K, V)]) {
+        let lsq = PrefixLsq::new(pairs.iter().map(|(k, _)| k.as_f64()));
         self.root = match self.config.rmi {
-            RmiMode::Static { num_leaf_nodes } => self.build_static(pairs, num_leaf_nodes.max(1)),
+            RmiMode::Static { num_leaf_nodes } => {
+                self.build_static(pairs, &lsq, num_leaf_nodes.max(1))
+            }
             RmiMode::Adaptive {
                 max_node_keys,
                 inner_fanout,
                 ..
-            } => self.build_adaptive(pairs, max_node_keys.max(64), inner_fanout.max(2), true),
+            } => self.build_adaptive(
+                pairs,
+                &lsq,
+                0..pairs.len(),
+                max_node_keys.max(64),
+                inner_fanout.max(2),
+                true,
+            ),
         };
         self.link_leaves();
     }
 
     /// Allocate a fresh unlinked leaf bulk-loaded from `pairs`.
     pub(super) fn push_leaf(&mut self, pairs: &[(K, V)]) -> NodeId {
-        self.store.push(Node::Leaf(LeafNode::new(
+        self.store.push_mut(Node::Leaf(LeafNode::new(
             DataNode::bulk_load(pairs, self.config.layout, self.config.node),
             None,
             None,
@@ -39,17 +65,18 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
 
     /// Two-level static RMI: a linear root over `num_leaf_nodes` data
     /// nodes.
-    fn build_static(&mut self, pairs: &[(K, V)], num_leaf_nodes: usize) -> NodeId {
-        let model = root_partition_model(pairs, num_leaf_nodes);
-        let parts = partition_by_model(pairs, &model, num_leaf_nodes);
+    fn build_static(&mut self, pairs: &[(K, V)], lsq: &PrefixLsq, num_leaf_nodes: usize) -> NodeId {
+        let model = lsq.fit_partitions(0..pairs.len(), num_leaf_nodes);
+        let parts = partition_by_cached_model(lsq, 0..pairs.len(), &model, num_leaf_nodes);
         let mut children = Vec::with_capacity(num_leaf_nodes);
         for range in parts {
             children.push(self.push_leaf(&pairs[range]));
         }
-        self.store.push(Node::Inner(InnerNode { model, children }))
+        self.store.push_mut(Node::Inner(InnerNode { model, children }))
     }
 
-    /// Adaptive RMI initialization (Algorithm 4).
+    /// Adaptive RMI initialization (Algorithm 4) over the global index
+    /// range `range` of `pairs`.
     ///
     /// The root gets `ceil(n / max_node_keys)` partitions (so each holds
     /// `max_node_keys` in expectation); non-root inner nodes get
@@ -58,27 +85,30 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     fn build_adaptive(
         &mut self,
         pairs: &[(K, V)],
+        lsq: &PrefixLsq,
+        range: Range<usize>,
         max_node_keys: usize,
         inner_fanout: usize,
         is_root: bool,
     ) -> NodeId {
-        let n = pairs.len();
+        let n = range.len();
         if n <= max_node_keys {
-            return self.push_leaf(pairs);
+            return self.push_leaf(&pairs[range]);
         }
         let num_partitions = if is_root {
             n.div_ceil(max_node_keys).max(2)
         } else {
             inner_fanout
         };
-        let model = root_partition_model(pairs, num_partitions);
-        let parts = partition_by_model(pairs, &model, num_partitions);
+        let model = lsq.fit_partitions(range.clone(), num_partitions);
+        let parts = partition_by_cached_model(lsq, range.clone(), &model, num_partitions);
         let mut children = Vec::with_capacity(num_partitions);
         let mut i = 0usize;
         while i < parts.len() {
             let part = parts[i].clone();
             if part.len() > max_node_keys && part.len() < n {
-                let child = self.build_adaptive(&pairs[part], max_node_keys, inner_fanout, false);
+                let child =
+                    self.build_adaptive(pairs, lsq, part, max_node_keys, inner_fanout, false);
                 children.push(child);
                 i += 1;
             } else if part.len() > max_node_keys {
@@ -107,7 +137,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                 i = j;
             }
         }
-        self.store.push(Node::Inner(InnerNode { model, children }))
+        self.store.push_mut(Node::Inner(InnerNode { model, children }))
     }
 
     /// Wire the doubly-linked leaf chain in key order after a bulk
@@ -135,7 +165,37 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     }
 }
 
+/// Contiguous partition subranges of `range` under `model` routing,
+/// probed against the cached `f64` keys (no per-key re-conversion).
+/// Sorted input + clamping make the ranges contiguous even if the
+/// fitted slope is degenerate.
+fn partition_by_cached_model(
+    lsq: &PrefixLsq,
+    range: Range<usize>,
+    model: &LinearModel,
+    parts: usize,
+) -> Vec<Range<usize>> {
+    let xs = lsq.xs();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for p in 0..parts {
+        // End of partition p: first key routed past p.
+        let end = if p + 1 == parts {
+            range.end
+        } else {
+            start
+                + xs[start..range.end].partition_point(|&x| model.predict_clamped(x, parts) <= p)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 /// Fit a root model mapping keys to partition indices `[0, parts)`.
+/// The split path's one-shot equivalent of
+/// [`PrefixLsq::fit_partitions`] — splits fit a single model over a
+/// freshly merged pair list, so there is nothing to cache.
 pub(super) fn root_partition_model<K: AlexKey, V>(pairs: &[(K, V)], parts: usize) -> LinearModel {
     let n = pairs.len();
     if n == 0 {

@@ -193,8 +193,14 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     }
 
     /// Wrap an existing index (built exclusively, e.g. by
-    /// [`AlexIndex::bulk_load`]) for shared use.
-    pub fn from_index(index: AlexIndex<K, V>) -> Self {
+    /// [`AlexIndex::bulk_load`]) for shared use. A dense-arena index
+    /// is upgraded to the epoch flavour here — the single chokepoint
+    /// every `EpochAlex` construction funnels through, so the shared
+    /// regime always runs on atomic slots regardless of
+    /// [`crate::config::StoreMode`]. This is the bulk-load → serve
+    /// bridge: build dense (fastest), then wrap to go concurrent.
+    pub fn from_index(mut index: AlexIndex<K, V>) -> Self {
+        index.store.ensure_epoch();
         Self {
             index,
             writer: Mutex::new(()),
@@ -205,11 +211,18 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     /// Unwrap back into the exclusive index (consumes `self`, so no
     /// reader or writer can still be active). Pending delta buffers
     /// are flushed and the retire lists drained, so the returned
-    /// index is delta-free with a clean arena.
+    /// index is delta-free with a clean arena — and the arena is
+    /// converted back to the flavour named by `config.store_mode`
+    /// (dense by default), making
+    /// [`AlexIndex::into_concurrent`]/`into_inner` a lossless
+    /// round trip.
     pub fn into_inner(self) -> AlexIndex<K, V> {
         let mut index = self.index;
         index.flush_deltas();
         index.store.flush();
+        if index.config().store_mode == crate::config::StoreMode::Dense {
+            index.store.ensure_dense();
+        }
         index
     }
 
@@ -665,8 +678,11 @@ where
     fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
         debug_assert!(self.is_empty(), "bulk_load expects an empty index");
         // Exclusive access: rebuild via Algorithm 4 with the same
-        // config (fresh arena, empty retire lists).
+        // config (fresh arena, empty retire lists). The rebuild honors
+        // `config.store_mode` (dense by default), so upgrade the fresh
+        // arena before it becomes shared again.
         self.index = AlexIndex::bulk_load(pairs, *self.index.config());
+        self.index.store.ensure_epoch();
         pairs.len()
     }
 }
@@ -919,6 +935,56 @@ mod tests {
         assert!(index.remove(&1).is_some());
         assert!(!index.contains(&1));
         assert_eq!(index.len(), 1);
+        assert_eq!(index.flush_retired(), 0);
+    }
+
+    #[test]
+    fn into_concurrent_round_trip_restores_dense_arena() {
+        use crate::config::StoreMode;
+        // Default config builds dense; wrapping upgrades to epoch.
+        let index = AlexIndex::bulk_load(&pairs(2000, 2), splitting_config());
+        assert_eq!(index.store.mode(), StoreMode::Dense);
+        let shared = index.into_concurrent();
+        assert_eq!(shared.index.store.mode(), StoreMode::Epoch);
+        std::thread::scope(|s| {
+            let idx = &shared;
+            s.spawn(move || {
+                for k in 0..500u64 {
+                    idx.insert(2 * k + 1, k).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for k in (0..2000u64).step_by(11) {
+                    assert_eq!(idx.get(&(2 * k)), Some(k));
+                }
+            });
+        });
+        let mut back = shared.into_inner();
+        assert_eq!(back.store.mode(), StoreMode::Dense, "into_inner must restore config.store_mode");
+        assert_eq!(back.len(), 2500);
+        assert_eq!(back.get(&1), Some(&0));
+        back.insert(999_999, 42).unwrap();
+        assert_eq!(back.get(&999_999), Some(&42));
+        back.debug_assert_invariants();
+
+        // An index pinned to the epoch flavour stays epoch after unwrap.
+        let cfg = splitting_config().with_store_mode(StoreMode::Epoch);
+        let index: AlexIndex<u64, u64> = AlexIndex::bulk_load(&pairs(100, 2), cfg);
+        assert_eq!(index.store.mode(), StoreMode::Epoch);
+        let back = index.into_concurrent().into_inner();
+        assert_eq!(back.store.mode(), StoreMode::Epoch);
+    }
+
+    #[test]
+    fn index_write_bulk_load_stays_epoch() {
+        let mut index: EpochAlex<u64, u64> = EpochAlex::new(AlexConfig::ga_armi());
+        let data = pairs(1000, 2);
+        assert_eq!(IndexWrite::bulk_load(&mut index, &data), 1000);
+        assert_eq!(index.index.store.mode(), crate::config::StoreMode::Epoch);
+        // The shared read/write paths (pin + publish) must still work.
+        assert_eq!(index.get(&200), Some(100));
+        index.insert(201, 7).unwrap();
+        assert_eq!(index.get(&201), Some(7));
         assert_eq!(index.flush_retired(), 0);
     }
 

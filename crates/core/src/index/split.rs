@@ -1,17 +1,24 @@
-//! Node splitting on inserts (§3.4.2), published atomically.
+//! Node splitting on inserts (§3.4.2), planned once, applied
+//! per-regime.
 //!
 //! A full leaf's model becomes an inner model routing to `fanout`
 //! fresh leaves; data is redistributed by the original model; no
-//! rebalancing. Since the epoch rework the split is a *publication*,
-//! not an in-place rewrite:
+//! rebalancing. The split is factored into a read-only **plan** and a
+//! regime-specific **apply**, so both arena flavours share the
+//! partitioning logic:
 //!
-//! 1. The fresh leaves are pushed **fully linked** (their `prev`/`next`
-//!    pointers are computed from pre-reserved ids before they enter
-//!    the arena), so no node is ever mutated while reachable.
-//! 2. The routing inner node is then [`NodeStore::publish`]ed at the
-//!    old leaf's id — the **single atomic publication point**. One
-//!    atomic store flips every reader from the old leaf to the new
-//!    subtree; the old leaf is retired to the epoch garbage list.
+//! 1. [`AlexIndex::plan_split`] computes the routing model and builds
+//!    the fresh leaves **fully linked** (their `prev`/`next` pointers
+//!    are computed from pre-reserved ids before they enter the arena),
+//!    so no node is ever mutated while reachable.
+//! 2. The apply step pushes the children and then installs the routing
+//!    inner node at the old leaf's id. On the shared path this is
+//!    [`NodeStore::publish`] — the **single atomic publication
+//!    point**: one atomic store flips every reader from the old leaf
+//!    to the new subtree, and the old leaf is retired to the epoch
+//!    garbage list. On the exclusive path it is a plain overwrite
+//!    (`publish_mut`), sound on either flavour because `&mut self`
+//!    proves no concurrent reader.
 //! 3. Neighbour chain pointers are *healed* afterwards (in place when
 //!    exclusive, copy-on-write when shared). Readers that raced the
 //!    heal and walked into the old id simply find the inner node and
@@ -24,19 +31,46 @@ use core::sync::atomic::Ordering;
 
 use crate::data_node::DataNode;
 use crate::key::AlexKey;
+use crate::model::LinearModel;
 
 use super::build::{partition_by_model, root_partition_model};
 use super::store::{InnerNode, LeafNode, Node, NodeId};
 use super::AlexIndex;
 
+/// A fully-computed split, ready to apply: the routing model and the
+/// fresh leaves, already chain-linked against the ids they will
+/// receive (`base..base + children.len()`).
+struct SplitPlan<K, V> {
+    route: LinearModel,
+    children: Vec<LeafNode<K, V>>,
+    /// First child id — must equal `store.next_id()` at apply time
+    /// (guaranteed: planning and applying happen under one writer).
+    base: NodeId,
+    prev: Option<NodeId>,
+    next: Option<NodeId>,
+}
+
+impl<K, V> SplitPlan<K, V> {
+    fn first(&self) -> NodeId {
+        self.base
+    }
+
+    fn last(&self) -> NodeId {
+        self.base + (self.children.len() - 1) as NodeId
+    }
+}
+
 impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Split the leaf at `id` into `fanout` children (exclusive
-    /// regime). Returns `false` when no linear model can separate the
-    /// keys (the split would make no progress).
+    /// regime; either arena flavour). Returns `false` when no linear
+    /// model can separate the keys (the split would make no progress).
     pub(super) fn split_leaf(&mut self, id: NodeId, fanout: usize) -> bool {
-        let Some((first, last, prev, next)) = self.split_leaf_publish(id, fanout) else {
+        let Some(plan) = self.plan_split(id, fanout) else {
             return false;
         };
+        let (prev, next) = (plan.prev, plan.next);
+        let (first, last) = (plan.first(), plan.last());
+        self.apply_split_mut(id, plan);
         // Heal neighbour chain pointers in place — exclusive access
         // means no reader can observe the intermediate state.
         if let Some(p) = prev {
@@ -52,11 +86,15 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
 
     /// Split the leaf at `id` under the shared regime: the caller is
     /// the single serialized writer; readers may be descending
-    /// concurrently. Chain healing goes copy-on-write.
+    /// concurrently (epoch flavour only). Chain healing goes
+    /// copy-on-write.
     pub(crate) fn split_leaf_shared(&self, id: NodeId, fanout: usize) -> bool {
-        let Some((first, _last, prev, _next)) = self.split_leaf_publish(id, fanout) else {
+        let Some(plan) = self.plan_split(id, fanout) else {
             return false;
         };
+        let prev = plan.prev;
+        let first = plan.first();
+        self.apply_split_shared(id, plan);
         // Heal the predecessor's forward pointer so scans reach the
         // new leaves directly instead of descending through the
         // retired slot's inner node. Readers holding the old
@@ -75,18 +113,12 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         true
     }
 
-    /// The shared split core: plan the partition, push fully-linked
-    /// children, and publish the routing inner node at `id`. Returns
-    /// `(first_child, last_child, old_prev, old_next)`, or `None` if
-    /// no model separates the keys.
-    ///
-    /// Callers must be the single writer (exclusive `&mut` access, or
-    /// holding the shared wrapper's writer mutex).
-    fn split_leaf_publish(
-        &self,
-        id: NodeId,
-        fanout: usize,
-    ) -> Option<(NodeId, NodeId, Option<NodeId>, Option<NodeId>)> {
+    /// Plan a split of the leaf at `id`: partition its merged contents
+    /// under a routing model and build the replacement leaves, linked
+    /// against pre-reserved ids. Read-only on the arena — the caller
+    /// must be the single writer so `next_id` stays stable until
+    /// apply. Returns `None` if no model separates the keys.
+    fn plan_split(&self, id: NodeId, fanout: usize) -> Option<SplitPlan<K, V>> {
         let (pairs, old_model, capacity, prev, next) = {
             let l = self.store.leaf(id);
             // The *merged* view: any pending delta edits are folded
@@ -118,18 +150,63 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         let base = self.store.next_id();
         let count = parts.len();
         let child_id = |i: usize| base + i as NodeId;
-        for (i, range) in parts.iter().enumerate() {
-            let leaf = LeafNode::new(
-                DataNode::bulk_load(&pairs[range.clone()], self.config.layout, self.config.node),
-                if i == 0 { prev } else { Some(child_id(i - 1)) },
-                if i + 1 == count { next } else { Some(child_id(i + 1)) },
-            );
-            let got = self.store.push(Node::Leaf(leaf));
-            debug_assert_eq!(got, child_id(i));
+        let children = parts
+            .iter()
+            .enumerate()
+            .map(|(i, range)| {
+                LeafNode::new(
+                    DataNode::bulk_load(&pairs[range.clone()], self.config.layout, self.config.node),
+                    if i == 0 { prev } else { Some(child_id(i - 1)) },
+                    if i + 1 == count { next } else { Some(child_id(i + 1)) },
+                )
+            })
+            .collect();
+        Some(SplitPlan {
+            route,
+            children,
+            base,
+            prev,
+            next,
+        })
+    }
+
+    /// Apply a planned split through exclusive access (either arena
+    /// flavour): push the children, repoint the head if the head leaf
+    /// split, and overwrite the old leaf with the routing inner node.
+    fn apply_split_mut(&mut self, id: NodeId, plan: SplitPlan<K, V>) {
+        debug_assert_eq!(plan.base, self.store.next_id(), "ids must not move between plan and apply");
+        let first = plan.first();
+        let count = plan.children.len();
+        for child in plan.children {
+            self.store.push_mut(Node::Leaf(child));
         }
-        let children: Vec<NodeId> = (0..count).map(child_id).collect();
-        let (first, last) = (children[0], children[count - 1]);
-        if prev.is_none() {
+        if plan.prev.is_none() {
+            self.store.set_head(first);
+        }
+        self.store.publish_mut(
+            id,
+            Node::Inner(InnerNode {
+                model: plan.route,
+                children: (0..count).map(|i| first + i as NodeId).collect(),
+            }),
+        );
+        self.splits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Apply a planned split through the shared writer (`&self`, epoch
+    /// flavour): identical ordering, but the final step is the atomic
+    /// [`NodeStore::publish`] that makes the subtree visible and
+    /// retires the old leaf.
+    ///
+    /// [`NodeStore::publish`]: super::store::NodeStore::publish
+    fn apply_split_shared(&self, id: NodeId, plan: SplitPlan<K, V>) {
+        debug_assert_eq!(plan.base, self.store.next_id(), "ids must not move between plan and apply");
+        let first = plan.first();
+        let count = plan.children.len();
+        for child in plan.children {
+            self.store.push(Node::Leaf(child));
+        }
+        if plan.prev.is_none() {
             // Head split: repoint before publication so fresh scans
             // starting at the head never miss the low keys.
             self.store.set_head(first);
@@ -139,11 +216,10 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
         self.store.publish(
             id,
             Node::Inner(InnerNode {
-                model: route,
-                children,
+                model: plan.route,
+                children: (0..count).map(|i| first + i as NodeId).collect(),
             }),
         );
         self.splits.fetch_add(1, Ordering::Relaxed);
-        Some((first, last, prev, next))
     }
 }

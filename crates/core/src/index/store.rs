@@ -1,5 +1,5 @@
-//! The storage layer: an epoch-protected arena of RMI nodes plus the
-//! doubly-linked leaf chain.
+//! The storage layer: an arena of RMI nodes plus the doubly-linked
+//! leaf chain, in one of two flavours.
 //!
 //! [`NodeStore`] is the *only* module that touches the node arena
 //! directly. Everything above it — construction ([`super::build`]),
@@ -8,23 +8,49 @@
 //! concerns (id allocation, publication, chain maintenance,
 //! reclamation) stay in one place.
 //!
-//! Since the epoch rework, nodes live behind atomic pointers in an
-//! [`AtomicSlots`] arena and are **never overwritten in place** on the
-//! shared path: [`NodeStore::publish`] installs a replacement node at
-//! the same id and *retires* the old one to the arena's epoch garbage
-//! list. Two access regimes share this storage:
+//! Since PR 7 the arena comes in two flavours, selected at
+//! construction by [`crate::config::StoreMode`]:
+//!
+//! - **Dense** ([`StoreMode::Dense`]): nodes packed in a plain
+//!   `Vec<Node>` with non-atomic ids. Descents index the vector
+//!   directly — no atomic pointer hop, no epoch bookkeeping, best
+//!   cache adjacency. All mutation requires `&mut self`
+//!   ([`NodeStore::push_mut`] / [`NodeStore::publish_mut`]), so the
+//!   borrow checker itself proves no reader can race a writer. The
+//!   shared-regime (`&self`) writer methods panic on this flavour.
+//! - **Epoch** ([`StoreMode::Epoch`]): each node behind an atomic
+//!   pointer in an [`AtomicSlots`] arena, **never overwritten in
+//!   place** on the shared path: [`NodeStore::publish`] installs a
+//!   replacement node at the same id and *retires* the old one to the
+//!   arena's epoch garbage list. This is what `EpochAlex`'s lock-free
+//!   pinned readers require.
+//!
+//! Two access regimes share this storage:
 //!
 //! - **Exclusive** (`&mut AlexIndex`): the classic single-threaded
-//!   index. No concurrent writer can exist, so in-place mutation
-//!   ([`NodeStore::leaf_mut`]) and unguarded reads are sound.
-//! - **Shared** (`EpochAlex` / the sharded epoch read path): writers
-//!   serialize on a mutex and replace nodes only via
-//!   [`NodeStore::publish`]; readers pin an epoch
+//!   index. Works on either flavour; the dense flavour is the default
+//!   and the fast path. In-place mutation ([`NodeStore::leaf_mut`])
+//!   and unguarded reads are sound because no concurrent writer can
+//!   exist.
+//! - **Shared** (`EpochAlex` / the sharded epoch read path): requires
+//!   the epoch flavour (enforced by [`NodeStore::ensure_epoch`] at
+//!   wrap time). Writers serialize on a mutex and replace nodes only
+//!   via [`NodeStore::publish`]; readers pin an epoch
 //!   ([`NodeStore::pin`]) and descend wait-free. The slot at a given
 //!   id only ever changes to a node covering the *same key range*
 //!   (copy-on-write leaf, or the routing inner node a split leaves
 //!   behind), so ids held in old snapshots always remain meaningful.
+//!
+//! [`NodeStore::ensure_epoch`] / [`NodeStore::ensure_dense`] convert
+//! between the flavours by re-housing every node in id order (ids are
+//! allocated sequentially in both, so they are preserved). Leaf bases
+//! are `Arc`-shared, making the conversion `O(nodes)` shallow moves or
+//! clones — never a key-array copy.
+//!
+//! [`StoreMode::Dense`]: crate::config::StoreMode::Dense
+//! [`StoreMode::Epoch`]: crate::config::StoreMode::Epoch
 
+use crate::config::StoreMode;
 use crate::data_node::DataNode;
 use crate::epoch::{AtomicSlots, Collector, Guard};
 use crate::key::AlexKey;
@@ -39,9 +65,9 @@ pub(crate) type NodeId = u32;
 
 /// An RMI node: inner model node or leaf data node.
 ///
-/// Leaves are much larger than inner nodes, but each node is its own
-/// heap allocation behind the arena's atomic slot, so the size
-/// difference costs nothing beyond the allocation itself.
+/// Leaves are much larger than inner nodes, but a leaf's bulk (the
+/// gapped array) lives behind its own `Arc`, so the enum itself stays
+/// small in both arena flavours.
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)]
 pub(crate) enum Node<K, V> {
@@ -101,73 +127,226 @@ impl<K, V> LeafNode<K, V> {
     }
 }
 
+/// The two arena representations behind [`NodeStore`].
+// A store holds exactly one `Arena` (never collections of them), so
+// the Dense/Epoch size difference buys nothing — and boxing the epoch
+// slots would put an extra pointer hop on the shared-regime read path.
+#[allow(clippy::large_enum_variant)]
+enum Arena<K, V> {
+    /// Plain vector, exclusive regime only. Ids are indices.
+    Dense(Vec<Node<K, V>>),
+    /// Atomic-slot arena with its epoch clock, shared regime capable.
+    Epoch {
+        slots: AtomicSlots<Node<K, V>>,
+        /// Epoch clock for this arena's readers and retire lists.
+        collector: Collector,
+    },
+}
+
 /// Arena storage for RMI nodes: id allocation, publication, the
-/// doubly-linked leaf chain, and epoch-based reclamation.
+/// doubly-linked leaf chain, and (epoch flavour) epoch-based
+/// reclamation.
 ///
-/// Writers (whether `&mut`-exclusive or mutex-serialized `&self`)
-/// allocate with [`NodeStore::push`] and replace with
-/// [`NodeStore::publish`]; ids are never reused, and a published
-/// replacement always covers the same key range as its predecessor.
+/// Exclusive writers allocate with [`NodeStore::push_mut`] and replace
+/// with [`NodeStore::publish_mut`] (either flavour); shared writers —
+/// mutex-serialized `&self`, epoch flavour only — use
+/// [`NodeStore::push`] / [`NodeStore::publish`]. Ids are never reused,
+/// and a published replacement always covers the same key range as its
+/// predecessor.
 pub(crate) struct NodeStore<K, V> {
-    slots: AtomicSlots<Node<K, V>>,
+    arena: Arena<K, V>,
     /// First leaf in key order (entry point for full iteration). May
     /// lag behind a head split; readers normalize by descending.
+    /// Atomic in both flavours: it is a plain id, and keeping it
+    /// atomic lets the shared regime move it through `&self`.
     head_leaf: AtomicU32,
-    /// Epoch clock for this arena's readers and retire lists.
-    collector: Collector,
 }
 
 impl<K, V> NodeStore<K, V> {
-    /// An empty store. The head leaf defaults to node 0; callers must
-    /// push at least one leaf (or link a chain) before reading it.
-    pub fn new() -> Self {
-        Self {
-            slots: AtomicSlots::new(),
-            head_leaf: AtomicU32::new(0),
-            collector: Collector::new(),
+    /// An empty store of the requested flavour. The head leaf defaults
+    /// to node 0; callers must push at least one leaf (or link a
+    /// chain) before reading it.
+    pub fn with_mode(mode: StoreMode) -> Self {
+        match mode {
+            StoreMode::Dense => Self::new_dense(),
+            StoreMode::Epoch => Self::new_epoch(),
         }
     }
 
+    /// An empty dense (exclusive-regime) store.
+    pub fn new_dense() -> Self {
+        Self {
+            arena: Arena::Dense(Vec::new()),
+            head_leaf: AtomicU32::new(0),
+        }
+    }
+
+    /// An empty epoch (shared-regime-capable) store.
+    pub fn new_epoch() -> Self {
+        Self {
+            arena: Arena::Epoch {
+                slots: AtomicSlots::new(),
+                collector: Collector::new(),
+            },
+            head_leaf: AtomicU32::new(0),
+        }
+    }
+
+    /// Which flavour this store currently is.
+    pub fn mode(&self) -> StoreMode {
+        match self.arena {
+            Arena::Dense(_) => StoreMode::Dense,
+            Arena::Epoch { .. } => StoreMode::Epoch,
+        }
+    }
+
+    /// Convert a dense arena to the epoch flavour in place (no-op when
+    /// already epoch). Nodes are *moved* in id order — sequential
+    /// allocation in both flavours preserves every id, so the tree,
+    /// the chain, and the head stay valid. Exclusive access required
+    /// (`&mut self`), which is exactly the state the `EpochAlex`
+    /// constructors have.
+    pub fn ensure_epoch(&mut self) {
+        if let Arena::Dense(nodes) = &mut self.arena {
+            let drained = core::mem::take(nodes);
+            let slots = AtomicSlots::new();
+            for node in drained {
+                slots.push(node);
+            }
+            self.arena = Arena::Epoch {
+                slots,
+                collector: Collector::new(),
+            };
+        }
+    }
+}
+
+impl<K: Clone, V: Clone> NodeStore<K, V> {
+    /// Convert an epoch arena to the dense flavour in place (no-op
+    /// when already dense). Requires exclusive access with an empty
+    /// retire list intent: callers (`EpochAlex::into_inner`) drain the
+    /// retire list first. Nodes are shallow-cloned in id order (leaf
+    /// bases are `Arc`-shared); dropping the old arena then releases
+    /// its references, so the dense store ends up owning every base
+    /// uniquely again.
+    pub fn ensure_dense(&mut self) {
+        if let Arena::Epoch { slots, .. } = &self.arena {
+            let nodes: Vec<Node<K, V>> = slots.iter().cloned().collect();
+            self.arena = Arena::Dense(nodes);
+        }
+    }
+}
+
+impl<K, V> NodeStore<K, V> {
     /// Pin the arena's epoch. Shared readers hold the returned guard
     /// across their whole descent; see the [`crate::epoch`] docs.
+    ///
+    /// # Panics
+    /// Panics on a dense store — the dense flavour has no epoch clock
+    /// and must never be read through the shared regime.
     #[inline]
     pub fn pin(&self) -> Guard<'_> {
-        self.collector.pin()
+        match &self.arena {
+            Arena::Epoch { collector, .. } => collector.pin(),
+            Arena::Dense(_) => unreachable!("dense arenas have no epoch clock to pin"),
+        }
     }
 
-    /// The arena's epoch collector (diagnostics).
+    /// The arena's epoch collector (diagnostics; epoch flavour only).
+    ///
+    /// # Panics
+    /// Panics on a dense store.
     #[inline]
     pub fn collector(&self) -> &Collector {
-        &self.collector
+        match &self.arena {
+            Arena::Epoch { collector, .. } => collector,
+            Arena::Dense(_) => unreachable!("dense arenas have no epoch collector"),
+        }
     }
 
-    /// Allocate a node, returning its id. Writers only (exclusive, or
-    /// holding the index's writer mutex).
+    /// Allocate a node, returning its id (exclusive regime; either
+    /// flavour).
+    pub fn push_mut(&mut self, node: Node<K, V>) -> NodeId {
+        match &mut self.arena {
+            Arena::Dense(nodes) => {
+                let id = nodes.len() as NodeId;
+                nodes.push(node);
+                id
+            }
+            Arena::Epoch { slots, .. } => slots.push(node),
+        }
+    }
+
+    /// Allocate a node through `&self` (shared regime: the caller
+    /// holds the index's writer mutex; epoch flavour only).
+    ///
+    /// # Panics
+    /// Panics on a dense store — `&self` mutation of a plain `Vec`
+    /// would be unsound; the exclusive regime uses
+    /// [`NodeStore::push_mut`].
     pub fn push(&self, node: Node<K, V>) -> NodeId {
-        self.slots.push(node)
+        match &self.arena {
+            Arena::Epoch { slots, .. } => slots.push(node),
+            Arena::Dense(_) => unreachable!("shared-regime push on a dense arena"),
+        }
     }
 
-    /// The id the next [`NodeStore::push`] will return. With a single
-    /// writer this lets splits pre-compute child ids so fresh leaves
-    /// can be pushed fully linked (no post-publication fix-up).
+    /// The id the next push will return. With a single writer this
+    /// lets splits pre-compute child ids so fresh leaves can be pushed
+    /// fully linked (no post-publication fix-up).
     #[inline]
     pub fn next_id(&self) -> NodeId {
-        self.slots.len()
+        match &self.arena {
+            Arena::Dense(nodes) => nodes.len() as NodeId,
+            Arena::Epoch { slots, .. } => slots.len(),
+        }
+    }
+
+    /// Replace the node at `id` (exclusive regime; either flavour).
+    /// Dense stores overwrite in place and drop the old node
+    /// immediately — `&mut self` proves nothing can still observe it.
+    /// Epoch stores retire the old node exactly like
+    /// [`NodeStore::publish`], keeping the reclamation counters
+    /// meaningful across regimes.
+    pub fn publish_mut(&mut self, id: NodeId, node: Node<K, V>) {
+        match &mut self.arena {
+            Arena::Dense(nodes) => nodes[id as usize] = node,
+            Arena::Epoch { slots, collector } => slots.publish(id, node, collector),
+        }
     }
 
     /// Replace the node at `id`, retiring the old node to the epoch
-    /// garbage list. Writers only. The single atomic publication
-    /// point: a split becomes visible to readers exactly when the
-    /// routing inner node lands here.
+    /// garbage list (shared regime: the caller holds the index's
+    /// writer mutex; epoch flavour only). The single atomic
+    /// publication point: a split becomes visible to readers exactly
+    /// when the routing inner node lands here.
+    ///
+    /// # Panics
+    /// Panics on a dense store.
     pub fn publish(&self, id: NodeId, node: Node<K, V>) {
-        self.slots.publish(id, node, &self.collector);
+        match &self.arena {
+            Arena::Epoch { slots, collector } => slots.publish(id, node, collector),
+            Arena::Dense(_) => unreachable!("shared-regime publish on a dense arena"),
+        }
     }
 
     /// Node access (shared regime: caller must be pinned; exclusive
     /// regime: always sound).
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node<K, V> {
-        self.slots.get(id)
+        match &self.arena {
+            Arena::Dense(nodes) => &nodes[id as usize],
+            Arena::Epoch { slots, .. } => slots.get(id),
+        }
+    }
+
+    /// Node access, mutably (exclusive regime only).
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<K, V> {
+        match &mut self.arena {
+            Arena::Dense(nodes) => &mut nodes[id as usize],
+            Arena::Epoch { slots, .. } => slots.get_mut(id),
+        }
     }
 
     /// The leaf at `id`.
@@ -191,7 +370,7 @@ impl<K, V> NodeStore<K, V> {
     /// Panics if `id` refers to an inner node.
     #[inline]
     pub fn leaf_mut(&mut self, id: NodeId) -> &mut LeafNode<K, V> {
-        match self.slots.get_mut(id) {
+        match self.node_mut(id) {
             Node::Leaf(l) => l,
             Node::Inner(_) => unreachable!("expected leaf node"),
         }
@@ -201,7 +380,7 @@ impl<K, V> NodeStore<K, V> {
     /// occupied; ids are never reused).
     #[inline]
     pub fn node_count(&self) -> NodeId {
-        self.slots.len()
+        self.next_id()
     }
 
     /// First leaf in key order. After a head split this may
@@ -220,13 +399,13 @@ impl<K, V> NodeStore<K, V> {
 
     /// Iterate every node in the arena (allocation order).
     pub fn iter(&self) -> impl Iterator<Item = &Node<K, V>> {
-        self.slots.iter()
+        (0..self.node_count()).map(move |id| self.node(id))
     }
 
     /// Iterate every leaf in the arena (allocation order, *not* key
     /// order — use the chain for ordered traversal).
     pub fn leaves(&self) -> impl Iterator<Item = &LeafNode<K, V>> {
-        self.slots.iter().filter_map(|n| match n {
+        self.iter().filter_map(|n| match n {
             Node::Leaf(l) => Some(l),
             Node::Inner(_) => None,
         })
@@ -255,23 +434,36 @@ impl<K, V> NodeStore<K, V> {
     }
 
     // ------------------------------------------------------------------
-    // Reclamation diagnostics (surfaced by `EpochAlex::epoch_stats`)
+    // Reclamation diagnostics (surfaced by `EpochAlex::epoch_stats`).
+    // A dense arena frees replaced nodes immediately, so it reports a
+    // permanently empty retire list rather than panicking — exclusive
+    // tests and tooling may probe these on either flavour.
     // ------------------------------------------------------------------
 
-    /// Retired-but-not-yet-freed node count.
+    /// Retired-but-not-yet-freed node count (always 0 on dense).
     pub fn retired(&self) -> usize {
-        self.slots.retired()
+        match &self.arena {
+            Arena::Dense(_) => 0,
+            Arena::Epoch { slots, .. } => slots.retired(),
+        }
     }
 
     /// Drive epochs forward until the retire list drains (or a pinned
-    /// reader blocks progress); returns the nodes still pending.
+    /// reader blocks progress); returns the nodes still pending
+    /// (always 0 on dense — replacement drops are immediate).
     pub fn flush(&self) -> usize {
-        self.slots.flush(&self.collector)
+        match &self.arena {
+            Arena::Dense(_) => 0,
+            Arena::Epoch { slots, collector } => slots.flush(collector),
+        }
     }
 
-    /// Lifetime `(retired, freed)` counters.
+    /// Lifetime `(retired, freed)` counters (both 0 on dense).
     pub fn reclamation_totals(&self) -> (u64, u64) {
-        self.slots.reclamation_totals()
+        match &self.arena {
+            Arena::Dense(_) => (0, 0),
+            Arena::Epoch { slots, .. } => slots.reclamation_totals(),
+        }
     }
 }
 
@@ -292,14 +484,15 @@ impl<K: AlexKey, V: Clone + Default> NodeStore<K, V> {
 }
 
 impl<K: Clone, V: Clone> Clone for NodeStore<K, V> {
-    /// Deep copy for the exclusive regime (a fresh arena, fresh epoch
-    /// clock, empty retire list, unshared base arrays). Must not race
-    /// a writer — `Clone` on the shared wrapper is deliberately not
-    /// provided.
+    /// Deep copy for the exclusive regime, preserving the arena
+    /// flavour (a fresh arena — fresh epoch clock and empty retire
+    /// list for the epoch flavour — with unshared base arrays). Must
+    /// not race a writer — `Clone` on the shared wrapper is
+    /// deliberately not provided.
     fn clone(&self) -> Self {
-        let fresh = Self::new();
+        let mut fresh = Self::with_mode(self.mode());
         for node in self.iter() {
-            fresh.push(match node {
+            fresh.push_mut(match node {
                 Node::Inner(inner) => Node::Inner(inner.clone()),
                 // Unshare the base array: the copy must never alias the
                 // original's data (read counters, make_mut behaviour).
@@ -319,11 +512,16 @@ impl<K: Clone, V: Clone> Clone for NodeStore<K, V> {
 
 impl<K, V> core::fmt::Debug for NodeStore<K, V> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("NodeStore")
-            .field("nodes", &self.slots)
-            .field("head_leaf", &self.head_leaf())
-            .field("collector", &self.collector)
-            .finish()
+        let mut s = f.debug_struct("NodeStore");
+        match &self.arena {
+            Arena::Dense(nodes) => s.field("mode", &"dense").field("nodes", &nodes.len()),
+            Arena::Epoch { slots, collector } => s
+                .field("mode", &"epoch")
+                .field("nodes", &slots)
+                .field("collector", &collector),
+        }
+        .field("head_leaf", &self.head_leaf())
+        .finish()
     }
 }
 
@@ -341,30 +539,35 @@ mod tests {
     }
 
     #[test]
-    fn push_allocates_sequential_ids() {
-        let store: NodeStore<u64, u64> = NodeStore::new();
-        assert_eq!(store.next_id(), 0);
-        let a = store.push(leaf(&[(1, 1)]));
-        let b = store.push(leaf(&[(2, 2)]));
-        assert_eq!((a, b), (0, 1));
-        assert_eq!(store.next_id(), 2);
-        assert_eq!(store.num_leaves(), 2);
+    fn push_allocates_sequential_ids_in_both_flavours() {
+        for mode in [StoreMode::Dense, StoreMode::Epoch] {
+            let mut store: NodeStore<u64, u64> = NodeStore::with_mode(mode);
+            assert_eq!(store.mode(), mode);
+            assert_eq!(store.next_id(), 0);
+            let a = store.push_mut(leaf(&[(1, 1)]));
+            let b = store.push_mut(leaf(&[(2, 2)]));
+            assert_eq!((a, b), (0, 1));
+            assert_eq!(store.next_id(), 2);
+            assert_eq!(store.num_leaves(), 2);
+        }
     }
 
     #[test]
     fn link_chain_wires_prev_next_and_head() {
-        let mut store: NodeStore<u64, u64> = NodeStore::new();
-        let ids: Vec<NodeId> = (0..3).map(|i| store.push(leaf(&[(i, i)]))).collect();
-        store.link_chain(&ids);
-        assert_eq!(store.head_leaf(), ids[0]);
-        assert_eq!(store.leaf(ids[0]).next, Some(ids[1]));
-        assert_eq!(store.leaf(ids[1]).prev, Some(ids[0]));
-        assert_eq!(store.leaf(ids[2]).next, None);
+        for mode in [StoreMode::Dense, StoreMode::Epoch] {
+            let mut store: NodeStore<u64, u64> = NodeStore::with_mode(mode);
+            let ids: Vec<NodeId> = (0..3).map(|i| store.push_mut(leaf(&[(i, i)]))).collect();
+            store.link_chain(&ids);
+            assert_eq!(store.head_leaf(), ids[0]);
+            assert_eq!(store.leaf(ids[0]).next, Some(ids[1]));
+            assert_eq!(store.leaf(ids[1]).prev, Some(ids[0]));
+            assert_eq!(store.leaf(ids[2]).next, None);
+        }
     }
 
     #[test]
     fn publish_replaces_node_and_retires_old() {
-        let store: NodeStore<u64, u64> = NodeStore::new();
+        let store: NodeStore<u64, u64> = NodeStore::new_epoch();
         let id = store.push(leaf(&[(1, 1), (2, 2)]));
         store.publish(
             id,
@@ -386,8 +589,35 @@ mod tests {
     }
 
     #[test]
+    fn dense_publish_mut_replaces_in_place() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new_dense();
+        let id = store.push_mut(leaf(&[(1, 1)]));
+        store.publish_mut(id, leaf(&[(1, 2)]));
+        assert_eq!(store.leaf(id).data.get(&1), Some(&2));
+        // Dense replacement drops the old node immediately: the
+        // diagnostics report a permanently clean arena.
+        assert_eq!(store.retired(), 0);
+        assert_eq!(store.flush(), 0);
+        assert_eq!(store.reclamation_totals(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-regime push on a dense arena")]
+    fn dense_rejects_shared_push() {
+        let store: NodeStore<u64, u64> = NodeStore::new_dense();
+        store.push(leaf(&[(1, 1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense arenas have no epoch clock")]
+    fn dense_rejects_pin() {
+        let store: NodeStore<u64, u64> = NodeStore::new_dense();
+        let _ = store.pin();
+    }
+
+    #[test]
     fn pinned_reader_keeps_replaced_node_alive() {
-        let store: NodeStore<u64, u64> = NodeStore::new();
+        let store: NodeStore<u64, u64> = NodeStore::new_epoch();
         let id = store.push(leaf(&[(10, 100)]));
         let guard = store.pin();
         let snapshot = store.leaf(id);
@@ -402,13 +632,61 @@ mod tests {
     }
 
     #[test]
-    fn clone_is_deep_and_starts_clean() {
-        let store: NodeStore<u64, u64> = NodeStore::new();
+    fn clone_is_deep_preserves_mode_and_starts_clean() {
+        let store: NodeStore<u64, u64> = NodeStore::new_epoch();
         let id = store.push(leaf(&[(1, 1)]));
         store.publish(id, leaf(&[(1, 2)]));
         let copy = store.clone();
+        assert_eq!(copy.mode(), StoreMode::Epoch);
         assert_eq!(copy.leaf(id).data.get(&1), Some(&2));
         assert_eq!(copy.retired(), 0, "clones start with an empty retire list");
         assert_eq!(copy.head_leaf(), store.head_leaf());
+
+        let mut dense: NodeStore<u64, u64> = NodeStore::new_dense();
+        let id = dense.push_mut(leaf(&[(3, 3)]));
+        let copy = dense.clone();
+        assert_eq!(copy.mode(), StoreMode::Dense);
+        assert_eq!(copy.leaf(id).data.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn conversion_round_trip_preserves_ids_and_contents() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new_dense();
+        let ids: Vec<NodeId> = (0..5u64).map(|i| store.push_mut(leaf(&[(i, i * 10)]))).collect();
+        store.link_chain(&ids);
+        store.ensure_epoch();
+        assert_eq!(store.mode(), StoreMode::Epoch);
+        // Epoch flavour serves the same tree under a pin.
+        {
+            let _guard = store.pin();
+            for &id in &ids {
+                assert_eq!(store.leaf(id).data.get(&u64::from(id)), Some(&(u64::from(id) * 10)));
+            }
+        }
+        // Shared-regime writes now work.
+        store.publish(ids[0], leaf(&[(0, 99)]));
+        store.flush();
+        store.ensure_dense();
+        assert_eq!(store.mode(), StoreMode::Dense);
+        assert_eq!(store.leaf(ids[0]).data.get(&0), Some(&99));
+        assert_eq!(store.leaf(ids[1]).next, Some(ids[2]));
+        assert_eq!(store.head_leaf(), ids[0]);
+        assert_eq!(store.node_count(), 5);
+        // The dense store owns every base uniquely again.
+        for leaf in store.leaves() {
+            assert_eq!(Arc::strong_count(&leaf.data), 1);
+        }
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut store: NodeStore<u64, u64> = NodeStore::new_dense();
+        store.push_mut(leaf(&[(1, 1)]));
+        store.ensure_dense();
+        assert_eq!(store.mode(), StoreMode::Dense);
+        store.ensure_epoch();
+        store.ensure_epoch();
+        assert_eq!(store.mode(), StoreMode::Epoch);
+        assert_eq!(store.node_count(), 1);
     }
 }

@@ -39,6 +39,32 @@
 //! assert_eq!(first_five, vec![0, 1, 2, 3, 4]);
 //! ```
 //!
+//! ## Access regimes and arena flavours
+//!
+//! The node store behind [`AlexIndex`] comes in two flavours, selected
+//! by [`config::StoreMode`] on the [`AlexConfig`]:
+//!
+//! - **Dense** (the default): nodes live in a plain `Vec`, node ids are
+//!   direct indices, and every mutation goes through `&mut self`. No
+//!   atomics on the read path, no epoch bookkeeping — the fastest
+//!   single-threaded layout, for the *exclusive* regime where one owner
+//!   holds the index.
+//! - **Epoch**: nodes live behind per-slot atomic pointers with
+//!   epoch-based reclamation, so a structure handed to [`EpochAlex`]
+//!   can serve lock-free readers while a serialized writer publishes
+//!   copy-on-write updates — the *shared* regime.
+//!
+//! The bridge contract: [`AlexIndex::into_concurrent`] converts any
+//! index into an [`EpochAlex`] (re-homing a dense arena into epoch
+//! slots, preserving node ids); [`EpochAlex::into_inner`] hands back
+//! exclusive ownership, restoring the flavour named by the config's
+//! `store_mode`. Both directions preserve ids, contents, and
+//! statistics, so bulk-load in the cheap dense flavour and convert
+//! only when concurrency starts. Shared-regime entry points
+//! (`EpochAlex::new` / `bulk_load`, the sharded front-end, the
+//! durability layer) all funnel through this conversion, so a dense
+//! default config is always safe there too.
+//!
 //! ## Crate layout
 //! - [`index`] / [`AlexIndex`] — the public index.
 //! - [`gapped`] / [`pma_node`] — the two data-node layouts.
@@ -75,11 +101,11 @@ pub mod stats;
 
 mod slots;
 
-pub use config::{AlexConfig, NodeLayout, NodeParams, Placement, RmiMode};
+pub use config::{AlexConfig, NodeLayout, NodeParams, Placement, RmiMode, StoreMode};
 pub use gapped::{GappedNode, InsertOutcome};
 pub use index::{AlexIndex, DuplicateKey, EpochAlex, EpochStats, EpochWriteStats};
 pub use iter::RangeIter;
 pub use key::AlexKey;
-pub use model::LinearModel;
+pub use model::{LinearModel, PrefixLsq};
 pub use pma_node::PmaNode;
 pub use stats::{ReadStats, SizeReport, WriteStats};

@@ -153,6 +153,134 @@ pub fn interpolation_search_lower_bound(keys: &[f64], target: f64) -> SearchResu
     }
 }
 
+/// Keys compared per block by [`blockwise_search_lower_bound`]. Eight
+/// `u64`s span a cache line and fit one AVX-512 / two AVX2 / four NEON
+/// vector compares.
+pub const PROBE_BLOCK: usize = 8;
+
+/// Full blocks scanned per direction before handing off to
+/// [`exponential_search_lower_bound`]. With a decent model,
+/// `4 × 8 = 32` slots cover the bulk of prediction errors (Figure 7);
+/// beyond that the error is large enough that doubling steps win.
+const PROBE_MAX_BLOCKS: usize = 4;
+
+/// Block-wise branchless search outward from `hint` — the hot leaf
+/// probe.
+///
+/// Scalar exponential search resolves one key per iteration through a
+/// compare-and-branch the CPU cannot predict near the target. This
+/// probe instead resolves [`PROBE_BLOCK`] keys per iteration with no
+/// data-dependent branch *inside* the block: each of the 8 compares
+/// becomes a bit of a mask (`u32::from(cmp) << j` — branch-free), and
+/// only the aggregated mask is tested. The fixed-size `&[K; 8]` block,
+/// straight-line bit arithmetic, and single trip-count-independent
+/// loop body are exactly the shape LLVM autovectorizes on stable Rust
+/// (SSE2/AVX2/NEON `cmpgt` + movemask) — no `std::simd`, no
+/// intrinsics, no `unsafe`.
+///
+/// Like exponential search it needs no occupancy information: gapped
+/// arrays keep keys non-decreasing across gap slots. A miss across
+/// `PROBE_MAX_BLOCKS` (4) blocks means the model was off by more than 32
+/// slots, and the scan falls back to exponential doubling from the
+/// scanned frontier, preserving the `O(log d)` worst case.
+///
+/// Counts one comparison per key compared (8 per block), so comparison
+/// statistics stay meaningful across search strategies.
+pub fn blockwise_search_lower_bound<K: PartialOrd>(keys: &[K], target: &K, hint: usize) -> SearchResult {
+    let n = keys.len();
+    if n == 0 {
+        return SearchResult { pos: 0, comparisons: 0 };
+    }
+    let hint = hint.min(n - 1);
+    let mut comparisons = 1u32;
+    if keys[hint] < *target {
+        // Lower bound is in (hint, n]. Sweep right, a block at a time.
+        let mut at = hint + 1;
+        for _ in 0..PROBE_MAX_BLOCKS {
+            if at + PROBE_BLOCK > n {
+                break;
+            }
+            let block: &[K; PROBE_BLOCK] =
+                keys[at..at + PROBE_BLOCK].try_into().expect("exact-size slice");
+            comparisons += PROBE_BLOCK as u32;
+            let mut ge = 0u32;
+            for (j, key) in block.iter().enumerate() {
+                ge |= u32::from(*key >= *target) << j;
+            }
+            if ge != 0 {
+                // Lowest set bit: first slot at/after the target.
+                return SearchResult {
+                    pos: at + ge.trailing_zeros() as usize,
+                    comparisons,
+                };
+            }
+            at += PROBE_BLOCK;
+        }
+        if at + PROBE_BLOCK > n {
+            // Scalar tail: fewer than a block of candidates remain.
+            while at < n {
+                comparisons += 1;
+                if keys[at] >= *target {
+                    return SearchResult { pos: at, comparisons };
+                }
+                at += 1;
+            }
+            return SearchResult { pos: n, comparisons };
+        }
+        // Prediction off by > 32 slots: everything in [0, at) is known
+        // < target, so doubling from the frontier stays correct.
+        let r = exponential_search_lower_bound(keys, target, at.min(n - 1));
+        SearchResult {
+            pos: r.pos,
+            comparisons: comparisons + r.comparisons,
+        }
+    } else {
+        // keys[hint] >= target: lower bound is in [0, hint]. Sweep
+        // left, looking for the last slot still < target.
+        let mut end = hint; // exclusive end of the next block; keys[end..=hint] are all >= target
+        for _ in 0..PROBE_MAX_BLOCKS {
+            if end < PROBE_BLOCK {
+                break;
+            }
+            let block: &[K; PROBE_BLOCK] =
+                keys[end - PROBE_BLOCK..end].try_into().expect("exact-size slice");
+            comparisons += PROBE_BLOCK as u32;
+            let mut lt = 0u32;
+            for (j, key) in block.iter().enumerate() {
+                lt |= u32::from(*key < *target) << j;
+            }
+            if lt != 0 {
+                // Highest set bit: last slot below the target; the
+                // lower bound is one past it.
+                let last_below = 31 - lt.leading_zeros() as usize;
+                return SearchResult {
+                    pos: end - PROBE_BLOCK + last_below + 1,
+                    comparisons,
+                };
+            }
+            end -= PROBE_BLOCK;
+        }
+        if end < PROBE_BLOCK {
+            // Scalar head: fewer than a block of candidates remain.
+            while end > 0 {
+                comparisons += 1;
+                if keys[end - 1] < *target {
+                    return SearchResult { pos: end, comparisons };
+                }
+                end -= 1;
+            }
+            return SearchResult { pos: 0, comparisons };
+        }
+        // keys[end..] are all known >= target; double leftward from the
+        // frontier.
+        let r = exponential_search_lower_bound(keys, target, end);
+        SearchResult {
+            pos: r.pos,
+            comparisons: comparisons + r.comparisons,
+        }
+    }
+}
+
 /// Plain lower-bound binary search with a comparison counter.
 fn binary_lower_bound<K: PartialOrd>(keys: &[K], target: &K) -> (usize, u32) {
     let mut lo = 0usize;
@@ -284,5 +412,92 @@ mod tests {
         let keys: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
         let r = exponential_search_lower_bound(&keys, &10.25, 3);
         assert_eq!(r.pos, 21); // first key >= 10.25 is 10.5 at index 21
+    }
+
+    #[test]
+    fn blockwise_matches_reference_for_all_hints() {
+        // Every (target, hint) pair over a stride-3 array: exercises
+        // direct hits, both sweep directions, block hits at every lane,
+        // scalar head/tail, and the exponential fallback.
+        let keys: Vec<u64> = (0..200).map(|i| i * 3 + 1).collect();
+        for target in 0..620u64 {
+            let expect = keys.partition_point(|k| *k < target);
+            for hint in 0..keys.len() {
+                let r = blockwise_search_lower_bound(&keys, &target, hint);
+                assert_eq!(r.pos, expect, "target={target} hint={hint}");
+            }
+        }
+    }
+
+    #[test]
+    fn blockwise_with_duplicate_runs() {
+        // Gap-filled arrays contain runs of equal keys (a gap duplicates
+        // its right neighbour); the probe must return the run's first
+        // slot from any hint.
+        let mut keys = vec![1u64, 5, 5, 5, 9, 9, 12];
+        keys.extend(std::iter::repeat_n(20u64, 40)); // long run spanning several blocks
+        keys.push(31);
+        for hint in 0..keys.len() {
+            assert_eq!(blockwise_search_lower_bound(&keys, &5, hint).pos, 1, "hint={hint}");
+            assert_eq!(blockwise_search_lower_bound(&keys, &9, hint).pos, 4, "hint={hint}");
+            assert_eq!(blockwise_search_lower_bound(&keys, &20, hint).pos, 7, "hint={hint}");
+            assert_eq!(blockwise_search_lower_bound(&keys, &31, hint).pos, 47, "hint={hint}");
+            assert_eq!(blockwise_search_lower_bound(&keys, &99, hint).pos, 48, "hint={hint}");
+            assert_eq!(blockwise_search_lower_bound(&keys, &0, hint).pos, 0, "hint={hint}");
+        }
+    }
+
+    #[test]
+    fn blockwise_empty_single_and_tiny() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(blockwise_search_lower_bound(&empty, &5, 0).pos, 0);
+        let single = vec![7u64];
+        assert_eq!(blockwise_search_lower_bound(&single, &5, 0).pos, 0);
+        assert_eq!(blockwise_search_lower_bound(&single, &7, 0).pos, 0);
+        assert_eq!(blockwise_search_lower_bound(&single, &9, 0).pos, 1);
+        // Arrays smaller than one block run entirely on the scalar paths.
+        let tiny = vec![2u64, 4, 6, 8, 10];
+        for target in 0..12u64 {
+            let expect = tiny.partition_point(|k| *k < target);
+            for hint in 0..tiny.len() {
+                assert_eq!(blockwise_search_lower_bound(&tiny, &target, hint).pos, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn blockwise_float_keys_match_reference() {
+        let keys: Vec<f64> = (0..300).map(|i| (i as f64).sqrt() * 2.5).collect();
+        for t in 0..45 {
+            let target = t as f64;
+            let expect = keys.partition_point(|k| *k < target);
+            for hint in [0, 7, 64, 150, 299] {
+                assert_eq!(
+                    blockwise_search_lower_bound(&keys, &target, hint).pos,
+                    expect,
+                    "target={target} hint={hint}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blockwise_far_miss_falls_back_logarithmically() {
+        let keys: Vec<u64> = (0..100_000).collect();
+        // Hint off by 50k in each direction: the four-block sweep gives
+        // up and exponential doubling takes over.
+        for hint in [0usize, 99_999] {
+            let r = blockwise_search_lower_bound(&keys, &50_000, hint);
+            assert_eq!(r.pos, 50_000);
+            assert!(
+                r.comparisons < PROBE_MAX_BLOCKS as u32 * PROBE_BLOCK as u32 + 40,
+                "fallback must stay logarithmic, took {}",
+                r.comparisons
+            );
+        }
+        // A near-hit resolves within one block.
+        let near = blockwise_search_lower_bound(&keys, &50_000, 50_003);
+        assert_eq!(near.pos, 50_000);
+        assert!(near.comparisons <= 1 + PROBE_BLOCK as u32, "took {}", near.comparisons);
     }
 }

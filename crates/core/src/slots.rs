@@ -17,7 +17,7 @@
 use crate::bitmap::Bitmap;
 use crate::key::AlexKey;
 use crate::model::LinearModel;
-use crate::search::{exponential_search_lower_bound, SearchResult};
+use crate::search::{blockwise_search_lower_bound, SearchResult, PROBE_BLOCK};
 
 /// Fixed-capacity gapped storage for one data node.
 #[derive(Debug, Clone)]
@@ -72,18 +72,53 @@ impl<K: AlexKey, V: Clone + Default> SlotArray<K, V> {
         self.bitmap.get(slot)
     }
 
-    /// Lower bound (first slot with key `>= key`) via exponential search
-    /// from `hint`.
+    /// Lower bound (first slot with key `>= key`) via the block-wise
+    /// branchless probe from `hint` (falls back to exponential search
+    /// on large prediction errors).
     #[inline]
     pub fn lower_bound(&self, key: &K, hint: usize) -> SearchResult {
-        exponential_search_lower_bound(&self.keys, key, hint)
+        blockwise_search_lower_bound(&self.keys, key, hint)
     }
 
     /// Slot of `key` if present: the first *occupied* slot at or after
     /// the lower bound, when it holds exactly `key`.
+    ///
+    /// The hot path resolves occupancy block-wise too: an 8-lane
+    /// key-equality mask ANDed with the bitmap window at the lower
+    /// bound. The three cases are each proved by the gapped-array
+    /// invariant (keys non-decreasing over all slots; a gap duplicates
+    /// its right neighbour; occupied keys strictly increasing):
+    ///
+    /// - `eq & occ != 0` — the lowest set lane is the one occupied
+    ///   slot holding `key` (every lane before it in the window is a
+    ///   gap duplicating that same key, and at most one occupied slot
+    ///   can hold `key`).
+    /// - `eq & occ == 0` with some lane `≠ key` — the equal-run ends
+    ///   inside the window with no occupied member, so `key` is
+    ///   absent (slots past the run are `> key`).
+    /// - all 8 lanes `== key`, none occupied — the run of gap
+    ///   duplicates extends past the window; only then walk the bitmap.
     pub fn find_key(&self, key: &K, hint: usize) -> (Option<usize>, u32) {
         let r = self.lower_bound(key, hint);
-        let slot = self.bitmap.next_occupied(r.pos);
+        let pos = r.pos;
+        if pos + PROBE_BLOCK <= self.capacity() {
+            let block: &[K; PROBE_BLOCK] =
+                self.keys[pos..pos + PROBE_BLOCK].try_into().expect("exact-size slice");
+            let mut eq = 0u32;
+            for (j, k) in block.iter().enumerate() {
+                eq |= u32::from(*k == *key) << j;
+            }
+            let comparisons = r.comparisons + PROBE_BLOCK as u32;
+            let hit = eq & u32::from(self.bitmap.window8(pos));
+            if hit != 0 {
+                return (Some(pos + hit.trailing_zeros() as usize), comparisons);
+            }
+            if eq != 0xFF {
+                return (None, comparisons);
+            }
+            // Fall through: a >8-slot gap run duplicating `key`.
+        }
+        let slot = self.bitmap.next_occupied(pos);
         match slot {
             Some(s) if self.keys[s] == *key => (Some(s), r.comparisons),
             _ => (None, r.comparisons),

@@ -1,0 +1,115 @@
+//! Differential tests between the two arena flavours.
+//!
+//! In the exclusive regime the dense (`Vec`) and epoch (atomic-slot)
+//! arenas run the *same* index code through the same `&mut` writer
+//! entry points — only the storage representation differs. These tests
+//! pin that down: the same workload must produce identical key/value
+//! sets, split counts, leaf populations, and tree depth on both
+//! flavours, deterministically and under proptest-generated mixed
+//! insert/remove sequences. A divergence means one arena's
+//! push/publish semantics drifted from the other's.
+
+use alex_repro::alex_core::{AlexConfig, AlexIndex, StoreMode};
+use proptest::prelude::*;
+
+fn cfg(mode: StoreMode) -> AlexConfig {
+    // Tight leaf bound + splitting so workloads cross the split
+    // applier, where the flavours genuinely diverge in mechanism
+    // (in-place overwrite vs publish-and-retire).
+    AlexConfig::ga_armi()
+        .with_max_node_keys(128)
+        .with_splitting()
+        .with_store_mode(mode)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key domain: frequent collisions, re-inserts of removed
+    // keys, and enough density to trigger splits.
+    let key = 0u64..4000;
+    prop_oneof![
+        3 => key.clone().prop_map(Op::Insert),
+        1 => key.prop_map(Op::Remove),
+    ]
+}
+
+/// Observable outcome of one workload on one arena flavour.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    pairs: Vec<(u64, u64)>,
+    splits: u64,
+    leaf_sizes: Vec<usize>,
+    depth: usize,
+}
+
+fn run_workload(mode: StoreMode, data: &[(u64, u64)], ops: &[Op]) -> Outcome {
+    let mut index = AlexIndex::bulk_load(data, cfg(mode));
+    for op in ops {
+        match *op {
+            Op::Insert(k) => {
+                let _ = index.insert(k, k * 3);
+            }
+            Op::Remove(k) => {
+                let _ = index.remove(&k);
+            }
+        }
+    }
+    Outcome {
+        pairs: index.iter().map(|(k, v)| (*k, *v)).collect(),
+        splits: index.write_stats().splits,
+        leaf_sizes: index.leaf_sizes(),
+        depth: index.depth(),
+    }
+}
+
+#[test]
+fn dense_and_epoch_arenas_agree_on_a_split_heavy_workload() {
+    let data: Vec<(u64, u64)> = (0..2000u64).map(|k| (k * 2, k)).collect();
+    // Interleave fresh inserts (into the odd gaps, forcing splits),
+    // removes, and re-inserts of removed keys.
+    let mut ops = Vec::new();
+    for k in 0..2000u64 {
+        ops.push(Op::Insert(2 * k + 1));
+        if k % 3 == 0 {
+            ops.push(Op::Remove(2 * k));
+        }
+        if k % 9 == 0 {
+            ops.push(Op::Insert(2 * k)); // re-insert into the tombstone
+        }
+    }
+    let dense = run_workload(StoreMode::Dense, &data, &ops);
+    let epoch = run_workload(StoreMode::Epoch, &data, &ops);
+    assert!(dense.splits > 0, "workload must actually split leaves");
+    assert_eq!(dense, epoch);
+}
+
+#[test]
+fn dense_and_epoch_arenas_agree_from_a_cold_start() {
+    let ops: Vec<Op> = (0..3000u64)
+        .map(|k| Op::Insert((k * 2654435761) % 10_000))
+        .collect();
+    let dense = run_workload(StoreMode::Dense, &[], &ops);
+    let epoch = run_workload(StoreMode::Epoch, &[], &ops);
+    assert!(dense.splits > 0, "cold-start growth must split");
+    assert_eq!(dense, epoch);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_and_epoch_arenas_agree_under_random_mixed_ops(
+        seed in prop::collection::btree_set(0u64..8000, 0..600),
+        ops in prop::collection::vec(op_strategy(), 1..500),
+    ) {
+        let data: Vec<(u64, u64)> = seed.iter().map(|&k| (k, k)).collect();
+        let dense = run_workload(StoreMode::Dense, &data, &ops);
+        let epoch = run_workload(StoreMode::Epoch, &data, &ops);
+        prop_assert_eq!(dense, epoch);
+    }
+}
