@@ -192,6 +192,15 @@ where
             }
             run.clear();
         };
+        // Batch maximal strictly-increasing Put runs so big sequential
+        // tails replay through the run-level CoW bulk path instead of
+        // one publish per record.
+        let push_put = |run: &mut Vec<(K, V)>, inner: &EpochAlex<K, V>, key: K, value: V| {
+            if run.last().is_some_and(|(last, _)| *last >= key) {
+                flush_run(run, inner);
+            }
+            run.push((key, value));
+        };
         for (lsn, record) in scan.records {
             if lsn <= snapshot_lsn {
                 continue;
@@ -199,13 +208,19 @@ where
             match record {
                 WalRecord::Put { key, value } => {
                     replayed += 1;
-                    // Batch maximal strictly-increasing runs so big
-                    // sequential tails replay through the run-level
-                    // CoW bulk path instead of one publish per record.
-                    if run.last().is_some_and(|(last, _)| *last >= key) {
-                        flush_run(&mut run, &inner);
+                    push_put(&mut run, &inner, key, value);
+                }
+                WalRecord::PutRun { pairs } => {
+                    // One logical record, `pairs.len()` logical upserts
+                    // (`replayed` counts upserts so the report stays
+                    // comparable across the two logging forms). The
+                    // run is strictly increasing by the append-side
+                    // contract, so at most the first pair can force a
+                    // flush of the pending run.
+                    replayed += pairs.len();
+                    for (key, value) in pairs {
+                        push_put(&mut run, &inner, key, value);
                     }
-                    run.push((key, value));
                 }
                 WalRecord::Tombstone { key } => {
                     replayed += 1;
@@ -309,11 +324,17 @@ where
     }
 
     /// Sorted-batch insert through the run-level CoW path, logged as
-    /// one group commit. Returns the number actually inserted.
+    /// one [`WalRecord::PutRun`] frame per
+    /// [`MAX_PUT_RUN_PAIRS`](crate::record::MAX_PUT_RUN_PAIRS)-sized
+    /// chunk (one CRC + LSN amortized over the run instead of 17
+    /// framing bytes per pair) and committed as one group. Returns the
+    /// number actually inserted.
     ///
     /// Only the pairs that *land* are logged: the in-memory path
     /// skips duplicates, but replay upserts, so logging a skipped
-    /// pair would make recovery disagree with the live index.
+    /// pair would make recovery disagree with the live index. A
+    /// chunk's pairs are strictly increasing by construction, which is
+    /// the replay batching contract `open` leans on.
     ///
     /// # Panics
     /// Panics (debug builds) if `pairs` is not sorted by key.
@@ -335,8 +356,8 @@ where
         }
         let landed = self.inner.bulk_insert(&fresh);
         debug_assert_eq!(landed, fresh.len(), "pre-filtered batch must land in full");
-        for (key, value) in &fresh {
-            wal.append(&WalRecord::Put { key: *key, value: value.clone() });
+        for chunk in fresh.chunks(crate::record::MAX_PUT_RUN_PAIRS) {
+            wal.append(&WalRecord::PutRun { pairs: chunk.to_vec() });
         }
         // One commit for the whole batch regardless of group size:
         // the batch is acknowledged as a unit, so it is made durable
@@ -570,6 +591,97 @@ mod tests {
         assert_eq!(back.get(&20), Some(200));
         assert_eq!(back.get(&30), Some(300));
         assert_eq!(back.len(), 3);
+    }
+
+    fn wal_bytes(dir: &std::path::Path) -> u64 {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum()
+    }
+
+    #[test]
+    fn put_run_batching_shrinks_the_log_and_recovers_identically() {
+        // The same logical batch, logged two ways: one PutRun frame
+        // per chunk (bulk_insert) vs one Put frame per pair (point
+        // inserts). Recovery must produce identical state from both,
+        // and the run-framed log must be materially smaller.
+        let n = 3000u64;
+        let batch: Vec<(u64, u64)> = (0..n).map(|k| (k * 2, k * 7)).collect();
+
+        let run_dir = TempDir::new("durable-putrun-batched");
+        let run_idx = DurableAlex::create(run_dir.path(), &[], config(), no_sync()).unwrap();
+        assert_eq!(run_idx.bulk_insert(&batch).unwrap(), n as usize);
+        // One frame per 32768-pair chunk: 3000 pairs = 1 record,
+        // plus create's checkpoint breadcrumb.
+        assert_eq!(run_idx.wal_stats().appended, 2);
+        drop(run_idx); // crash
+
+        let pt_dir = TempDir::new("durable-putrun-pointwise");
+        let pt_idx = DurableAlex::create(pt_dir.path(), &[], config(), no_sync()).unwrap();
+        for &(k, v) in &batch {
+            assert!(pt_idx.insert(k, v).unwrap());
+        }
+        pt_idx.flush_wal().unwrap();
+        drop(pt_idx); // crash
+
+        let run_log = wal_bytes(run_dir.path());
+        let pt_log = wal_bytes(pt_dir.path());
+        assert!(
+            run_log * 2 < pt_log,
+            "PutRun framing must at least halve WAL bytes: {run_log} vs {pt_log}"
+        );
+
+        let (a, ra) = DurableAlex::<u64, u64>::open(run_dir.path(), config(), no_sync()).unwrap();
+        let (b, _) = DurableAlex::<u64, u64>::open(pt_dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(ra.replayed, n as usize, "replayed counts logical upserts, not frames");
+        assert_eq!(a.len(), b.len());
+        let mut pairs_a = Vec::new();
+        let mut pairs_b = Vec::new();
+        a.scan_from(&0, usize::MAX, |k, v| pairs_a.push((*k, *v)));
+        b.scan_from(&0, usize::MAX, |k, v| pairs_b.push((*k, *v)));
+        assert_eq!(pairs_a, batch, "recovered state must equal the batch");
+        assert_eq!(pairs_a, pairs_b, "both logging forms recover the same state");
+    }
+
+    #[test]
+    fn put_run_replay_upserts_over_older_values() {
+        // A PutRun above the snapshot may re-apply pairs whose effects
+        // a leaf already captured (the Lᵢ >= L window) — and a later
+        // update can log a Put for a key an earlier PutRun carried.
+        // Replay order must make the last record win.
+        let dir = TempDir::new("durable-putrun-upsert");
+        let idx = DurableAlex::create(dir.path(), &[], config(), no_sync()).unwrap();
+        let batch: Vec<(u64, u64)> = (0..100).map(|k| (k, 1)).collect();
+        assert_eq!(idx.bulk_insert(&batch).unwrap(), 100);
+        for k in 0..50u64 {
+            idx.update(&k, 2).unwrap();
+        }
+        idx.remove(&99).unwrap();
+        drop(idx); // crash
+        let (back, _) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), 99);
+        assert_eq!(back.get(&10), Some(2), "post-run update must win over the PutRun");
+        assert_eq!(back.get(&60), Some(1), "untouched run pair survives");
+        assert_eq!(back.get(&99), None);
+    }
+
+    #[test]
+    fn oversized_bulk_inserts_chunk_into_multiple_put_runs() {
+        let dir = TempDir::new("durable-putrun-chunks");
+        let idx = DurableAlex::create(dir.path(), &[], config(), no_sync()).unwrap();
+        let n = crate::record::MAX_PUT_RUN_PAIRS + 17;
+        let batch: Vec<(u64, u64)> = (0..n as u64).map(|k| (k, k)).collect();
+        assert_eq!(idx.bulk_insert(&batch).unwrap(), n);
+        // Two PutRun frames (cap + remainder) plus create's breadcrumb.
+        assert_eq!(idx.wal_stats().appended, 3);
+        drop(idx);
+        let (back, report) = DurableAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), n);
+        assert_eq!(report.replayed, n);
+        assert_eq!(back.get(&(n as u64 - 1)), Some(n as u64 - 1));
     }
 
     #[test]

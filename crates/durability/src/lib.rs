@@ -28,11 +28,17 @@
 //! body = [lsn: u64 LE][tag: u8][payload]
 //! ```
 //!
-//! | tag | record       | payload                | replay action        |
-//! |-----|--------------|------------------------|----------------------|
-//! | 1   | `Put`        | key bytes, value bytes | upsert (value wins)  |
-//! | 2   | `Tombstone`  | key bytes              | remove if present    |
-//! | 3   | `Checkpoint` | snapshot LSN (u64 LE)  | none (breadcrumb)    |
+//! | tag | record       | payload                         | replay action        |
+//! |-----|--------------|---------------------------------|----------------------|
+//! | 1   | `Put`        | key bytes, value bytes          | upsert (value wins)  |
+//! | 2   | `Tombstone`  | key bytes                       | remove if present    |
+//! | 3   | `Checkpoint` | snapshot LSN (u64 LE)           | none (breadcrumb)    |
+//! | 4   | `PutRun`     | count (u32), count × (key, val) | upsert each, in order |
+//!
+//! `PutRun` is the batched form [`DurableAlex::bulk_insert`] logs: one
+//! frame + CRC + LSN for a whole sorted run instead of 17 bytes of
+//! framing per pair (see `record::MAX_PUT_RUN_PAIRS` for the chunking
+//! cap).
 //!
 //! Key and value bytes come from [`codec::WalCodec`], a closed family
 //! of fixed-width little-endian encodings covering the workspace's
@@ -99,7 +105,7 @@ pub mod tempdir;
 pub use codec::{crc32, WalCodec};
 pub use durable::{DurableAlex, RecoveryReport};
 pub use log::{scan_and_repair, SyncPolicy, Wal, WalOptions, WalScan, WalStats};
-pub use record::{Lsn, WalRecord};
+pub use record::{Lsn, WalRecord, MAX_PUT_RUN_PAIRS};
 pub use snapshot::{SnapshotData, SnapshotWriter};
 
 /// The key contract a durable index needs: the index's own key trait

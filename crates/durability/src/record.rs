@@ -7,11 +7,12 @@
 //! body = [lsn: u64 LE][tag: u8][payload]
 //! ```
 //!
-//! | tag | record                     | payload                |
-//! |-----|----------------------------|------------------------|
-//! | 1   | [`WalRecord::Put`]         | key bytes, value bytes |
-//! | 2   | [`WalRecord::Tombstone`]   | key bytes              |
-//! | 3   | [`WalRecord::Checkpoint`]  | snapshot LSN (u64 LE)  |
+//! | tag | record                     | payload                             |
+//! |-----|----------------------------|-------------------------------------|
+//! | 1   | [`WalRecord::Put`]         | key bytes, value bytes              |
+//! | 2   | [`WalRecord::Tombstone`]   | key bytes                           |
+//! | 3   | [`WalRecord::Checkpoint`]  | snapshot LSN (u64 LE)               |
+//! | 4   | [`WalRecord::PutRun`]      | count (u32 LE), count × (key, value) |
 //!
 //! The reader classifies every stopping point (see [`FrameOutcome`]):
 //! a frame whose bytes run out mid-way is a **torn tail** (the write
@@ -36,6 +37,13 @@ pub const MAX_FRAME_BODY: usize = 1 << 20;
 const TAG_PUT: u8 = 1;
 const TAG_TOMBSTONE: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
+const TAG_PUT_RUN: u8 = 4;
+
+/// Largest pair count a [`WalRecord::PutRun`] may carry. Appenders
+/// chunk longer runs. Sized so a run of the widest codec pair
+/// (16 bytes) stays comfortably under [`MAX_FRAME_BODY`]:
+/// `32768 × 16 B = 512 KiB` against the 1 MiB frame cap.
+pub const MAX_PUT_RUN_PAIRS: usize = 32_768;
 
 /// One logical WAL record (decoded form).
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +58,12 @@ pub enum WalRecord<K, V> {
     /// breadcrumb for log forensics — recovery trusts the manifest,
     /// not checkpoints.
     Checkpoint { snapshot_lsn: Lsn },
+    /// A sorted run of upserts under **one** frame + CRC + LSN — the
+    /// batched form `bulk_insert` logs instead of one [`WalRecord::Put`]
+    /// frame per pair (17 bytes of framing amortized over the run).
+    /// Pairs must be strictly increasing by key; replay applies them
+    /// exactly like a run of `Put`s at the same position in the log.
+    PutRun { pairs: Vec<(K, V)> },
 }
 
 /// What the frame reader found at one position in a segment.
@@ -86,6 +100,17 @@ pub fn encode_frame<K: WalCodec, V: WalCodec>(
         WalRecord::Checkpoint { snapshot_lsn } => {
             body.push(TAG_CHECKPOINT);
             snapshot_lsn.encode_into(&mut body);
+        }
+        WalRecord::PutRun { pairs } => {
+            // Key ordering is the appender's contract (checked where
+            // `PartialOrd` is in scope); here only the size cap is.
+            debug_assert!(pairs.len() <= MAX_PUT_RUN_PAIRS, "chunk runs before framing");
+            body.push(TAG_PUT_RUN);
+            (pairs.len() as u32).encode_into(&mut body);
+            for (key, value) in pairs {
+                key.encode_into(&mut body);
+                value.encode_into(&mut body);
+            }
         }
     }
     debug_assert!(body.len() <= MAX_FRAME_BODY);
@@ -149,6 +174,29 @@ pub fn decode_frame<K: WalCodec, V: WalCodec>(input: &[u8]) -> FrameOutcome<K, V
             };
             WalRecord::Checkpoint { snapshot_lsn }
         }
+        TAG_PUT_RUN => {
+            let Some(count) = u32::decode_from(&mut cursor) else {
+                return FrameOutcome::Corrupt;
+            };
+            let count = count as usize;
+            // Each pair needs at least one payload byte, so a count
+            // beyond the remaining bytes is a mangled prefix — reject
+            // before trusting it with an allocation.
+            if count > cursor.len() {
+                return FrameOutcome::Corrupt;
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let Some(key) = K::decode_from(&mut cursor) else {
+                    return FrameOutcome::Corrupt;
+                };
+                let Some(value) = V::decode_from(&mut cursor) else {
+                    return FrameOutcome::Corrupt;
+                };
+                pairs.push((key, value));
+            }
+            WalRecord::PutRun { pairs }
+        }
         _ => return FrameOutcome::Corrupt,
     };
     if !cursor.is_empty() {
@@ -175,6 +223,8 @@ mod tests {
             (1, WalRecord::Put { key: 42u64, value: 7u64 }),
             (2, WalRecord::Tombstone { key: 42 }),
             (3, WalRecord::Checkpoint { snapshot_lsn: 2 }),
+            (4, WalRecord::PutRun { pairs: vec![(1, 10), (2, 20), (5, 50)] }),
+            (5, WalRecord::PutRun { pairs: vec![] }),
         ] {
             let bytes = frame(lsn, &rec);
             match decode_frame::<u64, u64>(&bytes) {
@@ -213,6 +263,52 @@ mod tests {
                 FrameOutcome::Ok { .. } => panic!("bit {i} flip went undetected"),
             }
         }
+    }
+
+    #[test]
+    fn put_run_amortizes_framing_bytes() {
+        let pairs: Vec<(u64, u64)> = (0..100).map(|k| (k, k * 2)).collect();
+        let run = frame(1, &WalRecord::PutRun { pairs: pairs.clone() });
+        let per_pair: usize = pairs
+            .iter()
+            .map(|&(k, v)| frame(1, &WalRecord::Put { key: k, value: v }).len())
+            .sum();
+        // One frame header + LSN + tag for the whole run vs one per
+        // pair: 8 + 9 = 17 bytes saved per pair beyond the first,
+        // plus the 4-byte count.
+        assert_eq!(run.len(), per_pair - 99 * 17 + 4);
+        assert!(run.len() * 2 < per_pair, "run framing must at least halve the bytes");
+    }
+
+    #[test]
+    fn put_run_truncations_and_bit_flips_are_rejected() {
+        let pairs: Vec<(u64, u64)> = (0..8).map(|k| (k, k)).collect();
+        let bytes = frame(3, &WalRecord::PutRun { pairs });
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_frame::<u64, u64>(&bytes[..cut]), FrameOutcome::Torn),
+                "cut at {cut} must read as a torn tail"
+            );
+        }
+        for i in 0..bytes.len() * 8 {
+            let mut mangled = bytes.clone();
+            mangled[i / 8] ^= 1 << (i % 8);
+            match decode_frame::<u64, u64>(&mangled) {
+                FrameOutcome::Torn | FrameOutcome::Corrupt => {}
+                FrameOutcome::Ok { .. } => panic!("bit {i} flip went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn put_run_with_a_lying_count_is_corrupt() {
+        let pairs: Vec<(u64, u64)> = (0..4).map(|k| (k, k)).collect();
+        let mut bytes = frame(1, &WalRecord::PutRun { pairs });
+        // The count field sits right after [len:4][crc:4][lsn:8][tag:1].
+        let count_at = 4 + 4 + 8 + 1;
+        // A count far beyond the body: rejected before any allocation.
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame::<u64, u64>(&bytes), FrameOutcome::Corrupt));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The storage abstraction workers execute against.
+//!
+//! [`ServeBackend`] is the narrow waist between the worker pool and
+//! the index: the in-memory [`ShardedAlex`] and (behind the
+//! `durability` feature) the WAL-backed `DurableShardedAlex` both
+//! implement it, so the whole serving stack — queues, batching,
+//! the load generator, the differential tests — is written once.
+//!
+//! Durable-backend I/O errors surface as panics: the serving tier has
+//! no story for a half-applied batch whose WAL append failed, so
+//! failing loudly (and poisoning the worker) beats silently dropping
+//! acknowledged writes.
+
+use alex_core::AlexKey;
+use alex_sharded::ShardedAlex;
+use alex_wal::WalCodec;
+
+/// Key bound for everything in this crate: the index's key contract
+/// plus the wire codec and thread-safety. Blanket-implemented.
+pub trait ServerKey: AlexKey + WalCodec + Send + Sync + 'static {}
+impl<K: AlexKey + WalCodec + Send + Sync + 'static> ServerKey for K {}
+
+/// Value bound: cloneable payload with a wire form. Blanket-implemented.
+pub trait ServerValue: Clone + Default + WalCodec + Send + Sync + 'static {}
+impl<V: Clone + Default + WalCodec + Send + Sync + 'static> ServerValue for V {}
+
+/// What a worker needs from the index it owns a key-range of.
+///
+/// `insert` and `bulk_insert` have first-writer-wins semantics (an
+/// existing key is left alone); `bulk_insert` requires its run sorted
+/// ascending and returns how many pairs landed.
+pub trait ServeBackend<K: ServerKey, V: ServerValue>: Send + Sync + 'static {
+    /// Shard boundaries (length `num_shards - 1`), the routing table
+    /// workers and clients share.
+    fn boundaries(&self) -> &[K];
+    fn get(&self, key: &K) -> Option<V>;
+    /// Batched lookup of a **sorted** key run.
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>>;
+    fn insert(&self, key: K, value: V) -> bool;
+    /// Batched insert of a **sorted** pair run; returns pairs landed.
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize;
+    fn remove(&self, key: &K) -> Option<V>;
+    fn scan_from(&self, key: &K, limit: usize, f: &mut dyn FnMut(&K, &V)) -> usize;
+    /// Make everything acknowledged durable (no-op for the in-memory
+    /// backend). Called once, after the workers drain, during
+    /// graceful shutdown.
+    fn flush(&self) {}
+}
+
+impl<K: ServerKey, V: ServerValue> ServeBackend<K, V> for ShardedAlex<K, V> {
+    fn boundaries(&self) -> &[K] {
+        ShardedAlex::boundaries(self)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        ShardedAlex::get(self, key)
+    }
+
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        ShardedAlex::get_many(self, keys)
+    }
+
+    fn insert(&self, key: K, value: V) -> bool {
+        ShardedAlex::insert(self, key, value)
+    }
+
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+        ShardedAlex::bulk_insert(self, pairs)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        ShardedAlex::remove(self, key)
+    }
+
+    fn scan_from(&self, key: &K, limit: usize, f: &mut dyn FnMut(&K, &V)) -> usize {
+        ShardedAlex::scan_from(self, key, limit, f)
+    }
+}
+
+#[cfg(feature = "durability")]
+mod durable {
+    use super::{ServeBackend, ServerKey, ServerValue};
+    use alex_sharded::durable::DurableShardedAlex;
+
+    impl<K: ServerKey, V: ServerValue> ServeBackend<K, V> for DurableShardedAlex<K, V> {
+        fn boundaries(&self) -> &[K] {
+            DurableShardedAlex::boundaries(self)
+        }
+
+        fn get(&self, key: &K) -> Option<V> {
+            DurableShardedAlex::get(self, key)
+        }
+
+        fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+            DurableShardedAlex::get_many(self, keys)
+        }
+
+        fn insert(&self, key: K, value: V) -> bool {
+            DurableShardedAlex::insert(self, key, value).expect("WAL append failed")
+        }
+
+        fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+            DurableShardedAlex::bulk_insert(self, pairs).expect("WAL append failed")
+        }
+
+        fn remove(&self, key: &K) -> Option<V> {
+            DurableShardedAlex::remove(self, key).expect("WAL append failed")
+        }
+
+        fn scan_from(&self, key: &K, limit: usize, f: &mut dyn FnMut(&K, &V)) -> usize {
+            DurableShardedAlex::scan_from(self, key, limit, f)
+        }
+
+        fn flush(&self) {
+            DurableShardedAlex::flush_all(self).expect("WAL flush failed");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! A log-bucketed latency histogram (HDR-histogram-lite).
+//!
+//! Latencies span five orders of magnitude under load (sub-µs cache
+//! hits to ms-scale queueing stalls), so fixed-width buckets either
+//! blur the tail or waste memory. This histogram uses one octave per
+//! power of two with [`SUB_BUCKETS`] linear sub-buckets inside each,
+//! bounding the *relative* error of any recorded value by
+//! `1 / SUB_BUCKETS` (~3%) while the whole table stays under 16 KiB.
+//!
+//! Recording is a single relaxed `fetch_add` on an `AtomicU64`, so
+//! many load-generator clients share one histogram without
+//! contention-induced coordination (a lock here would perturb the
+//! very latencies being measured). Reading goes through
+//! [`LatencyHistogram::snapshot`], which copies the buckets into a
+//! plain struct for quantile math; snapshots taken while writers run
+//! are only as consistent as per-bucket relaxed loads — fine for
+//! progress reports, exact once the run quiesces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets inside each power-of-two octave.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Values below this are recorded exactly (one bucket per nanosecond).
+const EXACT_LIMIT: u64 = SUB_BUCKETS;
+/// 32 exact buckets + 32 per octave for exponents 5..=63.
+const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) * 60;
+
+/// Bucket index for a value: exact below [`EXACT_LIMIT`], then
+/// `32 * (octave - 4) + sub` where `sub` is the value's next five
+/// bits below its leading one.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        return v as usize;
+    }
+    let m = 63 - v.leading_zeros(); // v in [2^m, 2^(m+1)), m >= 5
+    let sub = (v >> (m - SUB_BITS)) - SUB_BUCKETS;
+    (SUB_BUCKETS as usize) * (m as usize - 4) + sub as usize
+}
+
+/// Inclusive lower and exclusive upper value bound of a bucket.
+#[inline]
+fn bounds_of(index: usize) -> (u64, u64) {
+    let i = index as u64;
+    if i < EXACT_LIMIT {
+        return (i, i + 1);
+    }
+    let m = i / SUB_BUCKETS + 4;
+    let sub = i % SUB_BUCKETS;
+    let lo = (SUB_BUCKETS + sub) << (m - SUB_BITS as u64);
+    let width = 1u64 << (m - SUB_BITS as u64);
+    // The topmost bucket's exclusive bound is 2^64; saturate instead.
+    (lo, lo.saturating_add(width))
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (nanoseconds
+/// by convention in this crate, but unitless here).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([const { AtomicU64::new(0) }; NUM_BUCKETS]),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free; safe from any number of threads.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current contents into a plain (non-atomic) snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a histogram, with quantile math.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, linearly interpolated
+    /// within the containing bucket and clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                let (lo, hi) = bounds_of(i);
+                // Position of the target-th smallest sample (1-based)
+                // within this bucket, in [0, 1): a full bucket resolves
+                // to values inside [lo, hi), never to the open bound.
+                let into = (target - cum as f64 - 1.0).max(0.0) / n as f64;
+                let v = lo as f64 + into * (hi - lo) as f64;
+                return (v as u64).min(self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_bound_their_values() {
+        // Every probe value must land in a bucket whose bounds contain
+        // it, with relative width <= 1/SUB_BUCKETS above the exact
+        // range; and bucket indexes must be monotone in the value.
+        let mut last = 0usize;
+        let mut probes: Vec<u64> = (0..200).collect();
+        for m in 5..63u32 {
+            let base = 1u64 << m;
+            probes.extend([base, base + 1, base + base / 3, 2 * base - 1]);
+        }
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        for v in probes {
+            let i = bucket_of(v);
+            assert!(i >= last, "bucket index regressed at {v}");
+            last = i;
+            let (lo, hi) = bounds_of(i);
+            // The saturated top bucket closes at u64::MAX inclusively.
+            assert!(lo <= v && (v < hi || hi == u64::MAX), "{v} outside [{lo}, {hi})");
+            if v >= EXACT_LIMIT && hi > lo {
+                let width = (hi - lo) as f64;
+                assert!(
+                    width / lo as f64 <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                    "bucket [{lo},{hi}) too wide for {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_three_percent() {
+        let h = LatencyHistogram::new();
+        // 1..=10_000 µs-scale values: quantile(q) must land within the
+        // bucket resolution of the true order statistic.
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 10_000);
+        assert_eq!(snap.max(), 10_000_000);
+        for (q, truth) in [(0.5, 5_000_000.0), (0.99, 9_900_000.0), (0.999, 9_990_000.0)] {
+            let got = snap.quantile(q) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(rel < 0.04, "q={q}: got {got}, want ~{truth} (rel {rel:.4})");
+        }
+        let mean = snap.mean();
+        assert!((mean - 5_000_500.0).abs() < 1.0, "exact mean from sum: {mean}");
+    }
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+        h.record(0);
+        h.record(7);
+        let snap = h.snapshot();
+        // Sub-EXACT_LIMIT values are exact, and quantiles clamp to max.
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 7);
+        assert_eq!(snap.max(), 7);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 977);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 40_000);
+    }
+}

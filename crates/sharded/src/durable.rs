@@ -30,7 +30,7 @@ use alex_core::AlexConfig;
 use alex_wal::record::Lsn;
 use alex_wal::{crc32, DurableAlex, DurableKey, RecoveryReport, WalCodec, WalOptions};
 
-use crate::sample_cdf_boundaries;
+use crate::{route_key, sample_cdf_boundaries, split_sorted_runs};
 
 const SHARDS_MAGIC: &[u8; 8] = b"ALEXSHRD";
 
@@ -176,7 +176,7 @@ where
     /// type: shard `i + 1` owns keys `>= boundaries[i]`).
     #[inline]
     fn shard_for(&self, key: &K) -> usize {
-        self.boundaries.partition_point(|b| b <= key)
+        route_key(&self.boundaries, key)
     }
 
     /// Point lookup (lock-free within the owning shard).
@@ -207,6 +207,70 @@ where
     /// Logged removal from the owning shard.
     pub fn remove(&self, key: &K) -> io::Result<Option<V>> {
         self.shards[self.shard_for(key)].remove(key)
+    }
+
+    /// Sorted-batch lookup: keys split into per-shard runs, each served
+    /// by the owning shard's lock-free `get_many` (mirrors
+    /// [`ShardedAlex::get_many`]).
+    ///
+    /// [`ShardedAlex::get_many`]: crate::ShardedAlex::get_many
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `keys` is not sorted non-decreasing.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "get_many input must be sorted"
+        );
+        let mut out = Vec::with_capacity(keys.len());
+        split_sorted_runs(&self.boundaries, keys, |k| k, |shard, run| {
+            out.extend(self.shards[shard].index().get_many(run));
+        });
+        out
+    }
+
+    /// Sorted-batch insert: pairs split into per-shard runs, each
+    /// logged and applied by the owning shard's [`DurableAlex::bulk_insert`]
+    /// (one `PutRun`-batched group commit per shard touched). Returns
+    /// the number of pairs that landed (duplicates skipped).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `pairs` is not sorted by key.
+    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> io::Result<usize> {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_insert input must be sorted by key"
+        );
+        let mut inserted = 0usize;
+        let mut err: Option<io::Error> = None;
+        split_sorted_runs(&self.boundaries, pairs, |(k, _)| k, |shard, run| {
+            if err.is_none() {
+                match self.shards[shard].bulk_insert(run) {
+                    Ok(n) => inserted += n,
+                    Err(e) => err = Some(e),
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(inserted),
+        }
+    }
+
+    /// Visit up to `limit` entries with key `>= key` in order, crossing
+    /// shard boundaries one shard at a time (same relaxation as
+    /// [`ShardedAlex::scan_from`]). Returns the number visited.
+    ///
+    /// [`ShardedAlex::scan_from`]: crate::ShardedAlex::scan_from
+    pub fn scan_from(&self, key: &K, limit: usize, mut f: impl FnMut(&K, &V)) -> usize {
+        let mut visited = 0usize;
+        for shard in self.shard_for(key)..self.shards.len() {
+            if visited >= limit {
+                break;
+            }
+            visited += self.shards[shard].scan_from(key, limit - visited, &mut f);
+        }
+        visited
     }
 
     /// Total entries across shards. Like the in-memory type, summed
@@ -315,6 +379,27 @@ mod tests {
         let replayed: usize = reports.iter().map(|r| r.replayed).sum();
         assert_eq!(replayed, 20, "snapshots must absorb everything before them");
         assert!(reports.iter().all(|r| r.snapshot_lsn > 0));
+    }
+
+    #[test]
+    fn batch_ops_span_shards_and_survive_recovery() {
+        let dir = TempDir::new("sharded-batch");
+        let pairs: Vec<(u64, u64)> = (0..4000).map(|k| (k * 4, k)).collect();
+        let index = DurableShardedAlex::create(dir.path(), &pairs, 4, config(), no_sync()).unwrap();
+        // A spanning sorted batch; every shard sees part of it.
+        let fresh: Vec<(u64, u64)> = (0..2000u64).map(|k| (k * 8 + 1, k)).collect();
+        assert_eq!(index.bulk_insert(&fresh).unwrap(), 2000);
+        assert_eq!(index.bulk_insert(&fresh).unwrap(), 0, "second pass is all duplicates");
+        let queries: Vec<u64> = (0..2000u64).map(|k| k * 8 + 1).collect();
+        assert!(index.get_many(&queries).iter().all(Option::is_some));
+        let mut seen = Vec::new();
+        let visited = index.scan_from(&0, 100, |k, _| seen.push(*k));
+        assert_eq!(visited, 100);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "scan stays sorted across shards");
+        drop(index); // crash
+        let (back, _) = DurableShardedAlex::<u64, u64>::open(dir.path(), config(), no_sync()).unwrap();
+        assert_eq!(back.len(), 4000 + 2000);
+        assert!(back.get_many(&queries).iter().all(Option::is_some), "batch survives recovery");
     }
 
     #[test]

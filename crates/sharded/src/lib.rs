@@ -365,7 +365,7 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     /// Which shard owns `key`.
     #[inline]
     fn shard_for(&self, key: &K) -> usize {
-        self.boundaries.partition_point(|b| b <= key)
+        route_key(&self.boundaries, key)
     }
 
     /// Look up `key`, cloning the payload out of the shard. On the
@@ -413,29 +413,15 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     }
 
     /// Split a key-sorted slice into maximal per-shard runs and invoke
-    /// `f` once per `(shard, run)` — the single place that pairs the
-    /// `k < boundary` run cut with [`ShardedAlex::shard_for`]'s
-    /// `boundary <= k` routing, so keys equal to a boundary always go
-    /// to the same shard on both paths.
+    /// `f` once per `(shard, run)` (delegates to the free function
+    /// [`split_sorted_runs`] over this index's boundaries).
     fn for_each_shard_run<'a, T>(
         &self,
         items: &'a [T],
         key_of: impl Fn(&T) -> &K,
-        mut f: impl FnMut(usize, &'a [T]),
+        f: impl FnMut(usize, &'a [T]),
     ) {
-        let mut rest = items;
-        while let Some(first) = rest.first() {
-            let shard = self.shard_for(key_of(first));
-            let run_len = if shard < self.boundaries.len() {
-                let bound = &self.boundaries[shard];
-                rest.partition_point(|t| key_of(t) < bound)
-            } else {
-                rest.len()
-            };
-            let (run, tail) = rest.split_at(run_len);
-            f(shard, run);
-            rest = tail;
-        }
+        split_sorted_runs(&self.boundaries, items, key_of, f);
     }
 
     /// Sorted-batch lookup: keys are split into per-shard runs, each
@@ -550,10 +536,49 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     }
 }
 
+/// Which shard owns `key` under `boundaries` (shard `i + 1` owns keys
+/// `>= boundaries[i]`) — the single routing rule shared by
+/// [`ShardedAlex`], `DurableShardedAlex`, and external routers such as
+/// `alex-server`'s request dispatcher. `boundaries` must be strictly
+/// increasing.
+#[inline]
+pub fn route_key<K: PartialOrd>(boundaries: &[K], key: &K) -> usize {
+    boundaries.partition_point(|b| b <= key)
+}
+
+/// Split a key-sorted slice into maximal per-shard runs under
+/// `boundaries` and invoke `f` once per `(shard, run)` in ascending
+/// shard order. This is the single place that pairs the `k < boundary`
+/// run cut with [`route_key`]'s `boundary <= k` rule, so keys equal to
+/// a boundary go to the same shard on both paths. `items` must be
+/// sorted non-decreasing under `key_of`.
+pub fn split_sorted_runs<'a, K: PartialOrd, T>(
+    boundaries: &[K],
+    items: &'a [T],
+    key_of: impl Fn(&T) -> &K,
+    mut f: impl FnMut(usize, &'a [T]),
+) {
+    let mut rest = items;
+    while let Some(first) = rest.first() {
+        let shard = route_key(boundaries, key_of(first));
+        let run_len = if shard < boundaries.len() {
+            let bound = &boundaries[shard];
+            rest.partition_point(|t| key_of(t) < bound)
+        } else {
+            rest.len()
+        };
+        let (run, tail) = rest.split_at(run_len);
+        f(shard, run);
+        rest = tail;
+    }
+}
+
 /// Shard boundaries from the sample CDF of sorted `pairs`: sample up to
 /// 64Ki keys evenly by rank, then take the `num_shards - 1` interior
-/// quantiles (via [`alex_datasets::cdf_points`]) and dedup.
-fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize) -> Vec<K> {
+/// quantiles (via [`alex_datasets::cdf_points`]) and dedup. Public so
+/// external front-ends (e.g. `alex-server`'s load generator) can derive
+/// routing boundaries the same way [`ShardedAlex::bulk_load`] does.
+pub fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize) -> Vec<K> {
     if num_shards <= 1 || pairs.len() < 2 {
         return Vec::new();
     }
@@ -778,6 +803,28 @@ mod tests {
             });
             assert_eq!(index.len(), 10_000 + 4 * 2000);
             assert_eq!(index.flush_retired(), 0, "retire lists drain at quiescence");
+        }
+    }
+
+    #[test]
+    fn route_key_and_split_sorted_runs_agree() {
+        let boundaries = [10u64, 20, 30];
+        assert_eq!(route_key(&boundaries, &0), 0);
+        assert_eq!(route_key(&boundaries, &9), 0);
+        assert_eq!(route_key(&boundaries, &10), 1, "boundary key belongs to the upper shard");
+        assert_eq!(route_key(&boundaries, &29), 2);
+        assert_eq!(route_key(&boundaries, &30), 3);
+        let items: Vec<u64> = vec![1, 9, 10, 15, 30, 40];
+        let mut runs = Vec::new();
+        split_sorted_runs(&boundaries, &items, |k| k, |shard, run| {
+            runs.push((shard, run.to_vec()));
+        });
+        assert_eq!(runs, vec![(0, vec![1, 9]), (1, vec![10, 15]), (3, vec![30, 40])]);
+        // Every item routes to the shard its run was assigned.
+        for (shard, run) in &runs {
+            for k in run {
+                assert_eq!(route_key(&boundaries, k), *shard);
+            }
         }
     }
 

@@ -1,0 +1,104 @@
+//! Open-loop arrival schedules.
+//!
+//! A closed-loop driver waits for each response before issuing the
+//! next request, so when the server stalls the offered load politely
+//! stalls too — and the measured latency hides the very queueing the
+//! stall caused (coordinated omission). An **open-loop** driver fixes
+//! the arrival times in advance and measures each operation from its
+//! *scheduled* time, so server hiccups show up as queueing delay in
+//! the tail instead of vanishing.
+//!
+//! The canonical open-loop arrival process is Poisson: independent
+//! exponentially distributed inter-arrival gaps, `gap = -ln(1-u)/λ`
+//! by inversion sampling. [`poisson_schedule`] materializes the
+//! cumulative offsets for a whole run up front so the dispatch loop
+//! does no RNG work on the timed path.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An endless stream of exponentially distributed inter-arrival gaps
+/// with mean `1 / rate_per_sec`. Deterministic per seed.
+pub struct PoissonArrivals {
+    rng: StdRng,
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// `rate_per_sec` must be finite and positive.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive, got {rate_per_sec}"
+        );
+        PoissonArrivals { rng: StdRng::seed_from_u64(seed), rate_per_sec }
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        // u in [0, 1) makes 1-u in (0, 1], so ln is finite and the
+        // gap non-negative.
+        let u: f64 = self.rng.random();
+        let gap_secs = -(1.0 - u).ln() / self.rate_per_sec;
+        Some(Duration::from_secs_f64(gap_secs))
+    }
+}
+
+/// Cumulative arrival offsets (from an epoch the caller picks) for
+/// `ops` operations at `rate_per_sec`, monotone non-decreasing.
+pub fn poisson_schedule(rate_per_sec: f64, ops: usize, seed: u64) -> Vec<Duration> {
+    let mut at = Duration::ZERO;
+    PoissonArrivals::new(rate_per_sec, seed)
+        .take(ops)
+        .map(|gap| {
+            at += gap;
+            at
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_average_the_inverse_rate() {
+        let rate = 10_000.0; // 100 µs mean gap
+        let n = 20_000;
+        let total: Duration = PoissonArrivals::new(rate, 7).take(n).sum();
+        let mean = total.as_secs_f64() / n as f64;
+        let want = 1.0 / rate;
+        assert!(
+            (mean - want).abs() / want < 0.05,
+            "mean gap {mean:e} not within 5% of {want:e}"
+        );
+    }
+
+    #[test]
+    fn schedules_are_monotone_and_deterministic() {
+        let a = poisson_schedule(500.0, 1000, 42);
+        let b = poisson_schedule(500.0, 1000, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets must not regress");
+        assert_eq!(a.len(), 1000);
+        let c = poisson_schedule(500.0, 1000, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn gaps_are_spread_not_constant() {
+        // An exponential distribution has cv = 1; even a crude check
+        // distinguishes it from uniform-interval pacing.
+        let gaps: Vec<f64> =
+            PoissonArrivals::new(1000.0, 3).take(5000).map(|d| d.as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "coefficient of variation {cv} should be ~1");
+    }
+}

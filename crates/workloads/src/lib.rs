@@ -41,6 +41,7 @@
 //! assert_eq!(report.hits, report.reads);
 //! ```
 
+pub mod arrival;
 pub mod concurrent;
 mod driver;
 
@@ -50,5 +51,6 @@ pub use alex_api::{
     BatchOps, ConcurrentIndex, Entry, IndexRead, IndexWrite, InsertError, LockedBTreeMap,
     RangeScan,
 };
+pub use arrival::{poisson_schedule, PoissonArrivals};
 pub use concurrent::run_workload_mt;
 pub use driver::{run_workload, WorkloadKind, WorkloadReport, WorkloadSpec};

@@ -26,6 +26,11 @@
 //! - [`alex_wal`] — durability for the epoch index: an LSN'd
 //!   write-ahead log with group commit, copy-on-write leaf snapshots
 //!   in slotted pages, and crash recovery (`DurableAlex`).
+//! - [`alex_server`] — the serving front-end: a framed binary
+//!   request/response protocol, shard-owning worker threads behind
+//!   bounded queues that coalesce point ops into sorted batch runs,
+//!   and an open-/closed-loop load generator with a log-bucketed
+//!   latency histogram (p50/p99/p999).
 
 pub use alex_api;
 pub use alex_btree;
@@ -33,6 +38,7 @@ pub use alex_core;
 pub use alex_datasets;
 pub use alex_learned_index;
 pub use alex_pma;
+pub use alex_server;
 pub use alex_sharded;
 pub use alex_wal;
 pub use alex_workloads;

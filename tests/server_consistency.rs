@@ -1,0 +1,265 @@
+//! Differential suite for the serving tier: every response produced
+//! by the batching worker pool must be **byte-identical** (under the
+//! wire codec) to the response a serial `LockedBTreeMap` oracle gives
+//! for the same operation sequence — coalescing point ops into
+//! `get_many`/`bulk_insert` runs is an optimization, never a
+//! semantics change.
+//!
+//! Three angles:
+//!
+//! 1. **Serial**: one client, strict call/response over dependent
+//!    sequences (insert → get → remove → get the same key, scans,
+//!    batches straddling shard boundaries).
+//! 2. **Pipelined**: one client submits windows of in-flight point
+//!    and batch ops without waiting. Same-key ops share a shard queue
+//!    (FIFO), so submission order is the serial order the oracle
+//!    applies.
+//! 3. **Concurrent**: many client threads, each writing a private
+//!    key range while reading the shared preload, so every thread's
+//!    expected responses are deterministic. After shutdown, the
+//!    quiescent index must equal the oracle pair-for-pair.
+
+use std::sync::Arc;
+
+use alex_repro::alex_api::{ConcurrentIndex, IndexRead, LockedBTreeMap};
+use alex_repro::alex_core::AlexConfig;
+use alex_repro::alex_server::{encode_response, Request, Response, Server, ServerConfig};
+use alex_repro::alex_sharded::ShardedAlex;
+
+type Req = Request<u64, u64>;
+type Resp = Response<u64, u64>;
+
+/// Apply one request to the oracle with exactly the server's
+/// semantics: first-writer-wins inserts, inclusive-start scans,
+/// batch inserts that dedupe against both the map and the batch.
+fn oracle_exec(oracle: &LockedBTreeMap<u64, u64>, request: &Req) -> Resp {
+    match request {
+        Request::Get { key } => Response::Value(oracle.get(key)),
+        Request::Insert { key, value } => {
+            Response::Inserted(ConcurrentIndex::insert(oracle, *key, *value).is_ok())
+        }
+        Request::Remove { key } => Response::Removed(ConcurrentIndex::remove(oracle, key)),
+        Request::Scan { start, limit } => {
+            let mut out = Vec::new();
+            oracle.scan_from(start, *limit as usize, &mut |k, v| out.push((*k, *v)));
+            Response::Entries(out)
+        }
+        Request::BatchGet { keys } => {
+            Response::Values(keys.iter().map(|k| oracle.get(k)).collect())
+        }
+        Request::BatchInsert { pairs } => Response::InsertedCount(
+            pairs.iter().filter(|(k, v)| ConcurrentIndex::insert(oracle, *k, *v).is_ok()).count()
+                as u64,
+        ),
+    }
+}
+
+/// Byte-level equality under the wire codec — the strongest form of
+/// "the client cannot tell the difference".
+fn assert_same_bytes(op_id: u64, got: &Resp, want: &Resp, context: &str) {
+    let mut got_bytes = Vec::new();
+    let mut want_bytes = Vec::new();
+    encode_response(op_id, got, &mut got_bytes);
+    encode_response(op_id, want, &mut want_bytes);
+    assert_eq!(got_bytes, want_bytes, "{context}: op {op_id}: {got:?} != oracle {want:?}");
+}
+
+fn preload(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|k| (k * 2 + 1, k * 31)).collect()
+}
+
+type TestServer = Server<u64, u64, ShardedAlex<u64, u64>>;
+
+fn serve(
+    pairs: &[(u64, u64)],
+    shards: usize,
+    max_batch: usize,
+) -> (TestServer, LockedBTreeMap<u64, u64>) {
+    let index = ShardedAlex::bulk_load(pairs, shards, AlexConfig::ga_armi());
+    let server = Server::start(index, ServerConfig { queue_capacity: 256, max_batch });
+    (server, LockedBTreeMap::from_pairs(pairs))
+}
+
+/// A deterministic xorshift so the suite needs no RNG plumbing.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 27)
+}
+
+#[test]
+fn serial_dependent_sequences_match_the_oracle_byte_for_byte() {
+    let pairs = preload(4000);
+    let (server, oracle) = serve(&pairs, 4, 32);
+    let client = server.client();
+
+    let mut ops: Vec<Req> = Vec::new();
+    for i in 0..600u64 {
+        let r = mix(i) % 100;
+        let hot = 20_000 + (mix(i * 7) % 500); // private write range
+        let cold = (mix(i * 13) % 4000) * 2 + 1; // preload key
+        ops.push(match r {
+            0..=39 => Request::Get { key: if r.is_multiple_of(2) { cold } else { hot } },
+            40..=59 => Request::Insert { key: hot, value: i },
+            60..=69 => Request::Remove { key: hot },
+            70..=79 => Request::Scan { start: cold.saturating_sub(10), limit: (r - 65) as u32 },
+            80..=89 => {
+                let mut keys: Vec<u64> =
+                    (0..20).map(|j| (mix(i * 100 + j) % 4500) * 2 + 1).collect();
+                keys.sort_unstable();
+                Request::BatchGet { keys }
+            }
+            _ => {
+                // Duplicate keys within the batch exercise the
+                // first-wins dedupe; overlap with `hot` exercises the
+                // presence check.
+                let mut pairs: Vec<(u64, u64)> =
+                    (0..15).map(|j| (20_000 + (mix(i * 31 + j) % 600), i * 100 + j)).collect();
+                pairs.sort_by_key(|p| p.0);
+                Request::BatchInsert { pairs }
+            }
+        });
+    }
+    for (op_id, request) in ops.into_iter().enumerate() {
+        let want = oracle_exec(&oracle, &request);
+        let got = client.call(request);
+        assert_same_bytes(op_id as u64, &got, &want, "serial");
+    }
+    let index = server.shutdown();
+    assert_eq!(index.len(), oracle.len(), "quiescent length");
+}
+
+#[test]
+fn pipelined_windows_preserve_per_key_order() {
+    let pairs = preload(2000);
+    let (server, oracle) = serve(&pairs, 4, 16);
+    let client = server.client();
+
+    // Windows of in-flight ops. Dependent ops on the same key land in
+    // the same shard queue, so FIFO per queue == submission order;
+    // cross-key point ops commute. Scans are excluded (they read
+    // cross-shard state mid-window).
+    const WINDOW: usize = 32;
+    let mut op_id = 0u64;
+    for w in 0..40u64 {
+        let mut window = Vec::with_capacity(WINDOW);
+        for i in 0..WINDOW as u64 {
+            let k = 50_000 + (mix(w * 1000 + i) % 64); // tiny hot set: heavy same-key traffic
+            let request = match mix(w * 77 + i) % 5 {
+                0 => Request::Insert { key: k, value: w * 100 + i },
+                1 => Request::Get { key: k },
+                2 => Request::Remove { key: k },
+                3 => {
+                    let mut keys: Vec<u64> = (0..8).map(|j| 50_000 + (mix(i * 9 + j) % 64)).collect();
+                    keys.sort_unstable();
+                    Request::BatchGet { keys }
+                }
+                _ => {
+                    let mut ps: Vec<(u64, u64)> =
+                        (0..6).map(|j| (50_000 + (mix(i * 11 + j) % 64), j)).collect();
+                    ps.sort_by_key(|p| p.0);
+                    Request::BatchInsert { pairs: ps }
+                }
+            };
+            let want = oracle_exec(&oracle, &request);
+            window.push((op_id, client.submit(request), want));
+            op_id += 1;
+        }
+        for (id, pending, want) in window {
+            assert_same_bytes(id, &pending.wait(), &want, "pipelined");
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_responses_and_a_consistent_quiescent_state() {
+    let pairs = preload(6000);
+    let (server, oracle) = serve(&pairs, 4, 64);
+    let oracle = Arc::new(oracle);
+    const CLIENTS: u64 = 4;
+    const OPS: u64 = 1500;
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let client = server.client();
+            let oracle = Arc::clone(&oracle);
+            scope.spawn(move || {
+                // Private write range per client: expected responses
+                // stay deterministic under full concurrency because
+                // no other thread touches these keys, and reads of
+                // the preload see immutable state.
+                let base = 1_000_000 + c * 100_000;
+                const WINDOW: usize = 24;
+                let mut window = Vec::with_capacity(WINDOW);
+                for i in 0..OPS {
+                    let op_id = c * OPS + i;
+                    let private = base + mix(c * 31 + i) % 200;
+                    let shared = (mix(i * 3 + c) % 6000) * 2 + 1;
+                    let request = match mix(c * 1000 + i) % 10 {
+                        0..=3 => Request::Get { key: shared },
+                        4..=5 => Request::Insert { key: private, value: op_id },
+                        6 => Request::Remove { key: private },
+                        7 => Request::Get { key: private },
+                        8 => {
+                            let mut keys: Vec<u64> =
+                                (0..10).map(|j| base + mix(i * 7 + j) % 200).collect();
+                            keys.sort_unstable();
+                            Request::BatchGet { keys }
+                        }
+                        _ => {
+                            let mut ps: Vec<(u64, u64)> = (0..8)
+                                .map(|j| (base + mix(i * 17 + j) % 200, op_id * 10 + j))
+                                .collect();
+                            ps.sort_by_key(|p| p.0);
+                            Request::BatchInsert { pairs: ps }
+                        }
+                    };
+                    let want = oracle_exec(&oracle, &request);
+                    window.push((op_id, client.submit(request), want));
+                    if window.len() == WINDOW {
+                        for (id, pending, want) in window.drain(..) {
+                            assert_same_bytes(id, &pending.wait(), &want, "concurrent");
+                        }
+                    }
+                }
+                for (id, pending, want) in window.drain(..) {
+                    assert_same_bytes(id, &pending.wait(), &want, "concurrent tail");
+                }
+            });
+        }
+    });
+
+    // Quiescent equality: after a graceful shutdown the index and the
+    // oracle hold exactly the same pairs.
+    let index = server.shutdown();
+    assert_eq!(index.len(), oracle.len(), "quiescent length");
+    let mut index_pairs = Vec::with_capacity(index.len());
+    index.scan_from(&0, usize::MAX, |k, v| index_pairs.push((*k, *v)));
+    let mut oracle_pairs = Vec::with_capacity(oracle.len());
+    oracle.scan_from(&0, usize::MAX, &mut |k: &u64, v: &u64| oracle_pairs.push((*k, *v)));
+    assert_eq!(index_pairs, oracle_pairs, "quiescent pair-for-pair equality");
+}
+
+#[test]
+fn batch_requests_straddling_every_boundary_match_the_oracle() {
+    let pairs = preload(8000);
+    let (server, oracle) = serve(&pairs, 8, 32);
+    let client = server.client();
+    // One giant batch touching every shard, with misses interleaved.
+    let mut keys: Vec<u64> = (0..2000).map(|i| i * 8 + (i % 3)).collect();
+    keys.sort_unstable();
+    let request = Request::BatchGet { keys };
+    let want = oracle_exec(&oracle, &request);
+    assert_same_bytes(0, &client.call(request), &want, "boundary batch get");
+
+    let mut ps: Vec<(u64, u64)> = (0..2000).map(|i| (i * 7 + (i % 2), i)).collect();
+    ps.sort_by_key(|p| p.0);
+    ps.dedup_by_key(|p| p.0);
+    let request = Request::BatchInsert { pairs: ps };
+    let want = oracle_exec(&oracle, &request);
+    assert_same_bytes(1, &client.call(request), &want, "boundary batch insert");
+
+    let index = server.shutdown();
+    assert_eq!(index.len(), oracle.len());
+}
