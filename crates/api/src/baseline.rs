@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::RwLock;
 
-use crate::{ConcurrentIndex, IndexRead, IndexWrite, InsertError};
+use crate::{ConcurrentIndex, IndexRead, IndexWrite, InsertError, SentinelKey};
 
 /// A `BTreeMap` behind a single `RwLock`, implementing the full trait
 /// family: [`IndexRead`], [`ConcurrentIndex`] (the lock makes `&self`
@@ -101,10 +101,13 @@ impl<K: Ord + Clone, V: Clone> IndexRead<K, V> for LockedBTreeMap<K, V> {
 
 impl<K, V> ConcurrentIndex<K, V> for LockedBTreeMap<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + SentinelKey + Send + Sync,
     V: Clone + Send + Sync,
 {
     fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+        if key.is_sentinel() {
+            return Err(InsertError::UnsupportedKey);
+        }
         match self.write().entry(key) {
             btree_map::Entry::Occupied(_) => Err(InsertError::DuplicateKey),
             btree_map::Entry::Vacant(slot) => {
@@ -124,7 +127,7 @@ where
 // blanket impl cannot do this).
 impl<K, V> IndexWrite<K, V> for LockedBTreeMap<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + SentinelKey + Send + Sync,
     V: Clone + Send + Sync,
 {
     fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
@@ -138,7 +141,7 @@ where
 
 impl<K, V> crate::BatchOps<K, V> for LockedBTreeMap<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + SentinelKey + Send + Sync,
     V: Clone + Send + Sync,
 {
     fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
@@ -147,15 +150,21 @@ where
         keys.iter().map(|k| map.get(k).cloned()).collect()
     }
 
-    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         let mut map = self.write();
         let mut inserted = 0usize;
         for (k, v) in pairs {
+            if k.is_sentinel() {
+                return Err(InsertError::UnsupportedKey);
+            }
             if let btree_map::Entry::Vacant(slot) = map.entry(k.clone()) {
                 slot.insert(v.clone());
                 inserted += 1;
             }
         }
-        inserted
+        Ok(inserted)
     }
 }

@@ -41,6 +41,12 @@
 //! - [`IndexWrite::insert`] rejects duplicates with
 //!   [`InsertError::DuplicateKey`] and must leave the stored value
 //!   unchanged (ALEX does not support duplicate keys, §7 of the paper).
+//! - Every write entry point (`insert`, `bulk_load`, `bulk_insert`)
+//!   rejects the reserved [`SentinelKey::MAX_KEY`] sentinel with
+//!   [`InsertError::UnsupportedKey`] — gapped backends use that value
+//!   internally as gap fill, so storing it would be indistinguishable
+//!   from an empty slot. The conformance suite checks all backends
+//!   agree.
 //! - [`IndexWrite::remove`] returns the evicted value.
 //! - [`BatchOps`] methods must be observationally equivalent to their
 //!   per-key counterparts on sorted input.
@@ -59,8 +65,10 @@
 
 mod baseline;
 pub mod conformance;
+pub mod keys;
 
 pub use baseline::LockedBTreeMap;
+pub use keys::{composite_projection, Composite, FixedStr, SentinelKey};
 
 /// One key/value pair yielded by [`IndexRead::range_from`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -90,6 +98,9 @@ impl<K, V> From<(K, V)> for Entry<K, V> {
 pub enum InsertError {
     /// The key is already present; the stored value was left unchanged.
     DuplicateKey,
+    /// The key is the reserved [`SentinelKey::MAX_KEY`] sentinel, which
+    /// backends use internally (gap fill) and therefore cannot store.
+    UnsupportedKey,
 }
 
 impl core::fmt::Display for InsertError {
@@ -97,6 +108,9 @@ impl core::fmt::Display for InsertError {
         match self {
             InsertError::DuplicateKey => {
                 write!(f, "key already present (duplicate keys are not supported)")
+            }
+            InsertError::UnsupportedKey => {
+                write!(f, "key is the reserved MAX_KEY sentinel (not storable)")
             }
         }
     }
@@ -204,7 +218,9 @@ pub trait IndexRead<K, V> {
 /// The exclusive-access write surface (`&mut self`).
 pub trait IndexWrite<K, V>: IndexRead<K, V> {
     /// Insert a pair. Fails with [`InsertError::DuplicateKey`] when the
-    /// key is already present, leaving the stored value unchanged.
+    /// key is already present, leaving the stored value unchanged, and
+    /// with [`InsertError::UnsupportedKey`] for the reserved
+    /// [`SentinelKey::MAX_KEY`] sentinel.
     fn insert(&mut self, key: K, value: V) -> Result<(), InsertError>;
 
     /// Remove `key`, returning the evicted value.
@@ -214,16 +230,29 @@ pub trait IndexWrite<K, V>: IndexRead<K, V> {
     /// index, returning the number loaded. Backends with a native
     /// bulk-build path (e.g. ALEX's Algorithm 4) override this with a
     /// rebuild; the default inserts per pair.
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize
+    ///
+    /// A batch containing [`SentinelKey::MAX_KEY`] is rejected with
+    /// [`InsertError::UnsupportedKey`] and nothing is loaded (the
+    /// sorted-input contract puts the sentinel last, so the check is
+    /// O(1)).
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
-        K: Clone,
+        K: SentinelKey + Clone,
         V: Clone,
     {
         debug_assert!(self.is_empty(), "bulk_load expects an empty index");
-        pairs
-            .iter()
-            .filter(|(k, v)| self.insert(k.clone(), v.clone()).is_ok())
-            .count()
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
+        let mut loaded = 0usize;
+        for (k, v) in pairs {
+            match self.insert(k.clone(), v.clone()) {
+                Ok(()) => loaded += 1,
+                Err(InsertError::DuplicateKey) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(loaded)
     }
 }
 
@@ -254,7 +283,8 @@ pub trait IndexWrite<K, V>: IndexRead<K, V> {
 /// too (coherence forbids the crate doing it with a blanket impl — see
 /// the crate docs).
 pub trait ConcurrentIndex<K, V>: IndexRead<K, V> + Sync {
-    /// Insert a pair; [`InsertError::DuplicateKey`] when present.
+    /// Insert a pair; [`InsertError::DuplicateKey`] when present,
+    /// [`InsertError::UnsupportedKey`] for the reserved sentinel.
     fn insert(&self, key: K, value: V) -> Result<(), InsertError>;
 
     /// Remove `key`, returning the evicted value.
@@ -269,15 +299,26 @@ pub trait ConcurrentIndex<K, V>: IndexRead<K, V> + Sync {
     /// with a native batch write path — e.g. run-level copy-on-write
     /// publication that makes each leaf's portion of the batch visible
     /// atomically — override the per-key default.
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    ///
+    /// A batch containing [`SentinelKey::MAX_KEY`] is rejected with
+    /// [`InsertError::UnsupportedKey`] and nothing is applied.
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
-        K: Clone,
+        K: SentinelKey + Clone,
         V: Clone,
     {
-        pairs
-            .iter()
-            .filter(|(k, v)| self.insert(k.clone(), v.clone()).is_ok())
-            .count()
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
+        let mut inserted = 0usize;
+        for (k, v) in pairs {
+            match self.insert(k.clone(), v.clone()) {
+                Ok(()) => inserted += 1,
+                Err(InsertError::DuplicateKey) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(inserted)
     }
 }
 
@@ -297,15 +338,26 @@ pub trait BatchOps<K, V>: IndexWrite<K, V> {
 
     /// Insert a sorted (non-decreasing by key) batch of pairs,
     /// skipping duplicates; returns the number inserted.
-    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize
+    ///
+    /// A batch containing [`SentinelKey::MAX_KEY`] is rejected with
+    /// [`InsertError::UnsupportedKey`] and nothing is applied.
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
-        K: Clone,
+        K: SentinelKey + Clone,
         V: Clone,
     {
-        pairs
-            .iter()
-            .filter(|(k, v)| self.insert(k.clone(), v.clone()).is_ok())
-            .count()
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
+        let mut inserted = 0usize;
+        for (k, v) in pairs {
+            match self.insert(k.clone(), v.clone()) {
+                Ok(()) => inserted += 1,
+                Err(InsertError::DuplicateKey) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(inserted)
     }
 }
 
@@ -375,9 +427,9 @@ impl<K, V, T: IndexWrite<K, V> + ?Sized> IndexWrite<K, V> for &mut T {
         (**self).remove(key)
     }
 
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
-        K: Clone,
+        K: SentinelKey + Clone,
         V: Clone,
     {
         (**self).bulk_load(pairs)
@@ -393,9 +445,9 @@ impl<K, V, T: ConcurrentIndex<K, V> + ?Sized> ConcurrentIndex<K, V> for &T {
         (**self).remove(key)
     }
 
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
-        K: Clone,
+        K: SentinelKey + Clone,
         V: Clone,
     {
         (**self).bulk_insert(pairs)

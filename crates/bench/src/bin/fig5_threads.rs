@@ -36,23 +36,11 @@ use alex_bench::harness::{
     CSV_HEADER, METRIC_CSV_HEADER,
 };
 use alex_bench::{DEFAULT_INIT_KEYS, DEFAULT_OPS, DEFAULT_SEED};
-use alex_core::AlexConfig;
+use alex_core::{ordered_bits, AlexConfig};
 use alex_datasets::longitudes_keys;
 use alex_server::{run_load, Arrival, LoadSpec, Server, ServerConfig};
 use alex_sharded::{ReadPath, ShardedAlex};
 use alex_workloads::{run_workload_mt, WorkloadKind, WorkloadSpec};
-
-/// The standard total-order bit trick: a monotone `f64 -> u64` map,
-/// so the longitudes dataset keeps its distribution shape when served
-/// through the `u64`-keyed load generator.
-fn ordered_bits(x: f64) -> u64 {
-    let b = x.to_bits();
-    if b >> 63 == 1 {
-        !b
-    } else {
-        b | (1 << 63)
-    }
-}
 
 /// The read percentage each YCSB-style mix offers the serving tier
 /// (scans count as reads for the point-op load generator).

@@ -113,7 +113,7 @@ fn main() {
         let t = Instant::now();
         let landed = index.bulk_insert(&sorted);
         let secs = t.elapsed().as_secs_f64();
-        assert_eq!(landed, ops, "batch inserts must all land");
+        assert_eq!(landed, Ok(ops), "batch inserts must all land");
         results.push(Measurement {
             label: "epoch bulk".into(),
             ops,
@@ -160,7 +160,7 @@ fn main() {
         let t = Instant::now();
         let landed = index.bulk_insert(&sorted);
         let secs = t.elapsed().as_secs_f64();
-        assert_eq!(landed, ops);
+        assert_eq!(landed, Ok(ops));
         results.push(Measurement {
             label: "locked bulk".into(),
             ops,
@@ -172,7 +172,7 @@ fn main() {
         let index = ShardedAlex::bulk_load_in(ReadPath::Locked, &init, 1, config);
         let t = Instant::now();
         for (k, v) in &shuffled {
-            assert!(index.insert(*k, *v), "fresh key");
+            assert!(index.insert(*k, *v).is_ok(), "fresh key");
         }
         let secs = t.elapsed().as_secs_f64();
         results.push(Measurement {

@@ -6,7 +6,7 @@
 //! restores the previous value when the inherent call reports one —
 //! the cost is only paid on the duplicate path.
 
-use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError};
+use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError, SentinelKey};
 
 use crate::BPlusTree;
 
@@ -45,8 +45,11 @@ impl<K: PartialOrd + Clone, V: Clone> IndexRead<K, V> for BPlusTree<K, V> {
     }
 }
 
-impl<K: PartialOrd + Clone, V: Clone> IndexWrite<K, V> for BPlusTree<K, V> {
+impl<K: PartialOrd + Clone + SentinelKey, V: Clone> IndexWrite<K, V> for BPlusTree<K, V> {
     fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        if key.is_sentinel() {
+            return Err(InsertError::UnsupportedKey);
+        }
         if let Some(previous) = BPlusTree::insert(self, key.clone(), value) {
             BPlusTree::insert(self, key, previous);
             return Err(InsertError::DuplicateKey);
@@ -59,7 +62,7 @@ impl<K: PartialOrd + Clone, V: Clone> IndexWrite<K, V> for BPlusTree<K, V> {
     }
 }
 
-impl<K: PartialOrd + Clone, V: Clone> BatchOps<K, V> for BPlusTree<K, V> {}
+impl<K: PartialOrd + Clone + SentinelKey, V: Clone> BatchOps<K, V> for BPlusTree<K, V> {}
 
 #[cfg(test)]
 mod tests {

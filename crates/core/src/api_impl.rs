@@ -9,15 +9,8 @@
 
 use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError};
 
-use crate::index::DuplicateKey;
 use crate::key::AlexKey;
 use crate::AlexIndex;
-
-impl From<DuplicateKey> for InsertError {
-    fn from(_: DuplicateKey) -> Self {
-        InsertError::DuplicateKey
-    }
-}
 
 impl<K: AlexKey, V: Clone + Default> IndexRead<K, V> for AlexIndex<K, V> {
     fn get(&self, key: &K) -> Option<V> {
@@ -51,17 +44,20 @@ impl<K: AlexKey, V: Clone + Default> IndexRead<K, V> for AlexIndex<K, V> {
 
 impl<K: AlexKey, V: Clone + Default> IndexWrite<K, V> for AlexIndex<K, V> {
     fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
-        AlexIndex::insert(self, key, value).map_err(InsertError::from)
+        AlexIndex::insert(self, key, value)
     }
 
     fn remove(&mut self, key: &K) -> Option<V> {
         AlexIndex::remove(self, key)
     }
 
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         debug_assert!(self.is_empty(), "bulk_load expects an empty index");
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         *self = AlexIndex::bulk_load(pairs, *self.config());
-        pairs.len()
+        Ok(pairs.len())
     }
 }
 
@@ -70,7 +66,7 @@ impl<K: AlexKey, V: Clone + Default> BatchOps<K, V> for AlexIndex<K, V> {
         AlexIndex::get_many(self, keys).into_iter().map(|v| v.cloned()).collect()
     }
 
-    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         AlexIndex::bulk_insert(self, pairs)
     }
 }
@@ -104,7 +100,7 @@ mod tests {
         let cfg = AlexConfig::ga_srmi(8);
         let mut index: AlexIndex<u64, u64> = AlexIndex::new(cfg);
         let pairs: Vec<(u64, u64)> = (0..5000).map(|k| (k, k * 3)).collect();
-        assert_eq!(IndexWrite::bulk_load(&mut index, &pairs), 5000);
+        assert_eq!(IndexWrite::bulk_load(&mut index, &pairs), Ok(5000));
         assert_eq!(index.len(), 5000);
         assert_eq!(index.config().variant_name(), cfg.variant_name());
         assert_eq!(AlexIndex::get(&index, &4999), Some(&14997));

@@ -131,6 +131,13 @@ impl<K: AlexKey, V: Clone + Default> DataNode<K, V> {
         dispatch!(self, n => n.prediction_errors())
     }
 
+    /// Whether the last (re)train flagged this node's model as
+    /// degraded (uniform placement + binary-search hints).
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        dispatch!(self, n => n.is_degraded())
+    }
+
     /// The node's linear model (slope/intercept), for splitting.
     pub(crate) fn model(&self) -> crate::model::LinearModel {
         match self {

@@ -27,8 +27,55 @@ pub struct GappedNode<K, V> {
     pub(crate) slots: SlotArray<K, V>,
     pub(crate) model: LinearModel,
     params: NodeParams,
+    /// Degradation guard: set at (re)train time when the model's
+    /// `as_f64` projection cannot separate this node's keys (shared
+    /// string prefixes, dense integers past 2⁵³). A degraded node
+    /// places uniformly and answers [`GappedNode::predict`] with an
+    /// exact binary lower bound, so inserts never pile into the few
+    /// predicted slots and lookups stay O(log capacity). Re-evaluated
+    /// at every retrain, so the node recovers as soon as its key set
+    /// becomes separable again.
+    degraded: bool,
     pub(crate) writes: WriteStats,
     pub(crate) reads: ReadStats,
+}
+
+/// Degraded when fewer than `1/COLLAPSE_FACTOR` of a node's keys have
+/// distinct projections…
+const DEGRADE_COLLAPSE_FACTOR: usize = 4;
+/// …or when the fit's mean absolute slot error exceeds this fraction
+/// of the capacity (the model is noise even if the projection is
+/// injective).
+const DEGRADE_ERROR_FRACTION: f64 = 0.125;
+
+/// The degradation detector both leaf layouts share: one pass over the
+/// sorted keys counting distinct projections and summing |predicted −
+/// uniform target| per key. Either criterion alone flips the node —
+/// a collapsed projection (ties) even when the fit looks plausible,
+/// and a garbage fit even when the projection is injective.
+pub(crate) fn model_degraded<'a, K: AlexKey + 'a>(
+    keys: impl Iterator<Item = &'a K>,
+    n: usize,
+    capacity: usize,
+    model: &LinearModel,
+) -> bool {
+    if n == 0 {
+        return false;
+    }
+    let mut distinct = 0usize;
+    let mut prev: Option<f64> = None;
+    let mut err_sum = 0u64;
+    for (i, key) in keys.enumerate() {
+        let x = key.as_f64();
+        if prev.is_none_or(|p| p < x) {
+            distinct += 1;
+        }
+        prev = Some(x);
+        let target = i * capacity / n;
+        err_sum += model.predict_clamped(x, capacity).abs_diff(target) as u64;
+    }
+    distinct * DEGRADE_COLLAPSE_FACTOR < n
+        || err_sum as f64 > DEGRADE_ERROR_FRACTION * capacity as f64 * n as f64
 }
 
 impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
@@ -41,6 +88,7 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
             slots: SlotArray::empty(Self::MIN_CAPACITY),
             model: LinearModel::default(),
             params,
+            degraded: false,
             writes: WriteStats::default(),
             reads: ReadStats::default(),
         }
@@ -52,11 +100,12 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
     pub fn bulk_load(pairs: &[(K, V)], params: NodeParams) -> Self {
         let n = pairs.len();
         let capacity = Self::capacity_for(n, &params);
-        let (model, slots) = Self::train_and_place(pairs, capacity, params.placement);
+        let (model, slots, degraded) = Self::train_and_place(pairs, capacity, &params);
         Self {
             slots,
             model,
             params,
+            degraded,
             writes: WriteStats::default(),
             reads: ReadStats::default(),
         }
@@ -69,8 +118,8 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
     fn train_and_place(
         pairs: &[(K, V)],
         capacity: usize,
-        placement: Placement,
-    ) -> (LinearModel, SlotArray<K, V>) {
+        params: &NodeParams,
+    ) -> (LinearModel, SlotArray<K, V>, bool) {
         let n = pairs.len();
         let base = LinearModel::fit(pairs.iter().enumerate().map(|(i, p)| (p.0.as_f64(), i as f64)));
         let model = if n == 0 {
@@ -78,11 +127,20 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
         } else {
             base.scaled(capacity as f64 / n as f64)
         };
-        let slots = match placement {
-            Placement::ModelBased => SlotArray::rebuild_model_based(pairs, capacity, &model),
-            Placement::Uniform => SlotArray::rebuild_uniform(pairs, capacity),
+        let degraded =
+            n >= params.min_model_keys && model_degraded(pairs.iter().map(|p| &p.0), n, capacity, &model);
+        let slots = if degraded {
+            // Model placement would pile keys into the few predicted
+            // slots; uniform spacing keeps the gaps spread for the
+            // binary-search insert path.
+            SlotArray::rebuild_uniform(pairs, capacity)
+        } else {
+            match params.placement {
+                Placement::ModelBased => SlotArray::rebuild_model_based(pairs, capacity, &model),
+                Placement::Uniform => SlotArray::rebuild_uniform(pairs, capacity),
+            }
         };
-        (model, slots)
+        (model, slots, degraded)
     }
 
     /// Number of keys stored.
@@ -113,12 +171,23 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
     /// Model-predicted slot for `key`.
     #[inline]
     pub fn predict(&self, key: &K) -> usize {
-        if self.uses_model() {
+        if self.degraded {
+            // Degraded model: the hint is an exact binary lower bound
+            // over the gap-filled keys — O(log capacity), no model.
+            self.slots.binary_lower_bound_slot(key)
+        } else if self.uses_model() {
             self.model.predict_clamped(key.as_f64(), self.capacity())
         } else {
             // Cold start: binary search (hint = middle is equivalent).
             self.capacity() / 2
         }
+    }
+
+    /// Whether the last (re)train flagged the model as degraded and
+    /// flipped this node to uniform placement + binary search.
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Look up `key`.
@@ -237,9 +306,10 @@ impl<K: AlexKey, V: Clone + Default> GappedNode<K, V> {
 
     fn rebuild(&mut self, capacity: usize) {
         let pairs = self.slots.to_pairs();
-        let (model, slots) = Self::train_and_place(&pairs, capacity, self.params.placement);
+        let (model, slots, degraded) = Self::train_and_place(&pairs, capacity, &self.params);
         self.model = model;
         self.slots = slots;
+        self.degraded = degraded;
         self.writes.retrains += 1;
     }
 
@@ -444,6 +514,63 @@ mod tests {
             "linear data should be mostly direct hits, got {}",
             stats.direct_hits()
         );
+    }
+
+    #[test]
+    fn linear_data_does_not_degrade() {
+        let node = GappedNode::bulk_load(&sorted_pairs(2000, 7), params());
+        assert!(!node.is_degraded(), "separable keys must keep the model");
+    }
+
+    #[test]
+    fn dense_keys_past_2_53_degrade_to_binary_search() {
+        // Near 2^63 the `as f64` projection quantizes to multiples of
+        // 2^11, collapsing runs of ~2048 consecutive keys onto one
+        // value. The guard must flip the node to uniform placement +
+        // binary search rather than let placement pile up.
+        let base = u64::MAX - 1_000_000;
+        let pairs: Vec<(u64, u64)> = (0..4096).map(|i| (base + 2 * i, i)).collect();
+        let mut node = GappedNode::bulk_load(&pairs, params());
+        assert!(node.is_degraded(), "collapsed projection must degrade the node");
+        for (k, v) in pairs.iter().step_by(97) {
+            assert_eq!(node.get(k), Some(v), "key {k}");
+        }
+        // Fresh inserts interleaved among the loaded keys stay correct
+        // and cheap: with a model the whole 2048-wide projection run
+        // shares one predicted slot (a shift storm); with the guard the
+        // binary hint is exact and uniform gaps are nearby.
+        for i in 0..2000u64 {
+            assert!(matches!(
+                node.insert(base + 2 * ((i * 37) % 4096) + 1, i),
+                InsertOutcome::Inserted { .. }
+            ));
+        }
+        assert!(
+            node.write_stats().shifts_per_insert() < 16.0,
+            "degraded placement must not shift-storm, got {}",
+            node.write_stats().shifts_per_insert()
+        );
+        for i in (0..2000u64).step_by(61) {
+            assert_eq!(node.get(&(base + 2 * ((i * 37) % 4096) + 1)), Some(&i));
+        }
+        node.debug_assert_invariants();
+    }
+
+    #[test]
+    fn shared_prefix_strings_degrade_to_binary_search() {
+        use alex_api::FixedStr;
+        // Every key shares a >8-byte prefix, so `prefix_u64` — and with
+        // it `as_f64` — is a single constant across the node.
+        let pairs: Vec<(FixedStr<40>, u64)> = (0..2000u64)
+            .map(|i| (FixedStr::from(format!("https://example.com/item/{i:08}").as_str()), i))
+            .collect();
+        let node = GappedNode::bulk_load(&pairs, params());
+        assert!(node.is_degraded(), "constant projection must degrade the node");
+        for (k, v) in pairs.iter().step_by(53) {
+            assert_eq!(node.get(k), Some(v), "{k:?}");
+        }
+        assert_eq!(node.get(&FixedStr::from("https://example.com/item/99999999")), None);
+        node.debug_assert_invariants();
     }
 
     #[test]

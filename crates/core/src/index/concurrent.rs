@@ -100,7 +100,7 @@ use crate::stats::SizeReport;
 
 use super::delta::DeltaOp;
 use super::store::{LeafNode, Node};
-use super::{AlexIndex, DuplicateKey};
+use super::AlexIndex;
 use core::sync::atomic::{AtomicU64, Ordering};
 
 /// An [`AlexIndex`] with lock-free, epoch-protected readers and
@@ -346,9 +346,9 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     // Serialized delta-buffered copy-on-write writes
     // ------------------------------------------------------------------
 
-    /// Insert a pair. Errors on duplicates; the stored value is left
-    /// unchanged.
-    pub fn insert(&self, key: K, value: V) -> Result<(), DuplicateKey> {
+    /// Insert a pair. Errors on duplicates (stored value left
+    /// unchanged) and on the reserved sentinel key.
+    pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
         let _writer = self.write_lock();
         self.insert_locked(key, value)
     }
@@ -415,7 +415,10 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     /// by owning leaf through the same monotone routing the exclusive
     /// batch path uses, so a run of `r` keys landing in one leaf costs
     /// `O(leaf + r)` instead of `r` full clones. Duplicates are
-    /// skipped; returns the number inserted.
+    /// skipped; returns the number inserted, or
+    /// [`InsertError::UnsupportedKey`] — with nothing applied — if the
+    /// batch contains the reserved sentinel (sorted input puts it
+    /// last, so the check is O(1)).
     ///
     /// Readers see each run chunk atomically (a single publication
     /// per chunk; a run is split into chunks only when it overflows a
@@ -424,11 +427,14 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
     ///
     /// # Panics
     /// Panics (debug builds) if `pairs` is not sorted by key.
-    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 <= w[1].0),
             "bulk_insert input must be sorted by key"
         );
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         let _writer = self.write_lock();
         let _guard = self.index.store.pin();
         let mut inserted = 0usize;
@@ -498,16 +504,19 @@ impl<K: AlexKey, V: Clone + Default> EpochAlex<K, V> {
             inserted += landed;
             i += take;
         }
-        inserted
+        Ok(inserted)
     }
 
     /// The point-insert core; caller holds the writer mutex.
-    fn insert_locked(&self, key: K, value: V) -> Result<(), DuplicateKey> {
+    fn insert_locked(&self, key: K, value: V) -> Result<(), InsertError> {
+        if key.is_sentinel() {
+            return Err(InsertError::UnsupportedKey);
+        }
         let _guard = self.index.store.pin();
         loop {
             let (id, leaf) = self.index.route_to_leaf(&key);
             if leaf.live_get(&key).is_some() {
-                return Err(DuplicateKey);
+                return Err(InsertError::DuplicateKey);
             }
             // Split-on-insert on the merged live count, published
             // atomically (the delta folds into the children); re-route
@@ -643,14 +652,14 @@ where
     V: Clone + Default + Send + Sync,
 {
     fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
-        EpochAlex::insert(self, key, value).map_err(InsertError::from)
+        EpochAlex::insert(self, key, value)
     }
 
     fn remove(&self, key: &K) -> Option<V> {
         EpochAlex::remove(self, key)
     }
 
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
         K: Clone,
         V: Clone,
@@ -675,15 +684,18 @@ where
         ConcurrentIndex::remove(self, key)
     }
 
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         debug_assert!(self.is_empty(), "bulk_load expects an empty index");
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         // Exclusive access: rebuild via Algorithm 4 with the same
         // config (fresh arena, empty retire lists). The rebuild honors
         // `config.store_mode` (dense by default), so upgrade the fresh
         // arena before it becomes shared again.
         self.index = AlexIndex::bulk_load(pairs, *self.index.config());
         self.index.store.ensure_epoch();
-        pairs.len()
+        Ok(pairs.len())
     }
 }
 
@@ -696,7 +708,7 @@ where
         EpochAlex::get_many(self, keys)
     }
 
-    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         // Exclusive access still routes through the shared run-level
         // path (it is equivalent and keeps the counters meaningful).
         EpochAlex::bulk_insert(self, pairs)
@@ -750,6 +762,18 @@ mod tests {
     }
 
     #[test]
+    fn sentinel_rejected_on_shared_paths() {
+        let index = EpochAlex::bulk_load(&pairs(100, 2), AlexConfig::ga_armi());
+        assert_eq!(index.insert(u64::MAX, 1), Err(InsertError::UnsupportedKey));
+        assert_eq!(
+            index.bulk_insert(&[(7, 7), (u64::MAX, 1)]),
+            Err(InsertError::UnsupportedKey)
+        );
+        assert_eq!(index.get(&7), None, "rejected batch must apply nothing");
+        assert_eq!(index.len(), 100);
+    }
+
+    #[test]
     fn point_inserts_are_delta_buffered() {
         let n = 8192u64;
         let index = EpochAlex::bulk_load(&pairs(n, 2), AlexConfig::ga_armi());
@@ -794,7 +818,7 @@ mod tests {
         let n = 4096u64;
         let index = EpochAlex::bulk_load(&pairs(n, 2), AlexConfig::ga_armi());
         let batch: Vec<(u64, u64)> = (0..n).map(|k| (2 * k + 1, k)).collect();
-        assert_eq!(index.bulk_insert(&batch), n as usize);
+        assert_eq!(index.bulk_insert(&batch), Ok(n as usize));
         let stats = index.write_stats();
         let leaves = index.size_report().num_data_nodes as u64;
         assert!(
@@ -811,12 +835,12 @@ mod tests {
     fn all_duplicate_runs_publish_nothing() {
         let index = EpochAlex::bulk_load(&pairs(4096, 2), AlexConfig::ga_armi());
         let batch: Vec<(u64, u64)> = (0..4096).map(|k| (2 * k + 1, k)).collect();
-        assert_eq!(index.bulk_insert(&batch), 4096);
+        assert_eq!(index.bulk_insert(&batch), Ok(4096));
         let clones = index.write_stats().leaf_clones;
         let retired = index.epoch_stats().retired_total;
         // Replaying the identical batch is a no-op: no clones, no
         // publications, no retirements.
-        assert_eq!(index.bulk_insert(&batch), 0);
+        assert_eq!(index.bulk_insert(&batch), Ok(0));
         assert_eq!(index.write_stats().leaf_clones, clones);
         assert_eq!(index.epoch_stats().retired_total, retired);
         assert_eq!(index.len(), 8192);
@@ -831,7 +855,7 @@ mod tests {
         }
         index.remove(&0).unwrap();
         let batch: Vec<(u64, u64)> = (0..1024).map(|k| (4 * k + 2, k)).collect();
-        assert_eq!(index.bulk_insert(&batch), 1024);
+        assert_eq!(index.bulk_insert(&batch), Ok(1024));
         assert_eq!(index.get(&0), None, "buffered remove survives the batch");
         assert_eq!(index.get(&1), Some(0), "buffered insert survives the batch");
         assert_eq!(index.get(&2), Some(0));
@@ -979,7 +1003,7 @@ mod tests {
     fn index_write_bulk_load_stays_epoch() {
         let mut index: EpochAlex<u64, u64> = EpochAlex::new(AlexConfig::ga_armi());
         let data = pairs(1000, 2);
-        assert_eq!(IndexWrite::bulk_load(&mut index, &data), 1000);
+        assert_eq!(IndexWrite::bulk_load(&mut index, &data), Ok(1000));
         assert_eq!(index.index.store.mode(), crate::config::StoreMode::Epoch);
         // The shared read/write paths (pin + publish) must still work.
         assert_eq!(index.get(&200), Some(100));

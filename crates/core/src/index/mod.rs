@@ -85,18 +85,6 @@ impl<K: Clone, V: Clone> Clone for AlexIndex<K, V> {
     }
 }
 
-/// Error returned by [`AlexIndex::insert`] on a duplicate key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DuplicateKey;
-
-impl core::fmt::Display for DuplicateKey {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "key already present (ALEX does not support duplicate keys)")
-    }
-}
-
-impl std::error::Error for DuplicateKey {}
-
 impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// An empty index ("cold start": a single empty data node that
     /// grows by splitting, §3.4.2).
@@ -119,9 +107,14 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Bulk-load from sorted, strictly-increasing pairs.
     ///
     /// # Panics
-    /// Panics (debug builds) if `pairs` is not strictly increasing by
-    /// key.
+    /// Panics if `pairs` contains the reserved [`alex_api::SentinelKey::MAX_KEY`]
+    /// sentinel (gapped storage uses it for empty slots), and (debug
+    /// builds) if `pairs` is not strictly increasing by key.
     pub fn bulk_load(pairs: &[(K, V)], config: AlexConfig) -> Self {
+        assert!(
+            pairs.last().is_none_or(|(k, _)| !k.is_sentinel()),
+            "bulk_load: the MAX_KEY sentinel is reserved and cannot be stored"
+        );
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 < w[1].0),
             "bulk_load input must be strictly increasing"
@@ -198,6 +191,14 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Number of data (leaf) nodes.
     pub fn num_data_nodes(&self) -> usize {
         self.store.num_leaves()
+    }
+
+    /// Number of data nodes whose model degraded (locally constant
+    /// `as_f64` projection — shared string prefixes, dense `u64`s past
+    /// 2⁵³) and which therefore fell back to uniform placement + binary
+    /// search at their last (re)train.
+    pub fn degraded_leaves(&self) -> usize {
+        self.store.leaves().filter(|l| l.data.is_degraded()).count()
     }
 
     /// Key counts per data node in key order (Figure 12 / Appendix B).

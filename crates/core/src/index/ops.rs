@@ -13,13 +13,15 @@
 
 use core::sync::atomic::Ordering;
 
+use alex_api::InsertError;
+
 use crate::config::RmiMode;
 use crate::gapped::InsertOutcome;
 use crate::iter::RangeIter;
 use crate::key::AlexKey;
 
 use super::store::{LeafNode, Node, NodeId};
-use super::{AlexIndex, DuplicateKey};
+use super::AlexIndex;
 
 /// Cached routing target for a run of ascending keys: a leaf plus the
 /// largest key it is known to own. Valid while `key <= max_key` (or
@@ -171,8 +173,14 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     }
 
     /// Insert a pair. Errors on duplicates (ALEX does not support
-    /// duplicate keys, §7).
-    pub fn insert(&mut self, key: K, value: V) -> Result<(), DuplicateKey> {
+    /// duplicate keys, §7) and on the reserved
+    /// [`alex_api::SentinelKey::MAX_KEY`] sentinel (gapped storage uses
+    /// it to fill empty slots, so storing it would be indistinguishable
+    /// from a gap).
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        if key.is_sentinel() {
+            return Err(InsertError::UnsupportedKey);
+        }
         let leaf = self.find_leaf(&key);
         if self.maybe_split(leaf) {
             return self.insert(key, value);
@@ -182,7 +190,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                 self.len.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
-            InsertOutcome::Duplicate => Err(DuplicateKey),
+            InsertOutcome::Duplicate => Err(InsertError::DuplicateKey),
         }
     }
 
@@ -253,7 +261,10 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// Insert a sorted (strictly increasing) batch of pairs, routing
     /// through the RMI once per leaf run instead of once per key.
     /// Duplicates (against the index *or* repeated within the batch)
-    /// are skipped. Returns the number of pairs actually inserted.
+    /// are skipped. Returns the number of pairs actually inserted, or
+    /// [`InsertError::UnsupportedKey`] — with nothing applied — if the
+    /// batch contains the reserved sentinel (sorted input puts it
+    /// last, so the check is O(1)).
     ///
     /// Equivalent to calling [`AlexIndex::insert`] per pair, including
     /// split-on-insert behaviour.
@@ -261,11 +272,14 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
     /// # Panics
     /// Panics (debug builds) if `pairs` is not sorted non-decreasing by
     /// key.
-    pub fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+    pub fn bulk_insert(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 <= w[1].0),
             "bulk_insert input must be sorted by key"
         );
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         let mut inserted = 0usize;
         let mut run: Option<LeafRun<K>> = None;
         for (key, value) in pairs {
@@ -294,7 +308,7 @@ impl<K: AlexKey, V: Clone + Default> AlexIndex<K, V> {
                 InsertOutcome::Duplicate => {}
             }
         }
-        inserted
+        Ok(inserted)
     }
 
     // ------------------------------------------------------------------

@@ -1,9 +1,11 @@
 //! Unit tests for the index module tree (construction, point/range
 //! ops, splitting, batch ops, introspection).
 
+use alex_api::InsertError;
+
 use crate::config::AlexConfig;
 
-use super::{AlexIndex, DuplicateKey};
+use super::AlexIndex;
 
 fn pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
     (0..n).map(|k| (k * stride, k)).collect()
@@ -82,7 +84,7 @@ fn inserts_all_variants() {
 #[test]
 fn duplicate_insert_errors() {
     let mut index = AlexIndex::bulk_load(&pairs(100, 2), AlexConfig::ga_armi());
-    assert_eq!(index.insert(10, 999), Err(DuplicateKey));
+    assert_eq!(index.insert(10, 999), Err(InsertError::DuplicateKey));
     assert_eq!(index.get(&10), Some(&5));
     assert_eq!(index.len(), 100);
 }
@@ -402,7 +404,7 @@ fn bulk_insert_agrees_with_per_key_insert() {
         let mut sorted = incoming.clone();
         sorted.sort_by_key(|p| p.0);
 
-        let inserted = batch_index.bulk_insert(&sorted);
+        let inserted = batch_index.bulk_insert(&sorted).unwrap();
         let mut serial_inserted = 0;
         for (k, v) in &sorted {
             if serial_index.insert(*k, *v).is_ok() {
@@ -425,7 +427,7 @@ fn bulk_insert_with_splitting_matches_serial() {
     let mut batch_index = AlexIndex::bulk_load(&init, cfg);
     let mut serial_index = AlexIndex::bulk_load(&init, cfg);
     let incoming: Vec<(u64, u64)> = (0..6000u64).map(|k| (k * 8 + 3, k)).collect();
-    let inserted = batch_index.bulk_insert(&incoming);
+    let inserted = batch_index.bulk_insert(&incoming).unwrap();
     for (k, v) in &incoming {
         serial_index.insert(*k, *v).unwrap();
     }
@@ -439,10 +441,61 @@ fn bulk_insert_with_splitting_matches_serial() {
 }
 
 #[test]
+fn dense_high_range_keys_stay_correct_via_degradation_fallback() {
+    // Past 2^53 the `u64 → f64` projection is locally constant (ulp is
+    // 2048 near 2^63), so leaf models cannot separate dense keys. The
+    // per-leaf degradation guard must engage and keep every operation
+    // correct, with no quadratic placement blowup.
+    let base = u64::MAX - 10_000_000;
+    let data: Vec<(u64, u64)> = (0..30_000u64).map(|i| (base + i * 250, i)).collect();
+    for cfg in [AlexConfig::ga_armi().with_max_node_keys(2048), AlexConfig::pma_armi().with_max_node_keys(2048)] {
+        let mut index = AlexIndex::bulk_load(&data, cfg);
+        assert!(
+            index.degraded_leaves() > 0,
+            "{}: collapsed projection must degrade leaves",
+            cfg.variant_name()
+        );
+        for (k, v) in data.iter().step_by(373) {
+            assert_eq!(index.get(k), Some(v), "{} key {k}", cfg.variant_name());
+        }
+        // Fresh inserts interleave with the loaded keys and stay correct.
+        for i in 0..2000u64 {
+            index.insert(base + i * 250 + 7, i).unwrap();
+        }
+        for i in (0..2000u64).step_by(41) {
+            assert_eq!(index.get(&(base + i * 250 + 7)), Some(&i));
+        }
+        let mut last = None;
+        let visited = index.scan_from(&base, 500, |k, _| {
+            assert!(last.is_none_or(|p| p < *k), "scan out of order");
+            last = Some(*k);
+        });
+        assert_eq!(visited, 500);
+        index.debug_assert_invariants();
+    }
+}
+
+#[test]
+fn sentinel_key_rejected_at_every_entry_point() {
+    let mut index = AlexIndex::bulk_load(&pairs(100, 2), AlexConfig::ga_armi());
+    assert_eq!(index.insert(u64::MAX, 1), Err(InsertError::UnsupportedKey));
+    assert_eq!(index.bulk_insert(&[(500, 1), (u64::MAX, 2)]), Err(InsertError::UnsupportedKey));
+    assert_eq!(index.get(&500), None, "rejected batch must apply nothing");
+    assert_eq!(index.len(), 100);
+    assert_eq!(index.get(&u64::MAX), None);
+}
+
+#[test]
+#[should_panic(expected = "sentinel")]
+fn bulk_load_panics_on_sentinel() {
+    let _ = AlexIndex::bulk_load(&[(1u64, 1u64), (u64::MAX, 2)], AlexConfig::ga_armi());
+}
+
+#[test]
 fn bulk_insert_into_empty_index() {
     let mut index: AlexIndex<u64, u64> = AlexIndex::new(AlexConfig::ga_armi());
     let data = pairs(500, 3);
-    assert_eq!(index.bulk_insert(&data), 500);
+    assert_eq!(index.bulk_insert(&data), Ok(500));
     assert_eq!(index.len(), 500);
     for (k, v) in &data {
         assert_eq!(index.get(k), Some(v));

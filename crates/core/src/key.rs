@@ -1,21 +1,51 @@
-//! The key trait for ALEX indexes.
+//! The key trait for ALEX indexes, its implementations, and the
+//! canonical total-order `f64 ↔ u64` bit map.
+//!
+//! # Key contract table
+//!
+//! | Key type | Encoding / projection (`as_f64`) | Sentinel (`MAX_KEY`) | Projection ties? |
+//! |---|---|---|---|
+//! | `f64` | identity | `f64::INFINITY` | never (NaN is rejected by contract) |
+//! | `u64` | `as f64` (rounds past 2⁵³) | `u64::MAX` | dense keys past 2⁵³ |
+//! | `i64` | `as f64` (rounds past ±2⁵³) | `i64::MAX` | dense keys past ±2⁵³ |
+//! | `u32` | exact | `u32::MAX` | never |
+//! | [`FixedStr<N>`](alex_api::FixedStr) | first 8 bytes as big-endian integer | all-`0xFF` bytes | keys sharing an 8-byte prefix |
+//! | [`Composite<K>`](alex_api::Composite) | `tenant + squash(key.as_f64())` | `(u64::MAX, K::MAX_KEY)` | inherits `K`'s, plus tenants ≥ 2⁵³ |
+//!
+//! **Sentinel semantics (post sentinel-collision fix):** gapped storage
+//! fills empty slots with `MAX_KEY`, so the sentinel value itself is
+//! *reserved* — every write entry point across every backend rejects it
+//! with [`alex_api::InsertError::UnsupportedKey`] rather than storing a
+//! key that is indistinguishable from a gap. The conformance suite's
+//! `sentinel_key_is_rejected` check enforces this for all backends.
+//!
+//! **Projection ties are never a correctness problem.** `as_f64` is a
+//! *hint* for model training and placement; search always verifies
+//! against real key comparisons. A locally constant projection (shared
+//! string prefixes, dense `u64`s past 2⁵³) only degrades the model —
+//! data nodes detect that at (re)train time and flip to uniform
+//! placement + binary search (see `gapped`/`pma_node` degradation
+//! guard), so lookups degrade to O(log n), never to linear scans or
+//! quadratic shift storms.
+
+use alex_api::{composite_projection, Composite, FixedStr, SentinelKey};
 
 /// Keys storable in an ALEX index.
 ///
-/// Requirements mirror the paper's evaluation (8-byte doubles and 64-bit
-/// integers): totally ordered `Copy` values convertible to `f64` for
-/// linear-model training, with a maximum sentinel used to fill trailing
-/// gap slots.
+/// Requirements mirror the paper's evaluation (8-byte doubles and
+/// 64-bit integers) plus the pluggable encodings in the table above:
+/// totally ordered `Copy` values convertible to `f64` for linear-model
+/// training, with the reserved maximum sentinel inherited from
+/// [`SentinelKey`] used to fill trailing gap slots.
 ///
 /// # Contract
-/// - `as_f64` must be monotone non-decreasing in the key order.
-/// - `MAX_KEY` must compare `>=` every key ever inserted; inserting
-///   `MAX_KEY` itself is not supported.
+/// - `as_f64` must be monotone non-decreasing in the key order
+///   (non-strict: ties are allowed and only flatten models locally).
+/// - [`SentinelKey::MAX_KEY`] must compare `>=` every key ever
+///   inserted; inserting `MAX_KEY` itself returns
+///   [`alex_api::InsertError::UnsupportedKey`].
 /// - Keys must not be NaN.
-pub trait AlexKey: Copy + PartialOrd + PartialEq + Default + core::fmt::Debug {
-    /// Sentinel used for trailing gap slots; must be `>=` all real keys.
-    const MAX_KEY: Self;
-
+pub trait AlexKey: SentinelKey + Copy + PartialOrd + Default + core::fmt::Debug {
     /// The key as an `f64` model input. For 64-bit integers this loses
     /// precision beyond 2⁵³, which only perturbs *predictions* — search
     /// correctness never depends on the conversion.
@@ -23,8 +53,6 @@ pub trait AlexKey: Copy + PartialOrd + PartialEq + Default + core::fmt::Debug {
 }
 
 impl AlexKey for f64 {
-    const MAX_KEY: Self = f64::INFINITY;
-
     #[inline]
     fn as_f64(self) -> f64 {
         self
@@ -32,8 +60,6 @@ impl AlexKey for f64 {
 }
 
 impl AlexKey for u64 {
-    const MAX_KEY: Self = u64::MAX;
-
     #[inline]
     fn as_f64(self) -> f64 {
         self as f64
@@ -41,8 +67,6 @@ impl AlexKey for u64 {
 }
 
 impl AlexKey for i64 {
-    const MAX_KEY: Self = i64::MAX;
-
     #[inline]
     fn as_f64(self) -> f64 {
         self as f64
@@ -50,11 +74,73 @@ impl AlexKey for i64 {
 }
 
 impl AlexKey for u32 {
-    const MAX_KEY: Self = u32::MAX;
-
     #[inline]
     fn as_f64(self) -> f64 {
         f64::from(self)
+    }
+}
+
+/// Monotonicity: `FixedStr` orders by big-endian byte comparison, so
+/// the first 8 bytes (high-aligned, missing bytes zero) ordered as an
+/// integer agree with the key order whenever the keys differ within
+/// those 8 bytes; keys sharing an 8-byte prefix map to one value — a
+/// *tie*, which the contract permits. `u64 → f64` then preserves
+/// non-strict order (rounding is monotone). The sentinel (all `0xFF`)
+/// maps to the maximal prefix, so it also dominates numerically.
+impl<const N: usize> AlexKey for FixedStr<N> {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self.prefix_u64() as f64
+    }
+}
+
+/// Monotonicity: tenant-major, matching the derived lexicographic
+/// `Ord` on `(tenant, key)`. [`composite_projection`] keeps the tenant
+/// as the integer part and squashes the inner projection into a
+/// fraction strictly inside `(0, 1)`, so across tenants the projection
+/// follows the tenant while it is exactly representable (`< 2⁵³`), and
+/// within a tenant it follows `K::as_f64`, monotone by `K`'s own
+/// contract. Past 2⁵³ neighbouring tenants tie — permitted, handled by
+/// the degradation guard like any other flat region.
+impl<K: AlexKey> AlexKey for Composite<K> {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        composite_projection(self.tenant, self.key.as_f64())
+    }
+}
+
+/// The canonical total-order `f64 → u64` bit map.
+///
+/// Maps every non-NaN double to a `u64` such that `a < b ⇔
+/// ordered_bits(a) < ordered_bits(b)` under IEEE-754 total order:
+/// positives get the sign bit set (sorting them above negatives),
+/// negatives are bitwise complemented (reversing their
+/// descending-magnitude bit order). `-0.0` and `+0.0` map to adjacent
+/// values (`…7FFF…` and `…8000…`), preserving `-0.0 < +0.0` in the
+/// image — fine for key use, where they are distinct bit patterns
+/// anyway.
+///
+/// # Panics
+/// On NaN: NaN has no place in a total key order, and mapping it would
+/// silently corrupt an index. Reject it at the boundary instead.
+#[inline]
+pub fn ordered_bits(x: f64) -> u64 {
+    assert!(!x.is_nan(), "ordered_bits: NaN is not a valid key");
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`ordered_bits`]: recover the original `f64` bits.
+#[inline]
+pub fn ordered_bits_inverse(b: u64) -> f64 {
+    if b >> 63 == 1 {
+        f64::from_bits(b & !(1 << 63))
+    } else {
+        f64::from_bits(!b)
     }
 }
 
@@ -76,5 +162,82 @@ mod tests {
         for w in keys.windows(2) {
             assert!(w[0].as_f64() < w[1].as_f64());
         }
+    }
+
+    #[test]
+    fn fixedstr_as_f64_monotone_with_ties() {
+        let keys: Vec<FixedStr<16>> =
+            ["", "a", "ab", "abcdefgh", "abcdefghAAA", "abcdefghZZZ", "b"]
+                .iter()
+                .map(|w| FixedStr::from(*w))
+                .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].as_f64() <= w[1].as_f64(), "{:?} vs {:?}", w[0], w[1]);
+        }
+        // Shared 8-byte prefix: a tie, not an inversion.
+        assert_eq!(keys[4].as_f64(), keys[5].as_f64());
+        assert!(FixedStr::<16>::MAX_KEY.as_f64() >= keys[6].as_f64());
+    }
+
+    #[test]
+    fn composite_as_f64_monotone() {
+        let keys = [
+            Composite::new(0, 0u64),
+            Composite::new(0, 500),
+            Composite::new(1, 0),
+            Composite::new(1, 7),
+            Composite::new(9000, 3),
+        ];
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].as_f64() <= w[1].as_f64());
+        }
+        // Tenant strictly dominates while exactly representable.
+        assert!(Composite::new(3, u64::MAX - 1).as_f64() < Composite::new(4, 0u64).as_f64());
+    }
+
+    #[test]
+    fn ordered_bits_is_a_total_order_embedding() {
+        let samples = [
+            f64::NEG_INFINITY,
+            f64::MIN,
+            -1e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            2.5,
+            1e300,
+            f64::MAX,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(
+                ordered_bits(w[0]) < ordered_bits(w[1]),
+                "{} must map below {}",
+                w[0],
+                w[1]
+            );
+        }
+        // -0.0 and +0.0 are adjacent in the image.
+        assert_eq!(ordered_bits(-0.0) + 1, ordered_bits(0.0));
+    }
+
+    #[test]
+    fn ordered_bits_round_trips() {
+        for x in [f64::NEG_INFINITY, -1e300, -0.0, 0.0, 1.5, f64::MAX, f64::INFINITY] {
+            let back = ordered_bits_inverse(ordered_bits(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ordered_bits_rejects_nan() {
+        ordered_bits(f64::NAN);
     }
 }

@@ -103,9 +103,14 @@ mod slots;
 
 pub use config::{AlexConfig, NodeLayout, NodeParams, Placement, RmiMode, StoreMode};
 pub use gapped::{GappedNode, InsertOutcome};
-pub use index::{AlexIndex, DuplicateKey, EpochAlex, EpochStats, EpochWriteStats};
+pub use index::{AlexIndex, EpochAlex, EpochStats, EpochWriteStats};
 pub use iter::RangeIter;
-pub use key::AlexKey;
+pub use key::{ordered_bits, ordered_bits_inverse, AlexKey};
 pub use model::{LinearModel, PrefixLsq};
 pub use pma_node::PmaNode;
 pub use stats::{ReadStats, SizeReport, WriteStats};
+
+// Re-export the key-model vocabulary so downstream crates can name
+// the pluggable key types and write errors without a direct `alex_api`
+// dependency edge in every use site.
+pub use alex_api::{composite_projection, Composite, FixedStr, InsertError, SentinelKey};

@@ -13,7 +13,7 @@
 use alex_pma::layout::Geometry;
 
 use crate::config::{NodeParams, Placement};
-use crate::gapped::InsertOutcome;
+use crate::gapped::{model_degraded, InsertOutcome};
 use crate::key::AlexKey;
 use crate::model::LinearModel;
 use crate::slots::{InsertPlan, SlotArray};
@@ -26,6 +26,10 @@ pub struct PmaNode<K, V> {
     geometry: Geometry,
     pub(crate) model: LinearModel,
     params: NodeParams,
+    /// Degradation guard — same semantics as the gapped node's field:
+    /// set at (re)train time when the projection cannot separate this
+    /// node's keys; forces uniform placement + binary-search hints.
+    degraded: bool,
     pub(crate) writes: WriteStats,
     pub(crate) reads: ReadStats,
 }
@@ -39,6 +43,7 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
             geometry,
             model: LinearModel::default(),
             params,
+            degraded: false,
             writes: WriteStats::default(),
             reads: ReadStats::default(),
         }
@@ -48,12 +53,13 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
     pub fn bulk_load(pairs: &[(K, V)], params: NodeParams) -> Self {
         let n = pairs.len();
         let geometry = Geometry::for_capacity(((n as f64 / params.init_density).ceil() as usize).max(8));
-        let (model, slots) = Self::train_and_place(pairs, geometry.capacity(), params.placement);
+        let (model, slots, degraded) = Self::train_and_place(pairs, geometry.capacity(), &params);
         Self {
             slots,
             geometry,
             model,
             params,
+            degraded,
             writes: WriteStats::default(),
             reads: ReadStats::default(),
         }
@@ -62,8 +68,8 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
     fn train_and_place(
         pairs: &[(K, V)],
         capacity: usize,
-        placement: Placement,
-    ) -> (LinearModel, SlotArray<K, V>) {
+        params: &NodeParams,
+    ) -> (LinearModel, SlotArray<K, V>, bool) {
         let n = pairs.len();
         let base = LinearModel::fit(pairs.iter().enumerate().map(|(i, p)| (p.0.as_f64(), i as f64)));
         let model = if n == 0 {
@@ -71,11 +77,17 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
         } else {
             base.scaled(capacity as f64 / n as f64)
         };
-        let slots = match placement {
-            Placement::ModelBased => SlotArray::rebuild_model_based(pairs, capacity, &model),
-            Placement::Uniform => SlotArray::rebuild_uniform(pairs, capacity),
+        let degraded =
+            n >= params.min_model_keys && model_degraded(pairs.iter().map(|p| &p.0), n, capacity, &model);
+        let slots = if degraded {
+            SlotArray::rebuild_uniform(pairs, capacity)
+        } else {
+            match params.placement {
+                Placement::ModelBased => SlotArray::rebuild_model_based(pairs, capacity, &model),
+                Placement::Uniform => SlotArray::rebuild_uniform(pairs, capacity),
+            }
         };
-        (model, slots)
+        (model, slots, degraded)
     }
 
     /// Number of keys stored.
@@ -104,11 +116,21 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
     /// Model-predicted slot for `key`.
     #[inline]
     pub fn predict(&self, key: &K) -> usize {
-        if self.uses_model() {
+        if self.degraded {
+            // Degraded model: exact binary lower bound, no model.
+            self.slots.binary_lower_bound_slot(key)
+        } else if self.uses_model() {
             self.model.predict_clamped(key.as_f64(), self.capacity())
         } else {
             self.capacity() / 2
         }
+    }
+
+    /// Whether the last (re)train flagged the model as degraded and
+    /// flipped this node to uniform placement + binary search.
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Look up `key`.
@@ -274,9 +296,10 @@ impl<K: AlexKey, V: Clone + Default> PmaNode<K, V> {
     fn rebuild(&mut self, min_capacity: usize) {
         let pairs = self.slots.to_pairs();
         self.geometry = Geometry::for_capacity(min_capacity.max(pairs.len() + 1).max(8));
-        let (model, slots) = Self::train_and_place(&pairs, self.geometry.capacity(), self.params.placement);
+        let (model, slots, degraded) = Self::train_and_place(&pairs, self.geometry.capacity(), &self.params);
         self.model = model;
         self.slots = slots;
+        self.degraded = degraded;
         self.writes.retrains += 1;
     }
 

@@ -80,6 +80,14 @@ impl<K: AlexKey, V: Clone + Default> SlotArray<K, V> {
         blockwise_search_lower_bound(&self.keys, key, hint)
     }
 
+    /// Exact lower bound by plain binary search over the gap-filled
+    /// keys — the degraded-node hint path: O(log capacity) with no
+    /// model involved.
+    #[inline]
+    pub fn binary_lower_bound_slot(&self, key: &K) -> usize {
+        crate::search::bounded_binary_lower_bound(&self.keys, key, 0, self.keys.len()).pos
+    }
+
     /// Slot of `key` if present: the first *occupied* slot at or after
     /// the lower bound, when it holds exactly `key`.
     ///

@@ -1,6 +1,7 @@
 //! Key generators for the four evaluation datasets plus two synthetic
 //! helpers used by the microbenchmarks.
 
+use alex_api::FixedStr;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
@@ -172,6 +173,43 @@ pub fn uniform_dense_keys(n: usize) -> Vec<u64> {
     (0..n as u64).map(|i| i * 16 + 7).collect()
 }
 
+/// Short host prefixes for [`url_keys`]. Deliberately 6–9 bytes so
+/// that with `N = 16` the host eats most of the 8-byte model prefix
+/// (`FixedStr::prefix_u64`) and keys sharing a host collapse onto
+/// near-identical model inputs — the adversarial structure real URL
+/// sets have, and what the leaf-level degradation guard is for.
+const URL_HOSTS: &[&str] = &[
+    "ace.io/", "api.dev/", "bee.org/", "cdn.net/", "data.gov/", "docs.app/", "geo.org/",
+    "hub.dev/", "img.net/", "map.net/", "news.co/", "osm.org/", "pay.com/", "shop.io/",
+    "tile.io/", "wiki.org/",
+];
+
+/// Syllables for word-like path segments.
+const SYLLABLES: &[&str] = &[
+    "ka", "ri", "mo", "ta", "se", "lu", "no", "vi", "ze", "po", "da", "mi",
+];
+
+/// URL/word-like string keys: a host prefix drawn from a small pool,
+/// then a pronounceable path plus two digits. Keys are unique *after*
+/// `FixedStr`'s width-`N` normalization (padding/truncation), arrive
+/// shuffled, and are deterministic per seed — mirroring the integer
+/// generators' contract. The heavy shared-host prefixes make the
+/// first-8-byte model projection collide on purpose; use `N >= 16` so
+/// enough tail bytes survive to keep keys distinct.
+pub fn url_keys<const N: usize>(n: usize, seed: u64) -> Vec<FixedStr<N>> {
+    assert!(N >= 16, "url_keys needs N >= 16 to keep truncated keys distinct");
+    unique_shuffled(n, seed, |rng| {
+        let mut s = String::with_capacity(N);
+        s.push_str(URL_HOSTS[rng.random_range(0..URL_HOSTS.len())]);
+        for _ in 0..3 {
+            s.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+        }
+        s.push((b'0' + rng.random_range(0..10usize) as u8) as char);
+        s.push((b'0' + rng.random_range(0..10usize) as u8) as char);
+        FixedStr::from(s.as_str())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +298,38 @@ mod tests {
         for w in u.windows(2) {
             assert_eq!(w[1] - w[0], 16);
         }
+    }
+
+    #[test]
+    fn url_keys_unique_prefix_heavy_and_deterministic() {
+        let keys = url_keys::<16>(20_000, 42);
+        assert_eq!(keys.len(), 20_000);
+        let mut s = keys.clone();
+        s.sort_unstable();
+        for w in s.windows(2) {
+            assert!(w[0] < w[1], "duplicate key {:?}", w[0]);
+        }
+        // No key is the reserved sentinel, and all are printable hosts.
+        for k in keys.iter().step_by(97) {
+            assert_ne!(*k, FixedStr::<16>::MAX);
+            assert!(k.to_text().contains('/'), "url-like shape: {:?}", k);
+        }
+        // Shared-prefix heavy: far fewer distinct 8-byte model
+        // prefixes than keys — the projection collides by design.
+        let mut prefixes: Vec<u64> = keys.iter().map(|k| k.prefix_u64()).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        assert!(
+            prefixes.len() * 4 < keys.len(),
+            "prefixes {} vs keys {}",
+            prefixes.len(),
+            keys.len()
+        );
+        assert_eq!(url_keys::<16>(1000, 7), url_keys::<16>(1000, 7));
+        assert_ne!(url_keys::<16>(1000, 7), url_keys::<16>(1000, 8));
+        // Shuffled, like every other generator.
+        let sorted = keys.windows(2).all(|w| w[0] <= w[1]);
+        assert!(!sorted, "url keys should arrive in random order");
     }
 
     #[test]

@@ -27,7 +27,8 @@ mod zipf;
 
 pub use cdf::{cdf_points, zoomed_cdf_points};
 pub use generators::{
-    lognormal_keys, longitudes_keys, longlat_keys, sequential_keys, uniform_dense_keys, ycsb_keys, Dataset,
+    lognormal_keys, longitudes_keys, longlat_keys, sequential_keys, uniform_dense_keys, url_keys,
+    ycsb_keys, Dataset,
 };
 pub use payload::{Payload, Payload8, Payload80};
 pub use streaming::{SortedBlocks, StreamKey};

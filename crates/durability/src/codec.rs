@@ -85,6 +85,38 @@ impl WalCodec for () {
     }
 }
 
+impl<const N: usize> WalCodec for alex_core::FixedStr<N> {
+    /// The raw `N` normalized bytes (padding included), so the
+    /// encoding stays fixed-width and every value — the all-`0xFF`
+    /// sentinel included — round-trips exactly.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        if input.len() < N {
+            return None;
+        }
+        let (head, rest) = input.split_at(N);
+        *input = rest;
+        Some(Self::from_bytes(head))
+    }
+}
+
+impl<K: WalCodec> WalCodec for alex_core::Composite<K> {
+    /// Tenant id first, then the inner key's own encoding.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.tenant.encode_into(out);
+        self.key.encode_into(out);
+    }
+
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        let tenant = u64::decode_from(input)?;
+        let key = K::decode_from(input)?;
+        Some(Self::new(tenant, key))
+    }
+}
+
 // ----------------------------------------------------------------------
 // CRC-32 (IEEE, reflected polynomial 0xEDB88320)
 // ----------------------------------------------------------------------
@@ -160,6 +192,37 @@ mod tests {
         roundtrip(-0.0f64);
         roundtrip(f64::MAX);
         roundtrip(());
+    }
+
+    #[test]
+    fn string_and_composite_codecs_round_trip() {
+        fn roundtrip<T: WalCodec + PartialEq + core::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.encode_into(&mut buf);
+            let mut slice = buf.as_slice();
+            assert_eq!(T::decode_from(&mut slice), Some(v));
+            assert!(slice.is_empty(), "decode must consume exactly the encoding");
+        }
+        roundtrip(alex_core::FixedStr::<16>::from("https://a.example"));
+        roundtrip(alex_core::FixedStr::<16>::from(""));
+        roundtrip(alex_core::FixedStr::<16>::MAX);
+        roundtrip(alex_core::Composite::new(7, 42u64));
+        roundtrip(alex_core::Composite::new(
+            u64::MAX,
+            alex_core::FixedStr::<8>::from("tail"),
+        ));
+        // Fixed-width: a FixedStr<16> frame is exactly 16 bytes.
+        let mut buf = Vec::new();
+        alex_core::FixedStr::<16>::from("x").encode_into(&mut buf);
+        assert_eq!(buf.len(), 16);
+        for cut in 0..16 {
+            let mut slice = &buf[..cut];
+            assert_eq!(
+                alex_core::FixedStr::<16>::decode_from(&mut slice),
+                None,
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

@@ -183,7 +183,9 @@ where
             // run only when every key is absent, else upsert each.
             let keys: Vec<K> = run.iter().map(|(k, _)| *k).collect();
             if inner.get_many(&keys).iter().all(Option::is_none) {
-                let landed = inner.bulk_insert(run);
+                let landed = inner
+                    .bulk_insert(run)
+                    .expect("the WAL never holds sentinel keys");
                 debug_assert_eq!(landed, run.len());
             } else {
                 for (k, v) in run.drain(..) {
@@ -265,8 +267,13 @@ where
     // ------------------------------------------------------------------
 
     /// Insert a fresh pair. `Ok(false)` (duplicate) neither changes
-    /// the index nor logs anything.
+    /// the index nor logs anything. The reserved `MAX_KEY` sentinel is
+    /// rejected with [`io::ErrorKind::InvalidInput`] **before** any
+    /// record is appended — logging first and letting the in-memory
+    /// insert refuse would leave a record in the WAL whose effect never
+    /// happened.
     pub fn insert(&self, key: K, value: V) -> io::Result<bool> {
+        reject_sentinel(&key)?;
         let mut wal = self.wal_lock();
         if self.inner.contains(&key) {
             return Ok(false);
@@ -295,8 +302,10 @@ where
 
     /// Insert-or-replace; both cases log the same `Put` record (and
     /// that ambiguity is fine — see the module docs on why replay
-    /// upserts).
+    /// upserts). Rejects the sentinel before logging, like
+    /// [`DurableAlex::insert`].
     pub fn upsert(&self, key: K, value: V) -> io::Result<Option<V>> {
+        reject_sentinel(&key)?;
         let mut wal = self.wal_lock();
         wal.append(&WalRecord::Put { key, value: value.clone() });
         let old = match self.inner.update(&key, value.clone()) {
@@ -343,6 +352,11 @@ where
             pairs.windows(2).all(|w| w[0].0 <= w[1].0),
             "bulk_insert input must be sorted by key"
         );
+        // Sorted input puts the sentinel last; reject the whole batch
+        // before logging anything.
+        if let Some((last, _)) = pairs.last() {
+            reject_sentinel(last)?;
+        }
         let mut wal = self.wal_lock();
         let keys: Vec<K> = pairs.iter().map(|(k, _)| *k).collect();
         let present = self.inner.get_many(&keys);
@@ -354,7 +368,10 @@ where
                 fresh.push((*key, value.clone()));
             }
         }
-        let landed = self.inner.bulk_insert(&fresh);
+        let landed = self
+            .inner
+            .bulk_insert(&fresh)
+            .expect("sentinel rejected up front, pre-filtered batch cannot fail");
         debug_assert_eq!(landed, fresh.len(), "pre-filtered batch must land in full");
         for chunk in fresh.chunks(crate::record::MAX_PUT_RUN_PAIRS) {
             wal.append(&WalRecord::PutRun { pairs: chunk.to_vec() });
@@ -474,6 +491,20 @@ where
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+}
+
+/// The shared sentinel gate for logged writes: refuse with
+/// [`io::ErrorKind::InvalidInput`] (wrapping
+/// [`alex_core::InsertError::UnsupportedKey`] as the source) before a
+/// record is appended.
+fn reject_sentinel<K: DurableKey>(key: &K) -> io::Result<()> {
+    if key.is_sentinel() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            alex_core::InsertError::UnsupportedKey,
+        ));
+    }
+    Ok(())
 }
 
 fn upsert_in<K, V>(inner: &EpochAlex<K, V>, key: K, value: V)

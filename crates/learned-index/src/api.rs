@@ -6,7 +6,7 @@
 //! to look bad here. [`IndexWrite::bulk_load`] retrains over the new
 //! array with the current model count.
 
-use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError};
+use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError, SentinelKey};
 
 use crate::{Key, LearnedIndex};
 
@@ -45,8 +45,11 @@ impl<K: Key, V: Clone> IndexRead<K, V> for LearnedIndex<K, V> {
     }
 }
 
-impl<K: Key, V: Clone> IndexWrite<K, V> for LearnedIndex<K, V> {
+impl<K: Key + SentinelKey, V: Clone> IndexWrite<K, V> for LearnedIndex<K, V> {
     fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        if key.is_sentinel() {
+            return Err(InsertError::UnsupportedKey);
+        }
         if LearnedIndex::insert(self, key, value) {
             Ok(())
         } else {
@@ -58,14 +61,21 @@ impl<K: Key, V: Clone> IndexWrite<K, V> for LearnedIndex<K, V> {
         LearnedIndex::remove(self, key)
     }
 
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError>
+    where
+        K: Clone,
+        V: Clone,
+    {
         debug_assert!(self.is_empty(), "bulk_load expects an empty index");
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         *self = LearnedIndex::bulk_load(pairs, self.num_models().max(1));
-        pairs.len()
+        Ok(pairs.len())
     }
 }
 
-impl<K: Key, V: Clone> BatchOps<K, V> for LearnedIndex<K, V> {}
+impl<K: Key + SentinelKey, V: Clone> BatchOps<K, V> for LearnedIndex<K, V> {}
 
 #[cfg(test)]
 mod tests {

@@ -38,6 +38,22 @@ impl Key for u32 {
     }
 }
 
+impl<const N: usize> Key for alex_api::FixedStr<N> {
+    /// Prefix-as-integer projection; see `FixedStr::prefix_u64`.
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self.prefix_u64() as f64
+    }
+}
+
+impl<K: Key> Key for alex_api::Composite<K> {
+    /// Tenant-major projection; see `alex_api::composite_projection`.
+    #[inline]
+    fn as_f64(self) -> f64 {
+        alex_api::composite_projection(self.tenant, self.key.as_f64())
+    }
+}
+
 /// `y = slope · x + intercept`, fit by ordinary least squares.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LinearModel {

@@ -11,7 +11,7 @@
 use core::cmp::Ordering;
 use core::mem::size_of;
 
-use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError};
+use alex_api::{BatchOps, IndexRead, IndexWrite, InsertError, SentinelKey};
 
 use crate::layout::DensityBounds;
 use crate::{Pma, PmaStats};
@@ -201,9 +201,11 @@ impl<K: Ord + Clone, V: Clone + Default> IndexRead<K, V> for PmaMap<K, V> {
     }
 }
 
-impl<K: Ord + Clone, V: Clone + Default> IndexWrite<K, V> for PmaMap<K, V> {
+impl<K: Ord + Clone + SentinelKey, V: Clone + Default> IndexWrite<K, V> for PmaMap<K, V> {
     fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
-        if PmaMap::insert(self, key, value) {
+        if key.is_sentinel() {
+            Err(InsertError::UnsupportedKey)
+        } else if PmaMap::insert(self, key, value) {
             Ok(())
         } else {
             Err(InsertError::DuplicateKey)
@@ -214,14 +216,17 @@ impl<K: Ord + Clone, V: Clone + Default> IndexWrite<K, V> for PmaMap<K, V> {
         PmaMap::remove(self, key)
     }
 
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         debug_assert!(self.is_empty(), "bulk_load expects an empty map");
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         *self = PmaMap::from_sorted(pairs);
-        pairs.len()
+        Ok(pairs.len())
     }
 }
 
-impl<K: Ord + Clone, V: Clone + Default> BatchOps<K, V> for PmaMap<K, V> {}
+impl<K: Ord + Clone + SentinelKey, V: Clone + Default> BatchOps<K, V> for PmaMap<K, V> {}
 
 #[cfg(test)]
 mod tests {

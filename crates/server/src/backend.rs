@@ -11,7 +11,7 @@
 //! failing loudly (and poisoning the worker) beats silently dropping
 //! acknowledged writes.
 
-use alex_core::AlexKey;
+use alex_core::{AlexKey, InsertError};
 use alex_sharded::ShardedAlex;
 use alex_wal::WalCodec;
 
@@ -26,9 +26,12 @@ impl<V: Clone + Default + WalCodec + Send + Sync + 'static> ServerValue for V {}
 
 /// What a worker needs from the index it owns a key-range of.
 ///
-/// `insert` and `bulk_insert` have first-writer-wins semantics (an
-/// existing key is left alone); `bulk_insert` requires its run sorted
-/// ascending and returns how many pairs landed.
+/// `insert` and `bulk_insert` have first-writer-wins semantics: an
+/// existing key is left alone and reported as
+/// [`InsertError::DuplicateKey`]; a reserved key (the type's sentinel)
+/// is refused with [`InsertError::UnsupportedKey`], and a sorted batch
+/// containing one is refused whole. `bulk_insert` requires its run
+/// sorted ascending and returns how many pairs landed.
 pub trait ServeBackend<K: ServerKey, V: ServerValue>: Send + Sync + 'static {
     /// Shard boundaries (length `num_shards - 1`), the routing table
     /// workers and clients share.
@@ -36,9 +39,9 @@ pub trait ServeBackend<K: ServerKey, V: ServerValue>: Send + Sync + 'static {
     fn get(&self, key: &K) -> Option<V>;
     /// Batched lookup of a **sorted** key run.
     fn get_many(&self, keys: &[K]) -> Vec<Option<V>>;
-    fn insert(&self, key: K, value: V) -> bool;
+    fn insert(&self, key: K, value: V) -> Result<(), InsertError>;
     /// Batched insert of a **sorted** pair run; returns pairs landed.
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize;
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError>;
     fn remove(&self, key: &K) -> Option<V>;
     fn scan_from(&self, key: &K, limit: usize, f: &mut dyn FnMut(&K, &V)) -> usize;
     /// Make everything acknowledged durable (no-op for the in-memory
@@ -60,11 +63,11 @@ impl<K: ServerKey, V: ServerValue> ServeBackend<K, V> for ShardedAlex<K, V> {
         ShardedAlex::get_many(self, keys)
     }
 
-    fn insert(&self, key: K, value: V) -> bool {
+    fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
         ShardedAlex::insert(self, key, value)
     }
 
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         ShardedAlex::bulk_insert(self, pairs)
     }
 
@@ -79,8 +82,20 @@ impl<K: ServerKey, V: ServerValue> ServeBackend<K, V> for ShardedAlex<K, V> {
 
 #[cfg(feature = "durability")]
 mod durable {
-    use super::{ServeBackend, ServerKey, ServerValue};
+    use super::{InsertError, ServeBackend, ServerKey, ServerValue};
     use alex_sharded::durable::DurableShardedAlex;
+
+    /// The durable stack surfaces a refused sentinel as
+    /// `io::ErrorKind::InvalidInput` (rejected *before* anything hits
+    /// the log); anything else is a real WAL I/O failure, which the
+    /// serving tier has no story for — panic, per the module contract.
+    fn classify(e: std::io::Error) -> InsertError {
+        if e.kind() == std::io::ErrorKind::InvalidInput {
+            InsertError::UnsupportedKey
+        } else {
+            panic!("WAL append failed: {e}")
+        }
+    }
 
     impl<K: ServerKey, V: ServerValue> ServeBackend<K, V> for DurableShardedAlex<K, V> {
         fn boundaries(&self) -> &[K] {
@@ -95,12 +110,16 @@ mod durable {
             DurableShardedAlex::get_many(self, keys)
         }
 
-        fn insert(&self, key: K, value: V) -> bool {
-            DurableShardedAlex::insert(self, key, value).expect("WAL append failed")
+        fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+            match DurableShardedAlex::insert(self, key, value) {
+                Ok(true) => Ok(()),
+                Ok(false) => Err(InsertError::DuplicateKey),
+                Err(e) => Err(classify(e)),
+            }
         }
 
-        fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
-            DurableShardedAlex::bulk_insert(self, pairs).expect("WAL append failed")
+        fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
+            DurableShardedAlex::bulk_insert(self, pairs).map_err(classify)
         }
 
         fn remove(&self, key: &K) -> Option<V> {

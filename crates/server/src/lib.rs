@@ -79,7 +79,7 @@ pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use loadgen::{run_load, Arrival, LoadReport, LoadSpec};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, MessageOutcome, Request,
-    Response,
+    Response, REJECT_UNSUPPORTED_KEY,
 };
 pub use queue::BoundedQueue;
 pub use server::{Client, Pending, Server, ServerConfig, ServerStats};

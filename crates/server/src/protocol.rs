@@ -37,6 +37,12 @@ const TAG_REMOVED: u8 = 3;
 const TAG_ENTRIES: u8 = 4;
 const TAG_VALUES: u8 = 5;
 const TAG_INSERTED_COUNT: u8 = 6;
+const TAG_REJECTED: u8 = 7;
+
+/// [`Response::Rejected`] code: the request carried a key the index
+/// reserves (the key type's sentinel), so the operation was refused
+/// whole — nothing was applied.
+pub const REJECT_UNSUPPORTED_KEY: u8 = 1;
 
 /// One client operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +75,11 @@ pub enum Response<K, V> {
     Entries(Vec<(K, V)>),
     Values(Vec<Option<V>>),
     InsertedCount(u64),
+    /// The request was refused without applying anything; the payload
+    /// is a reason code ([`REJECT_UNSUPPORTED_KEY`]). Write requests
+    /// naming a reserved key answer with this instead of panicking the
+    /// worker or silently dropping the op.
+    Rejected(u8),
 }
 
 /// What a decoder found at one position in a byte stream.
@@ -209,6 +220,10 @@ pub fn encode_response<K: WalCodec, V: WalCodec>(
             n.encode_into(&mut payload);
             TAG_INSERTED_COUNT
         }
+        Response::Rejected(code) => {
+            payload.push(*code);
+            TAG_REJECTED
+        }
     };
     frame_body(request_id, tag, &payload, out)
 }
@@ -318,6 +333,13 @@ pub fn decode_response<K: WalCodec, V: WalCodec>(input: &[u8]) -> MessageOutcome
             Some(Response::Values(values))
         }),
         TAG_INSERTED_COUNT => u64::decode_from(&mut cursor).map(Response::InsertedCount),
+        TAG_REJECTED => match cursor.split_first() {
+            Some((&code, rest)) => {
+                cursor = rest;
+                Some(Response::Rejected(code))
+            }
+            None => None,
+        },
         _ => None,
     };
     match message {
@@ -358,6 +380,7 @@ mod tests {
             Response::Entries(vec![]),
             Response::Values(vec![Some(1), None, Some(3)]),
             Response::InsertedCount(128),
+            Response::Rejected(REJECT_UNSUPPORTED_KEY),
         ]
     }
 

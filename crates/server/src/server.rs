@@ -36,7 +36,7 @@ use alex_sharded::{route_key, split_sorted_runs};
 
 use crate::backend::{ServeBackend, ServerKey, ServerValue};
 use crate::histogram::LatencyHistogram;
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, REJECT_UNSUPPORTED_KEY};
 use crate::queue::BoundedQueue;
 use crate::worker::{run_worker, Envelope, Rendezvous, Reply, WorkerStats, WorkerStatsSnapshot};
 
@@ -175,6 +175,11 @@ impl<K, V> Pending<K, V> {
                 for part in parts {
                     match part {
                         Response::InsertedCount(n) => total += n,
+                        // Submission-time prechecks keep refusals out
+                        // of split batches, but a part-level refusal
+                        // must still dominate the merge rather than
+                        // masquerade as a zero count.
+                        Response::Rejected(code) => return Response::Rejected(code),
                         _ => unreachable!("BatchInsert part answered with a non-count response"),
                     }
                 }
@@ -227,6 +232,16 @@ impl<K: ServerKey, V: ServerValue> Client<K, V> {
                     pairs.windows(2).all(|w| w[0].0 <= w[1].0),
                     "BatchInsert pairs must be sorted ascending by key"
                 );
+                // Refuse a sentinel-bearing batch before splitting it:
+                // the sentinel sorts last and would reach its owner
+                // only after earlier owners applied their runs, so
+                // per-part rejection alone could not keep the batch
+                // all-or-nothing.
+                if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+                    let rendezvous = Arc::new(Rendezvous::new(1));
+                    rendezvous.complete(0, Response::Rejected(REJECT_UNSUPPORTED_KEY));
+                    return Pending { rendezvous, merge: Merge::Single };
+                }
                 let mut parts: Vec<(usize, Request<K, V>)> = Vec::new();
                 split_sorted_runs(&self.boundaries, &pairs, |p| &p.0, |shard, run| {
                     parts.push((shard, Request::BatchInsert { pairs: run.to_vec() }));

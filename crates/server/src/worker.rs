@@ -21,9 +21,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use alex_core::InsertError;
+
 use crate::backend::{ServeBackend, ServerKey, ServerValue};
 use crate::histogram::LatencyHistogram;
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, REJECT_UNSUPPORTED_KEY};
 use crate::queue::BoundedQueue;
 
 /// A multi-part response meeting point: one per client request, with
@@ -184,6 +186,16 @@ impl WorkerStatsSnapshot {
     }
 }
 
+/// One point insert's verdict as a wire response: landed, duplicate,
+/// or refused (reserved key).
+fn insert_response<K, V>(result: Result<(), InsertError>) -> Response<K, V> {
+    match result {
+        Ok(()) => Response::Inserted(true),
+        Err(InsertError::DuplicateKey) => Response::Inserted(false),
+        Err(_) => Response::Rejected(REJECT_UNSUPPORTED_KEY),
+    }
+}
+
 /// Execute one request directly against the backend. Barrier ops go
 /// through here; it is also the semantic reference the coalesced
 /// paths must agree with.
@@ -193,7 +205,7 @@ pub(crate) fn execute<K: ServerKey, V: ServerValue, B: ServeBackend<K, V> + ?Siz
 ) -> Response<K, V> {
     match request {
         Request::Get { key } => Response::Value(backend.get(&key)),
-        Request::Insert { key, value } => Response::Inserted(backend.insert(key, value)),
+        Request::Insert { key, value } => insert_response(backend.insert(key, value)),
         Request::Remove { key } => Response::Removed(backend.remove(&key)),
         Request::Scan { start, limit } => {
             let mut out = Vec::new();
@@ -201,9 +213,10 @@ pub(crate) fn execute<K: ServerKey, V: ServerValue, B: ServeBackend<K, V> + ?Siz
             Response::Entries(out)
         }
         Request::BatchGet { keys } => Response::Values(backend.get_many(&keys)),
-        Request::BatchInsert { pairs } => {
-            Response::InsertedCount(backend.bulk_insert(&pairs) as u64)
-        }
+        Request::BatchInsert { pairs } => match backend.bulk_insert(&pairs) {
+            Ok(n) => Response::InsertedCount(n as u64),
+            Err(_) => Response::Rejected(REJECT_UNSUPPORTED_KEY),
+        },
     }
 }
 
@@ -247,7 +260,7 @@ fn flush_inserts<K: ServerKey, V: ServerValue, B: ServeBackend<K, V> + ?Sized>(
         1 => {
             let (key, value, reply) = inserts.pop().expect("len 1");
             stats.singletons.fetch_add(1, Ordering::Relaxed);
-            reply.complete(Response::Inserted(backend.insert(key, value)));
+            reply.complete(insert_response(backend.insert(key, value)));
         }
         n => {
             stats.insert_runs.fetch_add(1, Ordering::Relaxed);
@@ -262,18 +275,31 @@ fn flush_inserts<K: ServerKey, V: ServerValue, B: ServeBackend<K, V> + ?Sized>(
             // the check and the bulk apply.
             let present = backend.get_many(&keys);
             let mut landed = vec![false; n];
+            let mut rejected = vec![false; n];
             let mut run: Vec<(K, V)> = Vec::with_capacity(n);
             for (j, &i) in perm.iter().enumerate() {
+                // A sentinel op answers Rejected on its own; it must
+                // not poison the whole coalesced run, which would turn
+                // neighbours' verdicts into refusals they didn't earn.
+                if keys[j].is_sentinel() {
+                    rejected[i] = true;
+                    continue;
+                }
                 let dup = j > 0 && keys[j - 1] == keys[j];
                 if !dup && present[j].is_none() {
                     landed[i] = true;
                     run.push((keys[j], inserts[i].1.clone()));
                 }
             }
-            let applied = backend.bulk_insert(&run);
+            let applied =
+                backend.bulk_insert(&run).expect("sentinels filtered, run cannot be refused");
             debug_assert_eq!(applied, run.len(), "owner exclusivity violated");
-            for ((_, _, reply), landed) in inserts.drain(..).zip(landed) {
-                reply.complete(Response::Inserted(landed));
+            for (i, (_, _, reply)) in inserts.drain(..).enumerate() {
+                reply.complete(if rejected[i] {
+                    Response::Rejected(REJECT_UNSUPPORTED_KEY)
+                } else {
+                    Response::Inserted(landed[i])
+                });
             }
         }
     }
@@ -397,6 +423,28 @@ mod tests {
         assert_eq!(index.get(&5), Some(111), "first arrival's value sticks");
         assert_eq!(index.get(&4), Some(2), "loaded value survives");
         assert_eq!(stats.snapshot().insert_run_ops, 4);
+    }
+
+    #[test]
+    fn sentinel_in_a_coalesced_run_rejects_only_itself() {
+        let index = backend(100);
+        let queue = BoundedQueue::new(16);
+        // Three adjacent inserts coalesce into one run; the sentinel
+        // among them must answer Rejected without poisoning its
+        // neighbours' verdicts or reaching the index.
+        let a = enqueue(&queue, Request::Insert { key: 301, value: 1 });
+        let b = enqueue(&queue, Request::Insert { key: u64::MAX, value: 2 });
+        let c = enqueue(&queue, Request::Insert { key: 303, value: 3 });
+        queue.close();
+        let stats = WorkerStats::default();
+        run_worker(&index, &queue, 16, &stats);
+        assert_eq!(a.wait(), vec![Response::Inserted(true)]);
+        assert_eq!(b.wait(), vec![Response::Rejected(REJECT_UNSUPPORTED_KEY)]);
+        assert_eq!(c.wait(), vec![Response::Inserted(true)]);
+        assert_eq!(index.get(&301), Some(1));
+        assert_eq!(index.get(&303), Some(3));
+        assert_eq!(index.get(&u64::MAX), None, "sentinel must never land");
+        assert_eq!(stats.snapshot().insert_run_ops, 3, "the run did coalesce");
     }
 
     #[test]

@@ -241,6 +241,16 @@ where
             pairs.windows(2).all(|w| w[0].0 <= w[1].0),
             "bulk_insert input must be sorted by key"
         );
+        // Reject a sentinel-bearing batch before splitting: the
+        // sentinel is the max key so it routes to the *last* shard,
+        // and per-shard rejection alone would leave earlier shards'
+        // runs already logged and applied.
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                alex_core::InsertError::UnsupportedKey,
+            ));
+        }
         let mut inserted = 0usize;
         let mut err: Option<io::Error> = None;
         split_sorted_runs(&self.boundaries, pairs, |(k, _)| k, |shard, run| {

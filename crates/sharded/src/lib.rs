@@ -80,7 +80,7 @@
 //! // On the (default) epoch path, these reads acquire no lock.
 //! std::thread::scope(|s| {
 //!     s.spawn(|| assert!(index.contains(&40_000)));
-//!     s.spawn(|| assert!(index.insert(99, 99)));
+//!     s.spawn(|| assert!(index.insert(99, 99).is_ok()));
 //! });
 //! assert_eq!(index.get(&99), Some(99));
 //! // At quiescence, every node retired by splits is reclaimable.
@@ -94,7 +94,7 @@ pub use durable::DurableShardedAlex;
 
 use std::sync::RwLock;
 
-use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError};
+use alex_api::{BatchOps, ConcurrentIndex, IndexRead, IndexWrite, InsertError, SentinelKey};
 use alex_core::stats::SizeReport;
 use alex_core::{AlexConfig, AlexIndex, AlexKey, EpochAlex, EpochStats, EpochWriteStats};
 use alex_datasets::cdf_points;
@@ -149,10 +149,10 @@ impl<K: AlexKey, V: Clone + Default> Shard<K, V> {
         }
     }
 
-    fn insert(&self, key: K, value: V) -> bool {
+    fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
         match self {
-            Shard::Epoch(s) => s.insert(key, value).is_ok(),
-            Shard::Locked(l) => Self::write(l).insert(key, value).is_ok(),
+            Shard::Epoch(s) => s.insert(key, value),
+            Shard::Locked(l) => Self::write(l).insert(key, value),
         }
     }
 
@@ -186,7 +186,7 @@ impl<K: AlexKey, V: Clone + Default> Shard<K, V> {
         }
     }
 
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         match self {
             Shard::Epoch(s) => s.bulk_insert(pairs),
             Shard::Locked(l) => Self::write(l).bulk_insert(pairs),
@@ -379,9 +379,10 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         self.shards[self.shard_for(key)].contains(key)
     }
 
-    /// Insert a pair; `false` on duplicate. Takes `&self`: only the
-    /// owning shard's writer is serialized.
-    pub fn insert(&self, key: K, value: V) -> bool {
+    /// Insert a pair; [`InsertError::DuplicateKey`] when present and
+    /// [`InsertError::UnsupportedKey`] for the reserved sentinel. Takes
+    /// `&self`: only the owning shard's writer is serialized.
+    pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
         self.shards[self.shard_for(&key)].insert(key, value)
     }
 
@@ -446,18 +447,29 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     /// served by the shard's native `bulk_insert`. Returns the number
     /// of pairs inserted (duplicates skipped).
     ///
+    /// A batch containing the reserved sentinel is rejected up front
+    /// with [`InsertError::UnsupportedKey`] and **nothing** is applied
+    /// — the check must happen before run-splitting because the
+    /// sentinel sorts last and routes to the last shard, by which point
+    /// earlier shards' runs would already be visible.
+    ///
     /// # Panics
     /// Panics (debug builds) if `pairs` is not sorted by key.
-    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> usize {
+    pub fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError> {
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 <= w[1].0),
             "bulk_insert input must be sorted by key"
         );
+        if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+            return Err(InsertError::UnsupportedKey);
+        }
         let mut inserted = 0usize;
         self.for_each_shard_run(pairs, |(k, _)| k, |shard, run| {
-            inserted += self.shards[shard].bulk_insert(run);
+            inserted += self.shards[shard]
+                .bulk_insert(run)
+                .expect("sentinel rejected up front, runs cannot fail");
         });
-        inserted
+        Ok(inserted)
     }
 
     /// Total number of stored entries (sums shard lengths; each shard
@@ -634,20 +646,16 @@ where
     V: Clone + Default + Send + Sync,
 {
     fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
-        if ShardedAlex::insert(self, key, value) {
-            Ok(())
-        } else {
-            Err(InsertError::DuplicateKey)
-        }
+        ShardedAlex::insert(self, key, value)
     }
 
     fn remove(&self, key: &K) -> Option<V> {
         ShardedAlex::remove(self, key)
     }
 
-    fn bulk_insert(&self, pairs: &[(K, V)]) -> usize
+    fn bulk_insert(&self, pairs: &[(K, V)]) -> Result<usize, InsertError>
     where
-        K: Clone,
+        K: SentinelKey + Clone,
         V: Clone,
     {
         // Native path: per-shard runs, and per-leaf runs within each
@@ -672,7 +680,11 @@ where
         ConcurrentIndex::remove(self, key)
     }
 
-    fn bulk_load(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_load(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError>
+    where
+        K: SentinelKey + Clone,
+        V: Clone,
+    {
         debug_assert!(ShardedAlex::is_empty(self), "bulk_load expects an empty index");
         ShardedAlex::bulk_insert(self, pairs)
     }
@@ -687,7 +699,11 @@ where
         ShardedAlex::get_many(self, keys)
     }
 
-    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> usize {
+    fn bulk_insert(&mut self, pairs: &[(K, V)]) -> Result<usize, InsertError>
+    where
+        K: SentinelKey + Clone,
+        V: Clone,
+    {
         ShardedAlex::bulk_insert(self, pairs)
     }
 }
@@ -730,8 +746,8 @@ mod tests {
     fn insert_remove_update_roundtrip() {
         for path in BOTH_PATHS {
             let index = ShardedAlex::bulk_load_in(path, &pairs(1000, 2), 4, AlexConfig::ga_armi());
-            assert!(index.insert(1001, 7));
-            assert!(!index.insert(1001, 8), "duplicate must be rejected");
+            assert!(index.insert(1001, 7).is_ok());
+            assert!(index.insert(1001, 8).is_err(), "duplicate must be rejected");
             assert_eq!(index.get(&1001), Some(7));
             assert_eq!(index.update(&1001, 9), Some(7));
             assert_eq!(index.remove(&1001), Some(9));
@@ -778,8 +794,8 @@ mod tests {
                 assert_eq!(*v, index.get(q), "key {q}");
             }
             let fresh: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 4 + 1, k)).collect();
-            assert_eq!(index.bulk_insert(&fresh), 10_000);
-            assert_eq!(index.bulk_insert(&fresh), 0, "second pass is all duplicates");
+            assert_eq!(index.bulk_insert(&fresh), Ok(10_000));
+            assert_eq!(index.bulk_insert(&fresh), Ok(0), "second pass is all duplicates");
             assert_eq!(index.len(), 20_000);
         }
     }
@@ -796,7 +812,7 @@ mod tests {
                             // Reads of stable keys must always succeed.
                             assert_eq!(index.get(&(k * 2)), Some(k));
                             // Writes land in disjoint per-thread key ranges.
-                            assert!(index.insert(100_000 + t * 10_000 + k, k));
+                            assert!(index.insert(100_000 + t * 10_000 + k, k).is_ok());
                         }
                     });
                 }
@@ -848,7 +864,7 @@ mod tests {
                 ShardedAlex::new_in(path, vec![100, 200], AlexConfig::ga_armi());
             assert_eq!(cold.num_shards(), 3);
             for k in 0..300u64 {
-                assert!(cold.insert(k, k));
+                assert!(cold.insert(k, k).is_ok());
             }
             assert_eq!(cold.len(), 300);
             assert_eq!(cold.shard_lens(), vec![100, 100, 100]);
@@ -877,7 +893,7 @@ mod tests {
             AlexConfig::ga_armi().with_max_node_keys(128).with_splitting(),
         );
         for k in 0..15_000u64 {
-            assert!(index.insert(k, k * 7));
+            assert!(index.insert(k, k * 7).is_ok());
         }
         let stats = index.epoch_stats();
         assert!(stats.retired_total > 0, "split churn must retire nodes");
@@ -892,7 +908,7 @@ mod tests {
     #[test]
     fn locked_path_reports_zero_epoch_activity() {
         let index = ShardedAlex::bulk_load_in(ReadPath::Locked, &pairs(1000, 1), 2, AlexConfig::ga_armi());
-        assert!(index.insert(5000, 1));
+        assert!(index.insert(5000, 1).is_ok());
         assert_eq!(index.epoch_stats(), EpochStats::default());
         assert_eq!(
             index.write_stats(),
@@ -911,7 +927,7 @@ mod tests {
         let index = ShardedAlex::bulk_load(&pairs(8000, 2), 4, AlexConfig::ga_armi());
         // Point inserts across all shards: absorbed by delta buffers.
         for k in 0..2000u64 {
-            assert!(index.insert(2 * k + 1, k));
+            assert!(index.insert(2 * k + 1, k).is_ok());
         }
         let stats = index.write_stats();
         assert_eq!(
@@ -925,7 +941,7 @@ mod tests {
         // Odd keys above the point-phase band (no duplicates).
         let batch: Vec<(u64, u64)> = (0..8000u64).map(|k| (4001 + 8 * k, k)).collect();
         let before = index.write_stats().leaf_clones;
-        assert_eq!(index.bulk_insert(&batch), 8000);
+        assert_eq!(index.bulk_insert(&batch), Ok(8000));
         let clones = index.write_stats().leaf_clones - before;
         assert!(
             clones < 8000 / 4,

@@ -40,7 +40,7 @@ fn main() {
             let index = &index;
             s.spawn(move || {
                 for k in 0..1000u64 {
-                    index.insert(u64::MAX - t * 10_000 - k, k);
+                    index.insert(u64::MAX - t * 10_000 - k, k).expect("fresh key");
                     let probe = 1_000_000_000 + k;
                     std::hint::black_box(index.get(&probe));
                 }

@@ -1,0 +1,60 @@
+//! String & composite keys quickstart: index URL-shaped text with
+//! `FixedStr`, then serve several tenants from one index with
+//! `Composite<(tenant, key)>`.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example string_keys_quickstart
+//! ```
+
+use alex_repro::alex_api::{Composite, FixedStr, SentinelKey};
+use alex_repro::alex_core::{AlexConfig, AlexIndex};
+use alex_repro::alex_datasets::{sorted, url_keys};
+
+type UrlKey = FixedStr<32>;
+
+fn main() {
+    // 1. Generate 200k unique URL-shaped string keys and bulk-load
+    //    them. FixedStr<32> normalizes each string to 32 zero-padded
+    //    bytes whose Ord *is* lexicographic string order; the model
+    //    trains on the first-8-bytes-as-integer projection.
+    let keys = sorted(url_keys::<32>(200_000, 42));
+    let data: Vec<(UrlKey, u64)> = keys.iter().enumerate().map(|(i, k)| (*k, i as u64)).collect();
+    let mut index = AlexIndex::bulk_load(&data, AlexConfig::ga_armi());
+    println!("loaded {} string keys into {}", index.len(), index.config().variant_name());
+
+    // 2. Look up by plain &str — From<&str> normalizes on the way in.
+    let probe = keys[keys.len() / 2];
+    assert_eq!(index.get(&probe), Some(&((keys.len() / 2) as u64)));
+    println!("lookup {:?} -> {:?}", probe.to_text(), index.get(&probe));
+    assert_eq!(index.get(&UrlKey::from("zzz.example/not-there")), None);
+
+    // 3. Inserts and deletes work like any other key; the all-0xFF
+    //    sentinel is reserved and refused with a typed error.
+    index.insert(UrlKey::from("new.site/hello42"), 7).expect("fresh key");
+    assert!(index.insert(UrlKey::MAX_KEY, 0).is_err());
+    assert_eq!(index.remove(&UrlKey::from("new.site/hello42")), Some(7));
+
+    // 4. Range scans return keys in string order — prefix scans are
+    //    just a range starting at the prefix.
+    let from = UrlKey::from("osm.org/");
+    let page: Vec<String> = index.range_from(&from, 5).map(|(k, _)| k.to_text()).collect();
+    println!("5 keys from \"osm.org/\": {page:?}");
+
+    // 5. Composite keys: one index, many tenants, tenant-major order.
+    //    Every tenant's keyspace is a contiguous run, so a scan inside
+    //    tenant 7 never leaks tenant 8's rows.
+    let mut tenants: AlexIndex<Composite<u64>, u64> = AlexIndex::new(AlexConfig::ga_armi());
+    for t in 0..10u64 {
+        for k in 0..1_000u64 {
+            tenants.insert(Composite::new(t, k * 2), t * 10_000 + k).expect("fresh key");
+        }
+    }
+    let t7: Vec<(u64, u64)> = tenants
+        .range_from(&Composite::new(7, 0), 3)
+        .map(|(c, v)| (c.key, *v))
+        .collect();
+    println!("tenant 7's first rows: {t7:?}");
+    assert!(t7.iter().all(|(_, v)| (70_000..80_000).contains(v)));
+    println!("total rows across 10 tenants: {}", tenants.len());
+}

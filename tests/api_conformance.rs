@@ -18,6 +18,7 @@
 //! once per leaf run), and the locked-map reference.
 
 use alex_repro::alex_api;
+use alex_repro::alex_api::{Composite, FixedStr};
 use alex_repro::alex_btree::BPlusTree;
 use alex_repro::alex_core::{AlexConfig, AlexIndex, EpochAlex, StoreMode};
 use alex_repro::alex_learned_index::LearnedIndex;
@@ -106,5 +107,78 @@ alex_api::conformance_suite!(
 alex_api::conformance_suite!(
     locked_btreemap,
     |pairs: &[(u64, u64)]| { LockedBTreeMap::from_pairs(pairs) },
+    concurrent
+);
+
+// ----------------------------------------------------------------------
+// Pluggable key types: the same contract, driven through the
+// order-preserving string key and the tenant-qualified composite key.
+// One ALEX instantiation plus every baseline per key type, so all the
+// backends agree on the new keys' ordering and sentinel handling too.
+// ----------------------------------------------------------------------
+
+/// 16-byte padded string key; conformance seeds occupy the first 8
+/// bytes (big-endian), the tail stays zero padding.
+type StrKey = FixedStr<16>;
+/// Tenant-qualified key: conformance seeds split tenant-major.
+type TenantKey = Composite<u64>;
+
+alex_api::conformance_suite!(alex_ga_armi_string, |pairs: &[(StrKey, u64)]| {
+    AlexIndex::bulk_load(pairs, AlexConfig::ga_armi().with_max_node_keys(256))
+});
+
+alex_api::conformance_suite!(alex_ga_armi_composite, |pairs: &[(TenantKey, u64)]| {
+    AlexIndex::bulk_load(pairs, AlexConfig::ga_armi().with_max_node_keys(256))
+});
+
+alex_api::conformance_suite!(btree_string, |pairs: &[(StrKey, u64)]| {
+    BPlusTree::bulk_load(pairs, 32, 32, 0.7)
+});
+
+alex_api::conformance_suite!(btree_composite, |pairs: &[(TenantKey, u64)]| {
+    BPlusTree::bulk_load(pairs, 32, 32, 0.7)
+});
+
+alex_api::conformance_suite!(learned_index_string, |pairs: &[(StrKey, u64)]| {
+    LearnedIndex::bulk_load(pairs, 16)
+});
+
+alex_api::conformance_suite!(learned_index_composite, |pairs: &[(TenantKey, u64)]| {
+    LearnedIndex::bulk_load(pairs, 16)
+});
+
+alex_api::conformance_suite!(pma_map_string, |pairs: &[(StrKey, u64)]| {
+    PmaMap::from_sorted(pairs)
+});
+
+alex_api::conformance_suite!(pma_map_composite, |pairs: &[(TenantKey, u64)]| {
+    PmaMap::from_sorted(pairs)
+});
+
+alex_api::conformance_suite!(
+    sharded_alex_string,
+    |pairs: &[(StrKey, u64)]| {
+        ShardedAlex::bulk_load(pairs, 4, AlexConfig::ga_armi().with_max_node_keys(256))
+    },
+    concurrent
+);
+
+alex_api::conformance_suite!(
+    sharded_alex_composite,
+    |pairs: &[(TenantKey, u64)]| {
+        ShardedAlex::bulk_load(pairs, 4, AlexConfig::ga_armi().with_max_node_keys(256))
+    },
+    concurrent
+);
+
+alex_api::conformance_suite!(
+    locked_btreemap_string,
+    |pairs: &[(StrKey, u64)]| { LockedBTreeMap::from_pairs(pairs) },
+    concurrent
+);
+
+alex_api::conformance_suite!(
+    locked_btreemap_composite,
+    |pairs: &[(TenantKey, u64)]| { LockedBTreeMap::from_pairs(pairs) },
     concurrent
 );

@@ -284,7 +284,7 @@ fn bulk_insert_runs_race_readers() {
     for (k, _) in &init {
         journal.announce(*k, 0);
     }
-    assert_eq!(index.bulk_insert(&init), init.len());
+    assert_eq!(index.bulk_insert(&init), Ok(init.len()));
     for (k, v) in &init {
         oracle.insert(*k, *v).expect("oracle load");
     }
@@ -306,7 +306,7 @@ fn bulk_insert_runs_race_readers() {
                     for (k, _) in &batch {
                         journal.announce(*k, gen);
                     }
-                    assert_eq!(idx.bulk_insert(&batch), batch.len(), "round {round} block {b}");
+                    assert_eq!(idx.bulk_insert(&batch), Ok(batch.len()), "round {round} block {b}");
                     for (k, v) in &batch {
                         orc.insert(*k, *v).expect("oracle republish");
                     }
@@ -318,7 +318,7 @@ fn bulk_insert_runs_race_readers() {
                 for (k, _) in &stripe {
                     journal.announce(*k, 0);
                 }
-                assert_eq!(idx.bulk_insert(&stripe), stripe.len());
+                assert_eq!(idx.bulk_insert(&stripe), Ok(stripe.len()));
                 for (k, v) in &stripe {
                     orc.insert(*k, *v).expect("oracle stripe");
                 }
@@ -418,7 +418,7 @@ fn single_leaf_bulk_runs_are_all_or_nothing() {
                     v.sort_unstable_by_key(|p| p.0);
                     v
                 };
-                assert_eq!(idx.bulk_insert(&batch), batch.len(), "stripe {r}");
+                assert_eq!(idx.bulk_insert(&batch), Ok(batch.len()), "stripe {r}");
                 published.store(r + 1, Ordering::SeqCst);
             }
         });

@@ -57,7 +57,7 @@ fn sorted_64k_bulk_insert_clones_per_run_not_per_key() {
     let leaves_before = index.size_report().num_data_nodes as u64;
 
     let batch: Vec<(u64, u64)> = (0..n).map(|k| (2 * k + 1, payload(2 * k + 1, 0))).collect();
-    assert_eq!(index.bulk_insert(&batch), n as usize);
+    assert_eq!(index.bulk_insert(&batch), Ok(n as usize));
 
     let stats = index.write_stats();
     assert!(
@@ -88,7 +88,7 @@ fn splitting_bulk_insert_still_amortizes() {
     let init: Vec<(u64, u64)> = (0..n).map(|k| (2 * k, payload(2 * k, 0))).collect();
     let index = EpochAlex::bulk_load(&init, splitting_config(32));
     let batch: Vec<(u64, u64)> = (0..n).map(|k| (2 * k + 1, payload(2 * k + 1, 0))).collect();
-    assert_eq!(index.bulk_insert(&batch), n as usize);
+    assert_eq!(index.bulk_insert(&batch), Ok(n as usize));
     let stats = index.write_stats();
     assert!(
         stats.leaf_clones * 4 < n,
@@ -190,7 +190,7 @@ fn readers_race_delta_buffered_writers_against_locked_mirror() {
                             (k, payload(k, 1))
                         })
                         .collect();
-                    assert_eq!(idx.bulk_insert(&batch), STRIPE as usize);
+                    assert_eq!(idx.bulk_insert(&batch), Ok(STRIPE as usize));
                     for (k, v) in &batch {
                         mir.insert(*k, *v).unwrap();
                     }

@@ -1,0 +1,155 @@
+//! Differential property tests for the pluggable key types: random
+//! operation sequences over `FixedStr` and `Composite` keys against a
+//! `BTreeMap` model.
+//!
+//! The string strategy is deliberately adversarial: most generated
+//! keys share an 8-byte prefix (so `prefix_u64` is locally constant
+//! and the RMI degenerates — the per-leaf fallback guard must carry
+//! correctness), and some are longer than the fixed width (so
+//! distinct inputs collapse to one normalized key, which the model
+//! sees identically because it is keyed by the normalized form).
+
+use std::collections::BTreeMap;
+
+use alex_repro::alex_api::{Composite, FixedStr};
+use alex_repro::alex_core::{AlexConfig, AlexIndex, AlexKey};
+use proptest::prelude::*;
+
+type StrKey = FixedStr<16>;
+type TenantKey = Composite<u64>;
+
+/// A random index operation over keys of type `K`.
+#[derive(Debug, Clone)]
+enum Op<K> {
+    Insert(K),
+    Remove(K),
+    Get(K),
+    Scan(K, usize),
+}
+
+/// Shared-prefix URL-ish fragments. The `href=www.`-family keys agree
+/// on their first 8 bytes, so every one of them projects to the same
+/// `prefix_u64`; the 16+-byte ones additionally truncate-collapse at
+/// the `FixedStr<16>` width.
+static PREFIXES: &[&str] = &[
+    "",
+    "a",
+    "b!",
+    "href=www.",
+    "href=www.example",
+    "href=www.exbmple",
+    "zzzzzzzzzzzzzzzzzz",
+];
+
+fn str_key() -> impl Strategy<Value = StrKey> {
+    (0..PREFIXES.len(), 0u64..40)
+        .prop_map(|(p, s)| FixedStr::from(format!("{}{:02}", PREFIXES[p], s).as_str()))
+}
+
+/// Few tenants, small per-tenant domain: collisions are common and
+/// tenant-major ordering is crossed at every boundary.
+fn composite_key() -> impl Strategy<Value = TenantKey> {
+    (0u64..4, 0u64..200).prop_map(|(t, k)| Composite::new(t, k))
+}
+
+fn str_op() -> impl Strategy<Value = Op<StrKey>> {
+    prop_oneof![
+        4 => str_key().prop_map(Op::Insert),
+        2 => str_key().prop_map(Op::Remove),
+        3 => str_key().prop_map(Op::Get),
+        1 => (str_key(), 1usize..30).prop_map(|(k, l)| Op::Scan(k, l)),
+    ]
+}
+
+fn composite_op() -> impl Strategy<Value = Op<TenantKey>> {
+    prop_oneof![
+        4 => composite_key().prop_map(Op::Insert),
+        2 => composite_key().prop_map(Op::Remove),
+        3 => composite_key().prop_map(Op::Get),
+        1 => (composite_key(), 1usize..30).prop_map(|(k, l)| Op::Scan(k, l)),
+    ]
+}
+
+/// Replay `ops` against a fresh ALEX and a `BTreeMap`, demanding
+/// identical results at every step and an identical final iteration.
+/// Values are a pure function of the key so duplicate-insert refusals
+/// never leave the two sides holding different payloads.
+fn check_ops<K>(cfg: AlexConfig, ops: &[Op<K>], value_of: impl Fn(&K) -> u64) -> Result<(), TestCaseError>
+where
+    K: AlexKey + Ord,
+{
+    let mut alex: AlexIndex<K, u64> = AlexIndex::new(cfg);
+    let mut model: BTreeMap<K, u64> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k) => {
+                let v = value_of(k);
+                let inserted = alex.insert(*k, v).is_ok();
+                let expected = model.insert(*k, v).is_none();
+                prop_assert_eq!(inserted, expected, "insert {:?}", k);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(alex.remove(k), model.remove(k), "remove {:?}", k);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(alex.get(k), model.get(k), "get {:?}", k);
+            }
+            Op::Scan(k, l) => {
+                let got: Vec<K> = alex.range_from(k, *l).map(|(k, _)| *k).collect();
+                let expect: Vec<K> = model.range(*k..).take(*l).map(|(k, _)| *k).collect();
+                prop_assert_eq!(got, expect, "scan from {:?} limit {}", k, l);
+            }
+        }
+        prop_assert_eq!(alex.len(), model.len());
+    }
+    let got: Vec<(K, u64)> = alex.iter().map(|(k, v)| (*k, *v)).collect();
+    let expect: Vec<(K, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    prop_assert_eq!(got, expect);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn string_keys_match_btreemap_armi(ops in prop::collection::vec(str_op(), 1..300)) {
+        check_ops(AlexConfig::ga_armi().with_max_node_keys(128).with_splitting(), &ops, StrKey::prefix_u64)?;
+    }
+
+    #[test]
+    fn string_keys_match_btreemap_srmi(ops in prop::collection::vec(str_op(), 1..300)) {
+        check_ops(AlexConfig::ga_srmi(8), &ops, StrKey::prefix_u64)?;
+    }
+
+    #[test]
+    fn composite_keys_match_btreemap_armi(ops in prop::collection::vec(composite_op(), 1..300)) {
+        check_ops(AlexConfig::ga_armi().with_max_node_keys(128).with_splitting(), &ops, |k| {
+            k.tenant * 1_000 + k.key
+        })?;
+    }
+
+    #[test]
+    fn composite_keys_match_btreemap_srmi(ops in prop::collection::vec(composite_op(), 1..300)) {
+        check_ops(AlexConfig::ga_srmi(8), &ops, |k| k.tenant * 1_000 + k.key)?;
+    }
+
+    #[test]
+    fn bulk_load_strings_then_lookup(raw in prop::collection::vec(str_key(), 1..500)) {
+        let mut keys = raw;
+        keys.sort();
+        keys.dedup();
+        let data: Vec<(StrKey, u64)> = keys.iter().map(|k| (*k, k.prefix_u64())).collect();
+        for cfg in [AlexConfig::ga_armi().with_max_node_keys(128), AlexConfig::ga_srmi(8)] {
+            let index = AlexIndex::bulk_load(&data, cfg);
+            prop_assert_eq!(index.len(), keys.len());
+            for k in &keys {
+                prop_assert_eq!(index.get(k), Some(&k.prefix_u64()), "lookup {:?}", k);
+            }
+            // A key that normalizes above every generated one misses.
+            let missing = StrKey::from("~~~~");
+            if !keys.contains(&missing) {
+                prop_assert_eq!(index.get(&missing), None);
+            }
+        }
+    }
+}

@@ -21,23 +21,33 @@
 
 use std::sync::Arc;
 
-use alex_repro::alex_api::{ConcurrentIndex, IndexRead, LockedBTreeMap};
+use alex_repro::alex_api::{
+    Composite, ConcurrentIndex, IndexRead, InsertError, LockedBTreeMap, SentinelKey,
+};
 use alex_repro::alex_core::AlexConfig;
-use alex_repro::alex_server::{encode_response, Request, Response, Server, ServerConfig};
+use alex_repro::alex_server::{
+    encode_response, Request, Response, Server, ServerConfig, REJECT_UNSUPPORTED_KEY,
+};
 use alex_repro::alex_sharded::ShardedAlex;
+use alex_repro::alex_wal::WalCodec;
 
 type Req = Request<u64, u64>;
-type Resp = Response<u64, u64>;
 
 /// Apply one request to the oracle with exactly the server's
-/// semantics: first-writer-wins inserts, inclusive-start scans,
-/// batch inserts that dedupe against both the map and the batch.
-fn oracle_exec(oracle: &LockedBTreeMap<u64, u64>, request: &Req) -> Resp {
+/// semantics: first-writer-wins inserts, reserved-key refusals,
+/// inclusive-start scans, batch inserts that dedupe against both the
+/// map and the batch — and batches refused whole on a sentinel tail.
+fn oracle_exec<K>(oracle: &LockedBTreeMap<K, u64>, request: &Request<K, u64>) -> Response<K, u64>
+where
+    K: Ord + Copy + SentinelKey + Send + Sync + core::fmt::Debug,
+{
     match request {
         Request::Get { key } => Response::Value(oracle.get(key)),
-        Request::Insert { key, value } => {
-            Response::Inserted(ConcurrentIndex::insert(oracle, *key, *value).is_ok())
-        }
+        Request::Insert { key, value } => match ConcurrentIndex::insert(oracle, *key, *value) {
+            Ok(()) => Response::Inserted(true),
+            Err(InsertError::DuplicateKey) => Response::Inserted(false),
+            Err(_) => Response::Rejected(REJECT_UNSUPPORTED_KEY),
+        },
         Request::Remove { key } => Response::Removed(ConcurrentIndex::remove(oracle, key)),
         Request::Scan { start, limit } => {
             let mut out = Vec::new();
@@ -47,16 +57,28 @@ fn oracle_exec(oracle: &LockedBTreeMap<u64, u64>, request: &Req) -> Resp {
         Request::BatchGet { keys } => {
             Response::Values(keys.iter().map(|k| oracle.get(k)).collect())
         }
-        Request::BatchInsert { pairs } => Response::InsertedCount(
-            pairs.iter().filter(|(k, v)| ConcurrentIndex::insert(oracle, *k, *v).is_ok()).count()
-                as u64,
-        ),
+        Request::BatchInsert { pairs } => {
+            if pairs.last().is_some_and(|(k, _)| k.is_sentinel()) {
+                return Response::Rejected(REJECT_UNSUPPORTED_KEY);
+            }
+            Response::InsertedCount(
+                pairs
+                    .iter()
+                    .filter(|(k, v)| ConcurrentIndex::insert(oracle, *k, *v).is_ok())
+                    .count() as u64,
+            )
+        }
     }
 }
 
 /// Byte-level equality under the wire codec — the strongest form of
 /// "the client cannot tell the difference".
-fn assert_same_bytes(op_id: u64, got: &Resp, want: &Resp, context: &str) {
+fn assert_same_bytes<K: WalCodec + core::fmt::Debug>(
+    op_id: u64,
+    got: &Response<K, u64>,
+    want: &Response<K, u64>,
+    context: &str,
+) {
     let mut got_bytes = Vec::new();
     let mut want_bytes = Vec::new();
     encode_response(op_id, got, &mut got_bytes);
@@ -262,4 +284,130 @@ fn batch_requests_straddling_every_boundary_match_the_oracle() {
 
     let index = server.shutdown();
     assert_eq!(index.len(), oracle.len());
+}
+
+// ----------------------------------------------------------------------
+// Multi-tenant serving over composite (tenant, key) keys
+// ----------------------------------------------------------------------
+
+type TenantKey = Composite<u64>;
+
+/// Concurrent per-tenant clients over a `(tenant, key)` composite
+/// index: tenant-major ordering makes the shard pool multi-tenant —
+/// each tenant's keyspace is a contiguous key range, so a tenant's
+/// dependent ops land in FIFO shard queues and its expected responses
+/// stay deterministic under full concurrency. Every response must be
+/// byte-identical to the `LockedBTreeMap` oracle's, and the quiescent
+/// index must equal the oracle pair-for-pair.
+#[test]
+fn multi_tenant_composite_clients_match_the_oracle_byte_for_byte() {
+    const TENANTS: u64 = 6;
+    const OPS: u64 = 1200;
+    // Preload: every tenant owns even keys 0..2000 (tenant-major order
+    // keeps the pairs sorted for bulk_load).
+    let pairs: Vec<(TenantKey, u64)> = (0..TENANTS)
+        .flat_map(|t| (0..1000u64).map(move |k| (Composite::new(t, k * 2), t * 1_000_000 + k)))
+        .collect();
+    let index = ShardedAlex::bulk_load(&pairs, 4, AlexConfig::ga_armi());
+    let server = Server::start(index, ServerConfig { queue_capacity: 256, max_batch: 32 });
+    let oracle = Arc::new(LockedBTreeMap::from_pairs(&pairs));
+
+    std::thread::scope(|scope| {
+        for t in 0..TENANTS {
+            let client = server.client();
+            let oracle = Arc::clone(&oracle);
+            scope.spawn(move || {
+                // Each client writes only its own tenant's odd keys, so
+                // no other thread can perturb its expected responses;
+                // reads of any tenant's preloaded evens see immutable
+                // state.
+                const WINDOW: usize = 16;
+                let mut window = Vec::with_capacity(WINDOW);
+                for i in 0..OPS {
+                    let op_id = t * OPS + i;
+                    let own = |k: u64| Composite::new(t, k);
+                    let private = mix(t * 31 + i) % 400 * 2 + 1;
+                    let other_tenant = mix(i) % TENANTS;
+                    let shared = Composite::new(other_tenant, (mix(i * 3 + t) % 1100) * 2);
+                    let request = match mix(t * 1000 + i) % 10 {
+                        0..=2 => Request::Get { key: shared },
+                        3..=4 => Request::Insert { key: own(private), value: op_id },
+                        5 => Request::Remove { key: own(private) },
+                        6 => Request::Get { key: own(private) },
+                        7 => {
+                            // A sorted batch read crossing tenants is
+                            // still deterministic on preloaded evens.
+                            let mut keys: Vec<TenantKey> = (0..TENANTS)
+                                .map(|ot| Composite::new(ot, (mix(i * 7 + ot) % 1100) * 2))
+                                .collect();
+                            keys.sort_unstable();
+                            Request::BatchGet { keys }
+                        }
+                        _ => {
+                            let mut ps: Vec<(TenantKey, u64)> = (0..8)
+                                .map(|j| (own(mix(i * 17 + j) % 400 * 2 + 1), op_id * 10 + j))
+                                .collect();
+                            ps.sort_by_key(|p| p.0);
+                            Request::BatchInsert { pairs: ps }
+                        }
+                    };
+                    let want = oracle_exec(&oracle, &request);
+                    window.push((op_id, client.submit(request), want));
+                    if window.len() == WINDOW {
+                        for (id, pending, want) in window.drain(..) {
+                            assert_same_bytes(id, &pending.wait(), &want, "tenant");
+                        }
+                    }
+                }
+                for (id, pending, want) in window.drain(..) {
+                    assert_same_bytes(id, &pending.wait(), &want, "tenant tail");
+                }
+            });
+        }
+    });
+
+    let index = server.shutdown();
+    assert_eq!(index.len(), oracle.len(), "quiescent length");
+    let mut index_pairs = Vec::with_capacity(index.len());
+    index.scan_from(&Composite::new(0, 0), usize::MAX, |k, v| index_pairs.push((*k, *v)));
+    let mut oracle_pairs = Vec::with_capacity(oracle.len());
+    oracle
+        .scan_from(&Composite::new(0, 0), usize::MAX, &mut |k: &TenantKey, v: &u64| {
+            oracle_pairs.push((*k, *v))
+        });
+    assert_eq!(index_pairs, oracle_pairs, "quiescent pair-for-pair equality");
+}
+
+// ----------------------------------------------------------------------
+// Reserved-key refusals through the full serving stack
+// ----------------------------------------------------------------------
+
+/// A write naming the reserved `MAX_KEY` sentinel answers
+/// [`Response::Rejected`] end to end — and a batch with a sentinel
+/// tail is refused whole, before any earlier shard applied its run.
+#[test]
+fn sentinel_writes_are_rejected_end_to_end() {
+    let pairs = preload(2000);
+    let (server, oracle) = serve(&pairs, 4, 16);
+    let client = server.client();
+
+    let requests = [
+        Request::Insert { key: u64::MAX, value: 1 },
+        Request::BatchInsert { pairs: vec![(100u64, 1u64), (4242, 2), (u64::MAX, 3)] },
+    ];
+    for (op_id, request) in requests.into_iter().enumerate() {
+        let want = oracle_exec(&oracle, &request);
+        assert_eq!(want, Response::Rejected(REJECT_UNSUPPORTED_KEY));
+        assert_same_bytes(op_id as u64, &client.call(request), &want, "sentinel");
+    }
+    // All-or-nothing: the refused batch's leading pairs never landed,
+    // even though they route to earlier shards than the sentinel.
+    assert_eq!(client.call(Request::Get { key: 100 }), Response::Value(None));
+    assert_eq!(client.call(Request::Get { key: 4242 }), Response::Value(None));
+    // The sentinel itself never becomes readable, and serving goes on.
+    assert_eq!(client.call(Request::Get { key: u64::MAX }), Response::Value(None));
+    assert_eq!(client.call(Request::Insert { key: 100, value: 9 }), Response::Inserted(true));
+    assert_eq!(client.call(Request::Get { key: 100 }), Response::Value(Some(9)));
+    let index = server.shutdown();
+    assert_eq!(index.len(), oracle.len() + 1, "only the post-refusal insert landed");
 }

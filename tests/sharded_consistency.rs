@@ -121,7 +121,7 @@ fn concurrent_readers_check(path: ReadPath) {
             s.spawn(move || {
                 for k in 0..N {
                     if k % 4 == t {
-                        assert!(index.insert(k * 2 + 1, k), "fresh odd {k}");
+                        assert!(index.insert(k * 2 + 1, k).is_ok(), "fresh odd {k}");
                     }
                     if k % 8 == t {
                         assert_eq!(index.remove(&(k * 2)), Some(k), "stable even {k}");
@@ -204,7 +204,7 @@ proptest! {
         ] {
             let mut batch = AlexIndex::bulk_load(&data, cfg);
             let mut serial = AlexIndex::bulk_load(&data, cfg);
-            let n_batch = batch.bulk_insert(&pairs);
+            let n_batch = batch.bulk_insert(&pairs).expect("no sentinel in batch");
             let mut n_serial = 0;
             for (k, v) in &pairs {
                 if serial.insert(*k, *v).is_ok() {
@@ -232,7 +232,7 @@ proptest! {
             prop_assert_eq!(got, index.get(q), "key {}", q);
         }
         let pairs: Vec<(u64, u64)> = incoming.iter().map(|&k| (k, k * 2)).collect();
-        let inserted = index.bulk_insert(&pairs);
+        let inserted = index.bulk_insert(&pairs).expect("no sentinel in batch");
         let expect = incoming.iter().filter(|k| !init.contains(k)).count();
         prop_assert_eq!(inserted, expect);
         prop_assert_eq!(index.len(), init.union(&incoming).count());
@@ -275,7 +275,7 @@ proptest! {
             for &k in victim_keys.keys() {
                 for off in 1..8u64 {
                     let fresh = k + off;
-                    let ok = index.insert(fresh, fresh);
+                    let ok = index.insert(fresh, fresh).is_ok();
                     prop_assert_eq!(ok, reference.insert(fresh, fresh).is_none(), "fresh {}", fresh);
                 }
             }
@@ -283,7 +283,7 @@ proptest! {
             // Phase 3: reinsert the victims with new payloads — they
             // must route into the freshly split leaves.
             for (&k, &v) in &victim_keys {
-                prop_assert!(index.insert(k, v), "reinsert {} after split", k);
+                prop_assert!(index.insert(k, v).is_ok(), "reinsert {} after split", k);
                 reference.insert(k, v);
                 prop_assert_eq!(index.get(&k), Some(v), "reinserted payload {}", k);
             }
