@@ -138,6 +138,39 @@ impl<K: StreamKey> SortedBlocks<K> {
         self.u.clamp(0.0, 1.0)
     }
 
+    /// Estimate `shards - 1` strictly increasing shard-boundary keys
+    /// from the pilot quantile table, without consuming the stream.
+    ///
+    /// Boundary `i` sits at pilot quantile `(i + 1) / shards`, so the
+    /// stream's keys divide roughly evenly across the shards cut by
+    /// these boundaries — the streaming analogue of
+    /// `alex_sharded`'s CDF-sampled boundary planner, available
+    /// *before* any block is generated (which is the point: a
+    /// memory-budgeted loader must fix its shard cuts up front, then
+    /// feed blocks through without ever holding the full key set).
+    /// Colliding quantiles (duplicate-heavy pilots) are nudged to the
+    /// next representable key, mirroring the stream's own uniqueness
+    /// nudge.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn boundary_estimates(&self, shards: usize) -> Vec<K> {
+        assert!(shards > 0, "need at least one shard");
+        let mut out = Vec::with_capacity(shards.saturating_sub(1));
+        let mut last: Option<K> = None;
+        for i in 1..shards {
+            let mut key = self.quantile(i as f64 / shards as f64);
+            if let Some(prev) = last {
+                if key <= prev {
+                    key = prev.successor();
+                }
+            }
+            last = Some(key);
+            out.push(key);
+        }
+        out
+    }
+
     /// Map a uniform rank through the pilot quantile table.
     fn quantile(&self, u: f64) -> K {
         let m = self.pilot.len();
@@ -273,6 +306,33 @@ mod tests {
         assert_eq!(keys.len(), 10_000);
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
         assert!(keys.iter().all(|k| (-180.0..=180.0).contains(k)));
+    }
+
+    #[test]
+    fn boundary_estimates_split_the_stream_roughly_evenly() {
+        let blocks = SortedBlocks::lognormal(40_000, 4096, 13);
+        let bounds = blocks.boundary_estimates(8);
+        assert_eq!(bounds.len(), 7);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        // Count keys routed to each shard: lognormal is extremely
+        // skewed, so even a loose balance check proves the cuts track
+        // the distribution rather than the key domain.
+        let mut per_shard = vec![0usize; 8];
+        for key in blocks.flatten() {
+            let shard = bounds.partition_point(|b| *b <= key);
+            per_shard[shard] += 1;
+        }
+        let expect = 40_000 / 8;
+        for (i, n) in per_shard.iter().enumerate() {
+            assert!(
+                (expect / 4..expect * 4).contains(n),
+                "shard {i} got {n} of 40k keys: {per_shard:?}"
+            );
+        }
+        // Degenerate pilots still produce strictly increasing cuts.
+        let flat = SortedBlocks::from_pilot(vec![7u64; 100], 10, 4, 1);
+        let bounds = flat.boundary_estimates(4);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
     }
 
     #[test]

@@ -130,7 +130,7 @@ where
                 "directory already holds a durable sharded index",
             ));
         }
-        let boundaries = sample_cdf_boundaries(pairs, num_shards);
+        let boundaries = sample_cdf_boundaries(pairs, num_shards).into_boundaries();
         let mut shards = Vec::with_capacity(boundaries.len() + 1);
         let mut rest = pairs;
         for (i, bound) in boundaries.iter().enumerate() {

@@ -37,8 +37,10 @@
 //! Epoch-path writes no longer clone a whole leaf per key. A point
 //! write lands in the owning leaf's bounded **delta buffer** — a
 //! sorted side-array published alongside the immutable leaf snapshot
-//! (capacity via [`AlexConfig::delta_buffer_capacity`] /
-//! `AlexConfig::with_delta_buffer`, `0` restores clone-per-write) —
+//! (capacity via [`AlexConfig::delta_buffer`] /
+//! `AlexConfig::with_delta_buffer`, `Fixed(0)` restores
+//! clone-per-write, `Adaptive` lets each shard's `EpochAlex` re-derive
+//! its own cap from observed write stats) —
 //! and the buffer is folded into a fresh gapped array only when it
 //! fills or the leaf splits; each flush retires the replaced leaf
 //! node to the epoch garbage list, exactly like any other
@@ -55,6 +57,35 @@
 //! multi-threaded driver `run_workload_mt`), with [`IndexWrite`]
 //! delegating `&mut self` calls to the `&self` surface and
 //! [`BatchOps`] routed to the native per-shard sorted-run paths.
+//!
+//! ## Read-skew rebalancing
+//!
+//! Boundaries drawn from the bulk-load CDF equalize *key counts*, not
+//! *traffic*: under a zipfian read mix one shard can absorb most
+//! lookups while its neighbours idle. [`ShardedAlex::rebalance_plan`]
+//! turns the per-shard lookup counters
+//! ([`ShardedAlex::shard_read_stats`], `read-stats` feature) into a
+//! replacement boundary set that equalizes estimated lookup mass, and
+//! [`ShardedAlex::apply_rebalance`] restages the whole index in one
+//! ordered pass: each new shard is staged and bulk-loaded exactly
+//! once, and each source shard is dropped as soon as its keys are
+//! consumed, so the transient footprint is one staged shard — never a
+//! second copy of the index — and the work is linear in the key count
+//! (a tombstone-based band drain would clone the shrinking source
+//! leaf once per flush, quadratic in band length).
+//!
+//! **When to trigger it.** Rebalancing is a *maintenance operation*,
+//! not a background daemon: call `rebalance_plan` after a
+//! representative traffic window and apply it when the plan is
+//! `Some` — the plan is `None` when there is no lookup signal (no
+//! traffic yet, or `read-stats` compiled out), fewer than two shards,
+//! or the skew is too small to move any boundary. `apply_rebalance`
+//! takes `&mut self` (a quiesced index); `alex-server` exposes it as
+//! a server-level maintenance op that drains the worker pool, applies
+//! the plan, and restarts workers on the new boundaries. Typical
+//! cadence: once after a workload shift — e.g. when
+//! `shard_read_stats` shows the hottest shard taking several times
+//! the mean — rather than on a timer.
 //!
 //! ## Consistency model
 //! Every individual operation is atomic with respect to its shard.
@@ -206,6 +237,80 @@ impl<K: AlexKey, V: Clone + Default> Shard<K, V> {
             Shard::Locked(l) => Self::read(l).size_report(),
         }
     }
+
+    fn read_stats(&self) -> (u64, u64, u64) {
+        match self {
+            Shard::Epoch(s) => s.read_stats(),
+            Shard::Locked(l) => Self::read(l).read_stats(),
+        }
+    }
+
+    /// The configuration this shard's index was built with (every
+    /// shard shares the `ShardedAlex` bulk-load config; the rebalance
+    /// restager reads it off the first shard to build replacements).
+    fn config(&self) -> AlexConfig {
+        match self {
+            Shard::Epoch(s) => *s.config(),
+            Shard::Locked(l) => *Self::read(l).config(),
+        }
+    }
+
+    /// Visit every live pair in key order — a full walk needing no
+    /// start key (the rebalance planner's rank probe; shard 0 has no
+    /// lower boundary to scan from).
+    fn for_each_pair(&self, f: &mut impl FnMut(&K, &V)) {
+        match self {
+            Shard::Epoch(s) => s.leaf_snapshots(|pairs| {
+                for (k, v) in pairs {
+                    f(k, v);
+                }
+            }),
+            Shard::Locked(l) => {
+                for (k, v) in Self::read(l).iter() {
+                    f(k, v);
+                }
+            }
+        }
+    }
+}
+
+/// One shard's read-counter snapshot (see
+/// [`ShardedAlex::shard_read_stats`]). All zero when the `read-stats`
+/// feature of `alex-core` is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReadStats {
+    /// Lookups served by this shard.
+    pub lookups: u64,
+    /// Key comparisons across those lookups.
+    pub comparisons: u64,
+    /// Lookups that hit the model-predicted slot directly.
+    pub direct_hits: u64,
+}
+
+/// A proposed replacement boundary set computed by
+/// [`ShardedAlex::rebalance_plan`] from per-shard lookup skew. Apply
+/// it with [`ShardedAlex::apply_rebalance`]; see the crate docs'
+/// *Read-skew rebalancing* section for when to trigger one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalancePlan<K> {
+    /// Strictly increasing replacement for
+    /// [`ShardedAlex::boundaries`] (same length, so the shard count is
+    /// preserved).
+    pub boundaries: Vec<K>,
+    /// The per-shard lookup counts the plan was computed from
+    /// (diagnostics; also what tests assert skew against).
+    pub shard_lookups: Vec<u64>,
+}
+
+/// What one [`ShardedAlex::apply_rebalance`] call moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Entries that ended up in a different shard than the one that
+    /// owned them before the boundary switch.
+    pub moved_keys: usize,
+    /// Contiguous key bands those entries moved in: maximal key-order
+    /// runs sharing one (source, destination) shard pair.
+    pub bands: usize,
 }
 
 /// Range-partitioned ALEX shards with a lock-free (epoch) or locked
@@ -250,7 +355,7 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
             pairs.windows(2).all(|w| w[0].0 < w[1].0),
             "bulk_load input must be strictly increasing"
         );
-        let boundaries = sample_cdf_boundaries(pairs, num_shards);
+        let boundaries = sample_cdf_boundaries(pairs, num_shards).into_boundaries();
         let mut shards = Vec::with_capacity(boundaries.len() + 1);
         let mut rest = pairs;
         for bound in &boundaries {
@@ -275,12 +380,19 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     /// read path.
     ///
     /// `boundaries` must be strictly increasing; shard `i + 1` owns
-    /// keys `>= boundaries[i]`. The final shard count is
-    /// `boundaries.len() + 1`.
+    /// keys `>= boundaries[i]`. The final shard count is always
+    /// `boundaries.len() + 1`, including the corners: empty blocks
+    /// yield that many empty shards, and blocks whose keys all fall
+    /// below the first (or above the last) boundary leave the other
+    /// shards empty.
     ///
     /// # Panics
-    /// Panics (debug builds) if blocks are not globally sorted or
-    /// `boundaries` is not strictly increasing.
+    /// Panics — in **all** build profiles — if `boundaries` is not
+    /// strictly increasing: a non-monotone boundary list silently
+    /// corrupts routing (`route_key` binary-searches it), so the check
+    /// is a release-mode `assert!`, O(boundaries) next to the O(keys)
+    /// load. Non-globally-sorted blocks panic in debug builds only
+    /// (the per-key check is on the streaming hot path).
     pub fn bulk_load_blocks(
         blocks: impl IntoIterator<Item = Vec<(K, V)>>,
         boundaries: Vec<K>,
@@ -290,14 +402,15 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
     }
 
     /// [`ShardedAlex::bulk_load_blocks`] with an explicit
-    /// [`ReadPath`].
+    /// [`ReadPath`]. Same contract, including the release-mode
+    /// boundary-monotonicity panic.
     pub fn bulk_load_blocks_in(
         path: ReadPath,
         blocks: impl IntoIterator<Item = Vec<(K, V)>>,
         boundaries: Vec<K>,
         config: AlexConfig,
     ) -> Self {
-        debug_assert!(
+        assert!(
             boundaries.windows(2).all(|w| w[0] < w[1]),
             "shard boundaries must be strictly increasing"
         );
@@ -331,13 +444,13 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
         }
     }
 
-    /// An empty index with `num_shards` shards split at `boundaries`
-    /// (cold start; every shard grows by inserts/splits), on the
-    /// default (epoch) read path.
+    /// An empty index with `boundaries.len() + 1` shards split at
+    /// `boundaries` (cold start; every shard grows by
+    /// inserts/splits), on the default (epoch) read path.
     ///
     /// # Panics
-    /// Panics (debug builds) if `boundaries` is not strictly
-    /// increasing.
+    /// Panics (all build profiles) if `boundaries` is not strictly
+    /// increasing — see [`ShardedAlex::bulk_load_blocks`].
     pub fn new(boundaries: Vec<K>, config: AlexConfig) -> Self {
         Self::new_in(ReadPath::Epoch, boundaries, config)
     }
@@ -546,6 +659,192 @@ impl<K: AlexKey, V: Clone + Default> ShardedAlex<K, V> {
             })
             .sum()
     }
+
+    // ------------------------------------------------------------------
+    // Read-skew rebalancing (see the crate docs)
+    // ------------------------------------------------------------------
+
+    /// Per-shard read counters, in shard order. Counters are advisory
+    /// load signals (they ride leaf snapshots and relaxed atomics) and
+    /// are all zero without the `read-stats` feature; take before/after
+    /// snapshots to measure one traffic window.
+    pub fn shard_read_stats(&self) -> Vec<ShardReadStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let (lookups, comparisons, direct_hits) = shard.read_stats();
+                ShardReadStats {
+                    lookups,
+                    comparisons,
+                    direct_hits,
+                }
+            })
+            .collect()
+    }
+
+    /// Propose boundaries that equalize estimated lookup mass across
+    /// shards, assuming lookups spread uniformly within each current
+    /// shard (the per-shard counters are the only signal; there is no
+    /// per-key histogram). Cut keys are found by rank through one
+    /// in-order walk, so the plan costs `O(n)` time and `O(shards)`
+    /// extra space.
+    ///
+    /// Returns `None` when there is nothing to do: fewer than two
+    /// shards, no recorded lookups (no traffic yet, or `read-stats`
+    /// compiled out), fewer stored keys than shards, or a plan
+    /// identical to the current boundaries.
+    pub fn rebalance_plan(&self) -> Option<RebalancePlan<K>> {
+        let num_shards = self.shards.len();
+        if num_shards < 2 {
+            return None;
+        }
+        let lookups: Vec<u64> = self.shards.iter().map(|s| s.read_stats().0).collect();
+        let total: u64 = lookups.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let lens = self.shard_lens();
+        let total_len: usize = lens.iter().sum();
+        if total_len < num_shards {
+            return None;
+        }
+
+        // Global ranks where cumulative estimated mass crosses each
+        // multiple of the per-shard target.
+        let target = total as f64 / num_shards as f64;
+        let num_cuts = num_shards - 1;
+        let mut cuts: Vec<usize> = Vec::with_capacity(num_cuts);
+        let mut shard = 0usize;
+        let mut mass_before = 0f64; // lookup mass below `shard`
+        let mut offset = 0usize; // global rank of `shard`'s first key
+        for j in 1..num_shards {
+            let want = j as f64 * target;
+            while shard + 1 < num_shards && mass_before + lookups[shard] as f64 <= want {
+                mass_before += lookups[shard] as f64;
+                offset += lens[shard];
+                shard += 1;
+            }
+            let mass = lookups[shard] as f64;
+            let frac = if mass > 0.0 {
+                ((want - mass_before) / mass).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            cuts.push(offset + (frac * lens[shard] as f64) as usize);
+        }
+        // Monotonize: each cut strictly above the previous one, and
+        // low/high enough that every shard keeps at least one key.
+        let mut prev = 0usize;
+        for (i, cut) in cuts.iter_mut().enumerate() {
+            *cut = (*cut).max(prev + 1).min(total_len - (num_cuts - i));
+            prev = *cut;
+        }
+
+        // One in-order walk across shards turns ranks into keys.
+        let mut boundaries: Vec<K> = Vec::with_capacity(num_cuts);
+        let mut rank = 0usize;
+        let mut next_cut = 0usize;
+        for s in &self.shards {
+            if next_cut >= cuts.len() {
+                break;
+            }
+            s.for_each_pair(&mut |k, _| {
+                if next_cut < cuts.len() && rank == cuts[next_cut] {
+                    boundaries.push(*k);
+                    next_cut += 1;
+                }
+                rank += 1;
+            });
+        }
+        // Concurrent removals can shrink shards under the walk; a
+        // partial boundary set is not a usable plan.
+        if boundaries.len() != num_cuts || boundaries == self.boundaries {
+            return None;
+        }
+        Some(RebalancePlan {
+            boundaries,
+            shard_lookups: lookups,
+        })
+    }
+
+    /// Apply a [`RebalancePlan`]: restage every shard under the new
+    /// boundaries in one ordered pass, then switch the routing. Keys
+    /// are drained from the old shards in global key order into a
+    /// staging buffer that is bulk-loaded into a fresh shard each time
+    /// the walk crosses a plan boundary; each old shard is dropped as
+    /// soon as its keys are consumed. The transient footprint is one
+    /// staged shard (the staging buffer is reused across flushes), and
+    /// the work is linear in the total key count — unlike a
+    /// remove-based band drain, whose tombstone flushes re-clone the
+    /// shrinking source leaf once per buffer fill, O(band · leaf)
+    /// copies. Requires `&mut self`: routing consults `boundaries` on
+    /// every operation, so the switch must not race in-flight
+    /// requests. `alex-server` wraps this in a drain → apply → restart
+    /// maintenance op.
+    ///
+    /// # Panics
+    /// Panics if the plan's boundary count differs from the current
+    /// one or its boundaries are not strictly increasing (a
+    /// hand-rolled plan; [`ShardedAlex::rebalance_plan`] upholds
+    /// both).
+    pub fn apply_rebalance(&mut self, plan: &RebalancePlan<K>) -> RebalanceReport {
+        assert_eq!(
+            plan.boundaries.len(),
+            self.boundaries.len(),
+            "plan must preserve the shard count"
+        );
+        assert!(
+            plan.boundaries.windows(2).all(|w| w[0] < w[1]),
+            "plan boundaries must be strictly increasing"
+        );
+        let path = self.path;
+        let config = self.shards[0].config();
+        let num_shards = self.shards.len();
+        let empty = |path, config| Shard::new(path, AlexIndex::bulk_load(&[], config));
+
+        let mut new_shards: Vec<Shard<K, V>> = Vec::with_capacity(num_shards);
+        let mut staging: Vec<(K, V)> = Vec::new();
+        let mut report = RebalanceReport::default();
+        // A band is a maximal run of moved keys sharing one
+        // (source, destination) pair; the walk is in global key order,
+        // so tracking the previous key's pair suffices to count runs.
+        let mut prev_move: Option<(usize, usize)> = None;
+        for src in 0..num_shards {
+            // Take the source shard out so it can be freed the moment
+            // its keys are staged — the peak holds one old shard plus
+            // one staging buffer beyond the already-rebuilt prefix.
+            let old = std::mem::replace(&mut self.shards[src], empty(path, config));
+            old.for_each_pair(&mut |k, v| {
+                while new_shards.len() < plan.boundaries.len()
+                    && *k >= plan.boundaries[new_shards.len()]
+                {
+                    new_shards.push(Shard::new(path, AlexIndex::bulk_load(&staging, config)));
+                    staging.clear();
+                }
+                let dst = new_shards.len();
+                if dst == src {
+                    prev_move = None;
+                } else {
+                    report.moved_keys += 1;
+                    if prev_move != Some((src, dst)) {
+                        report.bands += 1;
+                    }
+                    prev_move = Some((src, dst));
+                }
+                staging.push((*k, v.clone()));
+            });
+            drop(old);
+        }
+        // Flush the tail, then top up with empty shards for any plan
+        // boundaries the walk never reached.
+        while new_shards.len() < num_shards {
+            new_shards.push(Shard::new(path, AlexIndex::bulk_load(&staging, config)));
+            staging.clear();
+        }
+        self.shards = new_shards;
+        self.boundaries = plan.boundaries.clone();
+        report
+    }
 }
 
 /// Which shard owns `key` under `boundaries` (shard `i + 1` owns keys
@@ -585,14 +884,59 @@ pub fn split_sorted_runs<'a, K: PartialOrd, T>(
     }
 }
 
+/// The outcome of [`sample_cdf_boundaries`]: the boundary keys plus
+/// enough bookkeeping to tell whether duplicate quantiles collapsed
+/// the requested shard count. Callers that silently unwrap
+/// `boundaries` used to get fewer shards than they asked for with no
+/// signal; check [`BoundaryPlan::collapsed`] (or compare
+/// [`BoundaryPlan::effective_shards`] against what you requested)
+/// before sizing anything — worker pools, CSV labels, rebalance
+/// targets — off `num_shards`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryPlan<K> {
+    /// Strictly increasing boundary keys; shard `i + 1` owns keys
+    /// `>= boundaries[i]`.
+    pub boundaries: Vec<K>,
+    /// The shard count the caller asked for.
+    pub requested_shards: usize,
+}
+
+impl<K> BoundaryPlan<K> {
+    /// The shard count these boundaries actually produce
+    /// (`boundaries.len() + 1`).
+    pub fn effective_shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Whether duplicate or insufficient quantiles collapsed the
+    /// requested shard count.
+    pub fn collapsed(&self) -> bool {
+        self.effective_shards() < self.requested_shards
+    }
+
+    /// Unwrap the boundary keys.
+    pub fn into_boundaries(self) -> Vec<K> {
+        self.boundaries
+    }
+}
+
 /// Shard boundaries from the sample CDF of sorted `pairs`: sample up to
 /// 64Ki keys evenly by rank, then take the `num_shards - 1` interior
 /// quantiles (via [`alex_datasets::cdf_points`]) and dedup. Public so
 /// external front-ends (e.g. `alex-server`'s load generator) can derive
 /// routing boundaries the same way [`ShardedAlex::bulk_load`] does.
-pub fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize) -> Vec<K> {
+///
+/// Duplicate-heavy input (repeated keys, or fewer distinct sample
+/// points than shards) yields duplicate quantiles; those are merged,
+/// so the effective shard count can be **lower than requested**. The
+/// returned [`BoundaryPlan`] makes that observable instead of silent —
+/// inspect [`BoundaryPlan::collapsed`] when the exact count matters.
+pub fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize) -> BoundaryPlan<K> {
     if num_shards <= 1 || pairs.len() < 2 {
-        return Vec::new();
+        return BoundaryPlan {
+            boundaries: Vec::new(),
+            requested_shards: num_shards,
+        };
     }
     let stride = (pairs.len() / 65_536).max(1);
     let sample: Vec<K> = pairs.iter().step_by(stride).map(|p| p.0).collect();
@@ -604,7 +948,10 @@ pub fn sample_cdf_boundaries<K: AlexKey, V>(pairs: &[(K, V)], num_shards: usize)
         .map(|(k, _)| k)
         .collect();
     boundaries.dedup_by(|a, b| a == b);
-    boundaries
+    BoundaryPlan {
+        boundaries,
+        requested_shards: num_shards,
+    }
 }
 
 impl<K: AlexKey, V: Clone + Default> IndexRead<K, V> for ShardedAlex<K, V> {
@@ -920,6 +1267,165 @@ mod tests {
             IndexRead::<u64, u64>::label(&index),
             "ShardedAlex[2;locked]"
         );
+    }
+
+    #[test]
+    fn duplicate_heavy_samples_report_boundary_collapse() {
+        // Only 3 distinct keys, massively repeated: the interior
+        // quantiles all land on the same few keys, dedup merges them,
+        // and the old Vec<K> return gave no hint the caller got fewer
+        // shards than requested.
+        let mut dupes: Vec<(u64, u64)> = Vec::new();
+        for k in [10u64, 20, 30] {
+            dupes.extend(std::iter::repeat_n((k, k), 4000));
+        }
+        let plan = sample_cdf_boundaries(&dupes, 8);
+        assert_eq!(plan.requested_shards, 8);
+        assert!(plan.collapsed(), "3 distinct keys cannot split 8 ways: {plan:?}");
+        assert!(plan.effective_shards() < 8);
+        assert!(
+            plan.boundaries.windows(2).all(|w| w[0] < w[1]),
+            "deduped boundaries stay strictly increasing: {:?}",
+            plan.boundaries
+        );
+        // The index built from such a plan reports the same effective
+        // count (strictly increasing keys here, but too few of them).
+        let tiny = pairs(3, 10);
+        let plan = sample_cdf_boundaries(&tiny, 8);
+        assert!(plan.collapsed());
+        let index = ShardedAlex::bulk_load(&tiny, 8, AlexConfig::ga_armi());
+        assert_eq!(index.num_shards(), plan.effective_shards());
+        // Abundant distinct keys: no collapse.
+        let plan = sample_cdf_boundaries(&pairs(10_000, 2), 8);
+        assert!(!plan.collapsed());
+        assert_eq!(plan.effective_shards(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard boundaries must be strictly increasing")]
+    fn nonmonotone_boundaries_panic_in_every_profile() {
+        // A release-mode assert, not a debug_assert: out-of-order
+        // boundaries silently corrupt `route_key`'s binary search, so
+        // this must panic under `--release` too (the CI stress job
+        // runs tests in release mode).
+        let _ = ShardedAlex::<u64, u64>::bulk_load_blocks(
+            vec![vec![(1, 1)]],
+            vec![50, 40],
+            AlexConfig::ga_armi(),
+        );
+    }
+
+    #[test]
+    fn empty_blocks_with_boundaries_keep_the_shard_contract() {
+        // Corner 1: no data at all — still boundaries.len() + 1 shards.
+        for path in BOTH_PATHS {
+            let index: ShardedAlex<u64, u64> = ShardedAlex::bulk_load_blocks_in(
+                path,
+                core::iter::empty::<Vec<(u64, u64)>>(),
+                vec![100, 200, 300],
+                AlexConfig::ga_armi(),
+            );
+            assert_eq!(index.num_shards(), 4, "boundaries.len() + 1 even with no blocks");
+            assert_eq!(index.shard_lens(), vec![0, 0, 0, 0]);
+            // Routing still works: inserts land in the right shards.
+            for k in [50u64, 150, 250, 350] {
+                assert!(index.insert(k, k).is_ok());
+            }
+            assert_eq!(index.shard_lens(), vec![1, 1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn one_sided_blocks_with_boundaries_keep_the_shard_contract() {
+        // Corner 2: all keys below the first boundary — the loop that
+        // flushes shards on boundary crossings never fires, so the
+        // tail flush must still produce every shard.
+        let low: ShardedAlex<u64, u64> = ShardedAlex::bulk_load_blocks(
+            vec![vec![(1, 1), (2, 2), (3, 3)]],
+            vec![100, 200],
+            AlexConfig::ga_armi(),
+        );
+        assert_eq!(low.num_shards(), 3);
+        assert_eq!(low.shard_lens(), vec![3, 0, 0]);
+        assert_eq!(low.get(&2), Some(2));
+
+        // And all keys above the last boundary: every leading shard is
+        // flushed empty before the data lands in the tail shard.
+        let high: ShardedAlex<u64, u64> = ShardedAlex::bulk_load_blocks(
+            vec![vec![(500, 5), (600, 6)]],
+            vec![100, 200],
+            AlexConfig::ga_armi(),
+        );
+        assert_eq!(high.num_shards(), 3);
+        assert_eq!(high.shard_lens(), vec![0, 0, 2]);
+        assert_eq!(high.get(&600), Some(6));
+
+        // And the no-boundaries corner: one shard, all data.
+        let single: ShardedAlex<u64, u64> = ShardedAlex::bulk_load_blocks(
+            vec![vec![(1, 1), (500, 5)]],
+            Vec::new(),
+            AlexConfig::ga_armi(),
+        );
+        assert_eq!(single.num_shards(), 1);
+        assert_eq!(single.len(), 2);
+    }
+
+    #[cfg(feature = "read-stats")]
+    #[test]
+    fn rebalance_plan_narrows_the_hot_shard() {
+        let index = ShardedAlex::bulk_load(&pairs(40_000, 1), 4, AlexConfig::ga_armi());
+        assert!(index.rebalance_plan().is_none(), "no traffic, no plan");
+        // Hammer the first shard's range: boundary 0 should move left
+        // (the hot shard shrinks) once the plan equalizes lookup mass.
+        let hot_end = index.boundaries()[0];
+        for k in 0..8000u64 {
+            let _ = index.get(&(k % hot_end));
+        }
+        for k in 0..100u64 {
+            let _ = index.get(&(hot_end + k)); // a trickle elsewhere
+        }
+        let stats = index.shard_read_stats();
+        assert!(stats[0].lookups >= 8000, "hot shard saw the traffic: {stats:?}");
+        let plan = index.rebalance_plan().expect("skewed traffic must produce a plan");
+        assert_eq!(plan.boundaries.len(), index.boundaries().len());
+        assert!(
+            plan.boundaries[0] < index.boundaries()[0],
+            "hot shard must shrink: plan {:?} vs current {:?}",
+            plan.boundaries,
+            index.boundaries()
+        );
+        assert_eq!(plan.shard_lookups, stats.iter().map(|s| s.lookups).collect::<Vec<_>>());
+    }
+
+    #[cfg(feature = "read-stats")]
+    #[test]
+    fn apply_rebalance_preserves_every_pair() {
+        for path in BOTH_PATHS {
+            let data = pairs(20_000, 3);
+            let mut index = ShardedAlex::bulk_load_in(path, &data, 4, AlexConfig::ga_armi());
+            let hot_end = index.boundaries()[0];
+            for k in 0..5000u64 {
+                let _ = index.get(&((k * 3) % hot_end));
+            }
+            let plan = index.rebalance_plan().expect("skew produces a plan");
+            let report = index.apply_rebalance(&plan);
+            assert!(report.moved_keys > 0, "boundaries moved, so keys moved");
+            assert!(report.bands > 0);
+            assert_eq!(index.boundaries(), &plan.boundaries[..]);
+            assert_eq!(index.len(), data.len(), "rebalance loses nothing");
+            // Pair-for-pair: every key still answers with its payload,
+            // through the *new* routing.
+            for (k, v) in &data {
+                assert_eq!(index.get(k), Some(*v), "key {k}");
+            }
+            // Shard lengths match the new boundaries exactly.
+            let lens = index.shard_lens();
+            let mut expect = vec![0usize; index.num_shards()];
+            for (k, _) in &data {
+                expect[route_key(index.boundaries(), k)] += 1;
+            }
+            assert_eq!(lens, expect, "no stragglers in old shards");
+        }
     }
 
     #[test]

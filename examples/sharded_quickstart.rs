@@ -34,13 +34,15 @@ fn main() {
     );
 
     // 2. Reads, writes, and scans all take &self — share the index
-    //    across threads with no wrapper.
+    //    across threads with no wrapper. Tail keys start one below
+    //    `u64::MAX` — the maximum itself is the reserved sentinel and
+    //    every write path rejects it with `UnsupportedKey`.
     std::thread::scope(|s| {
         for t in 0..4u64 {
             let index = &index;
             s.spawn(move || {
                 for k in 0..1000u64 {
-                    index.insert(u64::MAX - t * 10_000 - k, k).expect("fresh key");
+                    index.insert(u64::MAX - 1 - t * 10_000 - k, k).expect("fresh key");
                     let probe = 1_000_000_000 + k;
                     std::hint::black_box(index.get(&probe));
                 }
@@ -52,7 +54,7 @@ fn main() {
     // 3. Sorted-batch lookups route once per shard run. Probe two of
     //    each writer thread's keys — all must be found.
     let mut queries: Vec<u64> = (0..4u64)
-        .flat_map(|t| [u64::MAX - t * 10_000, u64::MAX - t * 10_000 - 500])
+        .flat_map(|t| [u64::MAX - 1 - t * 10_000, u64::MAX - 1 - t * 10_000 - 500])
         .collect();
     queries.sort_unstable();
     let hits = index.get_many(&queries).iter().filter(|v| v.is_some()).count();

@@ -1,0 +1,207 @@
+//! Differential suite for the two self-tuning subsystems:
+//!
+//! 1. **Adaptive delta-buffer capacity** (`DeltaBuffer::Adaptive`):
+//!    the controller re-derives the per-leaf cap from observed
+//!    write-amplification at flush boundaries. The suite proves it
+//!    converges to the amortization target under point-write load,
+//!    and — the part that matters — that an adaptive index stays
+//!    byte-identical to the `LockedBTreeMap` oracle while the cap
+//!    moves under multi-threaded churn (capacity is a performance
+//!    dial, never a semantics dial).
+//! 2. **Read-skew shard rebalancing** (`rebalance_plan` /
+//!    `apply_rebalance`): boundary moves between traffic phases
+//!    preserve pair-for-pair equality with the oracle.
+//!
+//! Both rely on the `read-stats` feature of `alex-core` (enabled for
+//! this crate): with it off, the adaptive controller compiles to a
+//! no-op and the capacity stays at its static default — covered by
+//! the feature-matrix CI job, not here.
+
+use std::collections::BTreeMap;
+
+use alex_repro::alex_api::{ConcurrentIndex, IndexRead, LockedBTreeMap};
+use alex_repro::alex_core::config::{
+    DEFAULT_DELTA_BUFFER_CAPACITY, MAX_ADAPTIVE_DELTA_CAPACITY, MIN_ADAPTIVE_DELTA_CAPACITY,
+};
+use alex_repro::alex_core::{AlexConfig, DeltaBuffer, EpochAlex};
+use alex_repro::alex_sharded::ShardedAlex;
+
+fn adaptive_config() -> AlexConfig {
+    AlexConfig::ga_armi().with_splitting().delta_buffer(DeltaBuffer::Adaptive)
+}
+
+/// Steady-state point writes clone one leaf per `cap + 1` writes, so
+/// the controller's 1/64 clones-per-write target has its equilibrium
+/// at a capacity of 64: from the default of 32 (1/33 observed, too
+/// clone-heavy) it must double exactly once and then hold.
+#[test]
+fn adaptive_capacity_converges_to_the_amortization_target() {
+    let init: Vec<(u64, u64)> = (0..100_000u64).map(|k| (2 * k, k)).collect();
+    let index: EpochAlex<u64, u64> = EpochAlex::bulk_load(&init, adaptive_config());
+    assert_eq!(index.current_delta_capacity(), DEFAULT_DELTA_BUFFER_CAPACITY);
+    assert_eq!(index.delta_adaptations(), 0);
+
+    // Interleaved point writes and reads — enough flush boundaries
+    // for many adaptation windows at both 32 and 64.
+    for k in 0..80_000u64 {
+        index.insert(2 * k + 1, k).expect("fresh odd key");
+        if k % 4 == 0 {
+            let _ = index.get(&(2 * k));
+        }
+    }
+
+    assert_eq!(
+        index.current_delta_capacity(),
+        2 * DEFAULT_DELTA_BUFFER_CAPACITY,
+        "one doubling to the 1/64 equilibrium, then hold ({} adaptations)",
+        index.delta_adaptations()
+    );
+    assert_eq!(index.delta_adaptations(), 1, "no oscillation once at equilibrium");
+}
+
+/// A fixed capacity never adapts, whatever the traffic.
+#[test]
+fn fixed_capacity_never_moves() {
+    let config = AlexConfig::ga_armi().with_splitting(); // Fixed(32)
+    let index: EpochAlex<u64, u64> = EpochAlex::new(config);
+    for k in 0..40_000u64 {
+        index.insert(k, k).expect("fresh key");
+        let _ = index.get(&(k / 2));
+    }
+    assert_eq!(index.current_delta_capacity(), DEFAULT_DELTA_BUFFER_CAPACITY);
+    assert_eq!(index.delta_adaptations(), 0);
+}
+
+/// The differential core: concurrent writers mirror every mutation
+/// into the oracle while readers hammer `get`/`scan_from`; at
+/// quiescence the adaptive index's full ordered scan must equal the
+/// oracle's, byte for byte, and the tuned capacity must have both
+/// moved and stayed in bounds.
+#[test]
+fn adaptive_index_stays_byte_identical_to_the_oracle_under_churn() {
+    const WRITERS: u64 = 2;
+    const READERS: u64 = 2;
+    const PER_WRITER: u64 = 30_000;
+
+    let index: EpochAlex<u64, u64> = EpochAlex::new(adaptive_config());
+    let oracle: LockedBTreeMap<u64, u64> = LockedBTreeMap::new();
+
+    std::thread::scope(|s| {
+        let (index, oracle) = (&index, &oracle);
+        for t in 0..WRITERS {
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Disjoint key stripes per writer: every insert is
+                    // fresh, removes hit only the writer's own keys.
+                    let k = WRITERS * i + t;
+                    index.insert(k, k * 7).expect("fresh stripe key");
+                    oracle.insert(k, k * 7).expect("oracle stripe key");
+                    // A trickle of removes for churn — kept well below
+                    // the insert rate so the observed clones-per-write
+                    // stays at the point-insert steady state 1/(cap+1),
+                    // above the controller's grow threshold (removes
+                    // absorbed by the delta dilute the ratio).
+                    if i % 16 == 0 && i > 0 {
+                        let victim = WRITERS * (i - 3) + t;
+                        let a = index.remove(&victim);
+                        let b = oracle.remove(&victim);
+                        assert_eq!(a, b, "writer {t}: divergent remove of {victim}");
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            s.spawn(move || {
+                let mut probe = r + 1;
+                for _ in 0..40_000 {
+                    probe = probe.wrapping_mul(6364136223846793005).wrapping_add(99);
+                    let key = probe % (WRITERS * PER_WRITER);
+                    if let Some(v) = index.get(&key) {
+                        assert_eq!(v, key * 7, "payload corrupt under churn");
+                    }
+                }
+            });
+        }
+    });
+
+    // The capacity moved (the churn is point-write heavy, so the
+    // controller must have doubled at least once) and stayed clamped.
+    let cap = index.current_delta_capacity();
+    assert!(index.delta_adaptations() > 0, "adaptive controller never fired");
+    assert!(
+        (MIN_ADAPTIVE_DELTA_CAPACITY..=MAX_ADAPTIVE_DELTA_CAPACITY).contains(&cap),
+        "capacity {cap} escaped its clamp"
+    );
+
+    // Byte-identical at quiescence.
+    let mut expect: Vec<(u64, u64)> = Vec::new();
+    oracle.scan_from(&0, usize::MAX, &mut |k, v| expect.push((*k, *v)));
+    let reference: BTreeMap<u64, u64> = expect.iter().copied().collect();
+    assert_eq!(index.len(), reference.len());
+    let mut got: Vec<(u64, u64)> = Vec::with_capacity(expect.len());
+    index.scan_from(&0, usize::MAX, &mut |k: &u64, v: &u64| got.push((*k, *v)));
+    assert_eq!(got, expect, "adaptive index diverged from the oracle");
+}
+
+/// Rebalancing between traffic phases: skewed reads produce a plan,
+/// applying it re-cuts the boundaries, and a second traffic phase
+/// (reads *and* writes through the new routing) still ends
+/// pair-for-pair equal to the oracle.
+#[test]
+fn rebalance_preserves_oracle_equality_across_traffic_phases() {
+    let data: Vec<(u64, u64)> = (0..40_000u64).map(|k| (3 * k, k)).collect();
+    let mut index = ShardedAlex::bulk_load(&data, 4, AlexConfig::ga_armi());
+    let oracle = LockedBTreeMap::from_pairs(&data);
+
+    // Phase 1: concurrent skewed reads (plus a writer) against the
+    // original boundaries.
+    let hot_end = index.boundaries()[0];
+    std::thread::scope(|s| {
+        let (index, oracle) = (&index, &oracle);
+        s.spawn(move || {
+            for k in 0..6000u64 {
+                let _ = index.get(&((k * 3) % hot_end));
+            }
+        });
+        s.spawn(move || {
+            for k in 0..3000u64 {
+                index.insert(3 * k + 1, k).expect("fresh phase-1 key");
+                oracle.insert(3 * k + 1, k).expect("oracle phase-1 key");
+            }
+        });
+    });
+
+    // Maintenance window: exclusive ownership, boundary move.
+    let plan = index.rebalance_plan().expect("skewed phase must produce a plan");
+    let old_boundaries = index.boundaries().to_vec();
+    let report = index.apply_rebalance(&plan);
+    assert!(report.moved_keys > 0);
+    assert_ne!(index.boundaries(), &old_boundaries[..]);
+
+    // Phase 2: traffic through the re-cut boundaries.
+    std::thread::scope(|s| {
+        let (index, oracle) = (&index, &oracle);
+        s.spawn(move || {
+            for k in 0..6000u64 {
+                let _ = index.get(&(3 * k));
+            }
+        });
+        s.spawn(move || {
+            for k in 3000..6000u64 {
+                index.insert(3 * k + 1, k).expect("fresh phase-2 key");
+                oracle.insert(3 * k + 1, k).expect("oracle phase-2 key");
+            }
+        });
+    });
+
+    // Pair-for-pair equality, via both point gets and the full scan.
+    let mut expect: Vec<(u64, u64)> = Vec::new();
+    oracle.scan_from(&0, usize::MAX, &mut |k, v| expect.push((*k, *v)));
+    assert_eq!(index.len(), expect.len());
+    let mut got: Vec<(u64, u64)> = Vec::with_capacity(expect.len());
+    index.scan_from(&0, usize::MAX, &mut |k: &u64, v: &u64| got.push((*k, *v)));
+    assert_eq!(got, expect, "rebalanced index diverged from the oracle");
+    for (k, v) in expect.iter().take(2000) {
+        assert_eq!(index.get(k), Some(*v));
+    }
+}
